@@ -1,0 +1,48 @@
+// Ablation: steady-state detection in Algorithm 1.  For long horizons the
+// Poisson window [L, R] covers only O(sqrt(E t)) of the k = R iterations;
+// below L the backward operator receives no new Poisson mass and converges
+// geometrically, so iteration can stop early.  This compares the faithful
+// run (as in the paper's implementation) against early termination.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "ftwc/direct.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace unicon;
+
+int main() {
+  const bool full = bench::full_sweep();
+  ftwc::Parameters params;
+  params.n = full ? 16 : 4;
+
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+
+  std::printf("Early-termination ablation (FTWC N=%u, eps=1e-6)\n\n", params.n);
+  std::printf("%10s %12s %12s %10s %10s %14s %14s\n", "t (h)", "k (plan)", "k (exec)",
+              "full (s)", "early (s)", "P full", "P early");
+
+  for (double t : std::vector<double>{100, 1000, 10000, 30000}) {
+    TimedReachabilityOptions faithful;
+    Stopwatch full_timer;
+    const auto full_run = timed_reachability(transformed.ctmdp, transformed.goal, t, faithful);
+    const double full_s = full_timer.seconds();
+
+    TimedReachabilityOptions early = faithful;
+    early.early_termination = true;
+    Stopwatch early_timer;
+    const auto early_run = timed_reachability(transformed.ctmdp, transformed.goal, t, early);
+    const double early_s = early_timer.seconds();
+
+    std::printf("%10.0f %12llu %12llu %10.3f %10.3f %14.8f %14.8f\n", t,
+                static_cast<unsigned long long>(full_run.iterations_planned),
+                static_cast<unsigned long long>(early_run.iterations_executed), full_s, early_s,
+                full_run.values[transformed.ctmdp.initial()],
+                early_run.values[transformed.ctmdp.initial()]);
+    std::fflush(stdout);
+  }
+  return 0;
+}

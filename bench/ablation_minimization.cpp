@@ -1,0 +1,79 @@
+// Ablation for the paper's "Technicalities" paragraph (Sec. 5): the
+// compositional route depends on minimizing intermediate state spaces —
+// without stochastic branching bisimulation the interleaved workstation
+// groups explode combinatorially, with it they collapse to counting
+// abstractions.
+//
+// Prints per-stage sizes with and without minimization, and the agreement
+// of the resulting worst-case probabilities with the direct generator.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "ftwc/compositional.hpp"
+#include "ftwc/direct.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace unicon;
+
+int main() {
+  const bool full = bench::full_sweep();
+  std::vector<unsigned> ns{1, 2, 3, 4};
+  if (full) ns.insert(ns.end(), {6, 8});
+
+  std::printf("Compositional construction ablation (Sec. 5 Technicalities)\n\n");
+
+  for (unsigned n : ns) {
+    ftwc::Parameters params;
+    params.n = n;
+
+    Stopwatch with_timer;
+    ftwc::CompositionalOptions with;
+    const auto minimized = ftwc::build_compositional(params, with);
+    const double with_s = with_timer.seconds();
+
+    Stopwatch without_timer;
+    ftwc::CompositionalOptions without;
+    without.minimize = false;
+    without.max_states = 2'000'000;
+    std::size_t unminimized_states = 0;
+    double without_s = -1.0;
+    bool exploded = false;
+    try {
+      const auto raw = ftwc::build_compositional(params, without);
+      unminimized_states = raw.uimc.num_states();
+      without_s = without_timer.seconds();
+    } catch (const Error&) {
+      exploded = true;
+    }
+
+    std::printf("N=%u: minimized system %zu states (%.2f s)", n, minimized.uimc.num_states(),
+                with_s);
+    if (exploded) {
+      std::printf(", unminimized exceeds 2e6 states\n");
+    } else {
+      std::printf(", unminimized %zu states (%.2f s)\n", unminimized_states, without_s);
+    }
+    for (const auto& stage : minimized.stages) {
+      std::printf("    %-22s %8zu -> %8zu states\n", stage.stage.c_str(),
+                  stage.states_before_minimization, stage.states);
+    }
+
+    // Cross-check against the direct generator.
+    const auto direct = ftwc::build_direct(params);
+    const double t = 100.0;
+    const double p_comp = analyze_timed_reachability(minimized.uimc, minimized.goal, t).value;
+    const double p_direct = analyze_timed_reachability(direct.uimc, direct.goal, t).value;
+    std::printf("    worst-case P(t=100h): compositional %.8f vs direct %.8f (delta %.2e)\n\n",
+                p_comp, p_direct, p_comp - p_direct);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "The paper reports the same effect at scale: N=14 gave an intermediate space of\n"
+      "5e6 states / 6e7 transitions that minimization reduces to 6e4 / 5e5, and N=16\n"
+      "was not constructible compositionally at all (2 GB intermediate).\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace unicon::bench {
+
+/// True when the paper-scale sweep was requested via FTWC_FULL=1.
+inline bool full_sweep() {
+  const char* env = std::getenv("FTWC_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::string human_bytes(std::size_t bytes) {
+  char buffer[32];
+  if (bytes >= 10ull * 1024 * 1024) {
+    std::snprintf(buffer, sizeof buffer, "%.1f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 10ull * 1024) {
+    std::snprintf(buffer, sizeof buffer, "%.1f KB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%zu B", bytes);
+  }
+  return buffer;
+}
+
+}  // namespace unicon::bench

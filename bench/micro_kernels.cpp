@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) for the numeric kernels and the
+// pipeline stages: Poisson window computation, the Algorithm-1 value
+// iteration, CTMC transient analysis, on-the-fly composition, and the
+// uIMC -> uCTMDP transformation.
+#include <benchmark/benchmark.h>
+
+#include "core/transform.hpp"
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "ftwc/ctmc_variant.hpp"
+#include "ftwc/direct.hpp"
+#include "support/fox_glynn.hpp"
+
+using namespace unicon;
+
+namespace {
+
+void BM_PoissonWindow(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PoissonWindow::compute(lambda, 1e-6));
+  }
+}
+BENCHMARK(BM_PoissonWindow)->Arg(10)->Arg(1000)->Arg(77000);
+
+void BM_PoissonPmfReference(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::uint64_t i = 900; i < 1100; ++i) acc += poisson_pmf(i, 1000.0);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PoissonPmfReference);
+
+void BM_FtwcGeneration(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftwc::build_direct(params));
+  }
+}
+BENCHMARK(BM_FtwcGeneration)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Transformation(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = static_cast<unsigned>(state.range(0));
+  const auto built = ftwc::build_direct(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform_to_ctmdp(built.uimc, &built.goal));
+  }
+}
+BENCHMARK(BM_Transformation)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm1(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = static_cast<unsigned>(state.range(0));
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0));
+  }
+  state.counters["states"] = static_cast<double>(transformed.ctmdp.num_states());
+}
+BENCHMARK(BM_Algorithm1)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_CtmcTransient(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = static_cast<unsigned>(state.range(0));
+  const auto built = ftwc::build_ctmc_variant(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timed_reachability(built.ctmc, built.goal, 100.0));
+  }
+}
+BENCHMARK(BM_CtmcTransient)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,314 @@
+#include "bisim/bisimulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+namespace {
+
+/// Rates are quantized before entering signatures so that block rate sums
+/// that differ only by floating-point summation order compare equal.
+std::int64_t quantize(double rate) { return std::llround(rate * 1e9); }
+
+struct VecU64Hash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+      h ^= x >> 32;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+constexpr std::uint64_t kInteractiveTag = 1ull << 62;
+constexpr std::uint64_t kRateTag = 1ull << 63;
+
+/// Appends the lumped Markov rate vector of @p s under @p blocks.
+void append_rate_signature(const Imc& m, StateId s, const std::vector<std::uint32_t>& blocks,
+                           std::vector<std::uint64_t>& sig) {
+  std::unordered_map<std::uint32_t, double> lumped;
+  for (const MarkovTransition& t : m.out_markov(s)) lumped[blocks[t.to]] += t.rate;
+  for (const auto& [blk, rate] : lumped) {
+    sig.push_back(kRateTag | blk);
+    sig.push_back(static_cast<std::uint64_t>(quantize(rate)));
+  }
+}
+
+/// Signature items are (tag|payload, extra) u64 pairs; sorts and dedupes
+/// the pairs stored from index @p from onward.
+struct SigItem {
+  std::uint64_t a, b;
+  friend bool operator<(const SigItem& x, const SigItem& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }
+  friend bool operator==(const SigItem&, const SigItem&) = default;
+};
+static_assert(sizeof(SigItem) == 2 * sizeof(std::uint64_t));
+
+void sort_dedupe(std::vector<std::uint64_t>& sig, std::size_t from) {
+  auto* items = reinterpret_cast<SigItem*>(sig.data() + from);
+  const std::size_t n = (sig.size() - from) / 2;
+  std::sort(items, items + n);
+  const auto* end = std::unique(items, items + n);
+  sig.resize(from + 2 * static_cast<std::size_t>(end - items));
+}
+
+/// Tau-SCC decomposition (iterative Tarjan restricted to tau edges).
+/// SCCs are emitted successors-first (reverse topological order of the
+/// condensation), which is exactly the order the inert closure needs.
+struct TauSccResult {
+  std::vector<std::uint32_t> scc_of;
+  std::uint32_t num_sccs = 0;
+  std::vector<std::vector<StateId>> members;  // per SCC, in emission order
+};
+
+/// When @p blocks is non-null only *inert* tau edges (same block at both
+/// ends) are considered; otherwise all tau edges.
+TauSccResult tau_sccs(const Imc& m, const std::vector<std::uint32_t>* blocks = nullptr) {
+  const std::size_t n = m.num_states();
+
+  // Tau successor lists (transitions are sorted with tau first).
+  std::vector<std::vector<StateId>> tau_succ(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const LtsTransition& t : m.out_interactive(s)) {
+      if (t.action != kTau) break;
+      if (blocks != nullptr && (*blocks)[t.to] != (*blocks)[t.from]) continue;
+      tau_succ[s].push_back(t.to);
+    }
+  }
+
+  TauSccResult r;
+  r.scc_of.assign(n, static_cast<std::uint32_t>(-1));
+
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> scc_stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    StateId s;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> call;
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call.push_back(Frame{root});
+    index[root] = low[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const StateId s = f.s;
+      if (f.edge < tau_succ[s].size()) {
+        const StateId t = tau_succ[s][f.edge++];
+        if (index[t] == kUnvisited) {
+          index[t] = low[t] = next_index++;
+          scc_stack.push_back(t);
+          on_stack[t] = true;
+          call.push_back(Frame{t});
+        } else if (on_stack[t]) {
+          low[s] = std::min(low[s], index[t]);
+        }
+        continue;
+      }
+      // All edges of s explored: maybe close an SCC, then return.
+      if (low[s] == index[s]) {
+        const auto scc = r.num_sccs++;
+        r.members.emplace_back();
+        for (;;) {
+          const StateId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          r.scc_of[w] = scc;
+          r.members.back().push_back(w);
+          if (w == s) break;
+        }
+      }
+      call.pop_back();
+      if (!call.empty()) low[call.back().s] = std::min(low[call.back().s], low[s]);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+/// Initial partition: trivial, or the label classes when labels are given.
+Partition seed_partition(std::size_t n, const std::vector<std::uint32_t>* labels) {
+  if (labels == nullptr) return Partition::trivial(n);
+  if (labels->size() != n) throw ModelError("bisimulation: label vector size mismatch");
+  Partition p;
+  p.block_of = *labels;
+  p.num_blocks = 0;
+  for (std::uint32_t b : p.block_of) p.num_blocks = std::max(p.num_blocks, b + 1);
+  p.canonicalize();
+  return p;
+}
+
+}  // namespace
+
+Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels) {
+  const std::size_t n = m.num_states();
+  Partition p = seed_partition(n, labels);
+  if (n == 0) return p;
+
+  for (;;) {
+    std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, VecU64Hash> sig_ids;
+    std::vector<std::uint32_t> next(n);
+    std::vector<std::uint64_t> sig;
+    for (StateId s = 0; s < n; ++s) {
+      sig.clear();
+      sig.push_back(p.block_of[s]);  // embedding the old block keeps refinement monotone
+      const std::size_t from = sig.size();
+      for (const LtsTransition& t : m.out_interactive(s)) {
+        sig.push_back(kInteractiveTag | t.action);
+        sig.push_back(p.block_of[t.to]);
+      }
+      // Rates of tau-unstable states are preempted by maximal progress and
+      // do not enter the signature.
+      if (m.stable(s)) append_rate_signature(m, s, p.block_of, sig);
+      sort_dedupe(sig, from);
+      auto [it, inserted] = sig_ids.emplace(sig, static_cast<std::uint32_t>(sig_ids.size()));
+      next[s] = it->second;
+    }
+    const auto num_blocks = static_cast<std::uint32_t>(sig_ids.size());
+    const bool fixpoint = num_blocks == p.num_blocks;
+    p.block_of = std::move(next);
+    p.num_blocks = num_blocks;
+    if (fixpoint) break;
+  }
+  p.canonicalize();
+  return p;
+}
+
+Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels) {
+  const std::size_t n = m.num_states();
+  if (n == 0) return Partition::trivial(0);
+
+  std::vector<std::vector<std::uint64_t>> state_sigs(n);
+
+  Partition p = seed_partition(n, labels);
+  for (;;) {
+    // The inert subgraph (tau edges within one block) changes as the
+    // partition refines; its SCC condensation is recomputed every round.
+    // Tarjan emits SCCs successors-first, which is the order the closure
+    // needs: every inert tau successor in another SCC is finished first.
+    const TauSccResult sccs = tau_sccs(m, &p.block_of);
+
+    // Per-state signatures with inert closure, SCC by SCC.  An inert tau
+    // step to a different inert SCC absorbs the successor's finished
+    // signature; members of a cyclic inert SCC reach each other inertly
+    // and are unified immediately so that later SCCs absorb the complete
+    // closure.
+    std::vector<std::uint64_t> sig;
+    for (const auto& members : sccs.members) {
+      for (StateId s : members) {
+        sig.clear();
+        for (const LtsTransition& t : m.out_interactive(s)) {
+          const bool inert = t.action == kTau && p.block_of[t.to] == p.block_of[s];
+          if (inert) {
+            if (sccs.scc_of[t.to] != sccs.scc_of[s]) {
+              const auto& inner = state_sigs[t.to];
+              sig.insert(sig.end(), inner.begin(), inner.end());
+            }
+          } else {
+            sig.push_back(kInteractiveTag | t.action);
+            sig.push_back(p.block_of[t.to]);
+          }
+        }
+        if (m.stable(s)) append_rate_signature(m, s, p.block_of, sig);
+        sort_dedupe(sig, 0);
+        state_sigs[s] = sig;
+      }
+      if (members.size() > 1) {
+        std::vector<std::uint64_t> merged;
+        for (StateId s : members) {
+          merged.insert(merged.end(), state_sigs[s].begin(), state_sigs[s].end());
+        }
+        sort_dedupe(merged, 0);
+        for (StateId s : members) state_sigs[s] = merged;
+      }
+    }
+
+    // Pass 3: split by (old block, signature).
+    std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, VecU64Hash> sig_ids;
+    std::vector<std::uint32_t> next(n);
+    for (StateId s = 0; s < n; ++s) {
+      sig.assign(1, p.block_of[s]);
+      sig.insert(sig.end(), state_sigs[s].begin(), state_sigs[s].end());
+      auto [it, inserted] = sig_ids.emplace(sig, static_cast<std::uint32_t>(sig_ids.size()));
+      next[s] = it->second;
+    }
+    const auto num_blocks = static_cast<std::uint32_t>(sig_ids.size());
+    const bool fixpoint = num_blocks == p.num_blocks;
+    p.block_of = std::move(next);
+    p.num_blocks = num_blocks;
+    if (fixpoint) break;
+  }
+  p.canonicalize();
+  return p;
+}
+
+Imc quotient(const Imc& m, const Partition& partition, QuotientStyle style) {
+  if (partition.num_states() != m.num_states()) {
+    throw ModelError("quotient: partition size mismatch");
+  }
+  const std::uint32_t k = partition.num_blocks;
+  ImcBuilder b(m.action_table());
+  std::vector<std::string> names(k);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (names[partition.block_of[s]].empty() && !m.state_name(s).empty()) {
+      names[partition.block_of[s]] = m.state_name(s);
+    }
+  }
+  for (std::uint32_t blk = 0; blk < k; ++blk) b.add_state(std::move(names[blk]));
+  b.set_initial(partition.block_of[m.initial()]);
+
+  // Interactive transitions: union over members, dropping inert tau steps
+  // for branching quotients (they are stuttering); strong quotients keep
+  // them as tau self-loops so instability is preserved.
+  for (const LtsTransition& t : m.interactive_transitions()) {
+    const std::uint32_t from = partition.block_of[t.from];
+    const std::uint32_t to = partition.block_of[t.to];
+    if (t.action == kTau && from == to && style == QuotientStyle::Branching) continue;
+    b.add_interactive(from, t.action, to);
+  }
+
+  // Markov transitions: lumped vector of the first stable member of each
+  // block; blocks without stable members carry none (maximal progress).
+  std::vector<bool> done(k, false);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    const std::uint32_t blk = partition.block_of[s];
+    if (done[blk] || !m.stable(s)) continue;
+    done[blk] = true;
+    std::unordered_map<std::uint32_t, double> lumped;
+    for (const MarkovTransition& t : m.out_markov(s)) lumped[partition.block_of[t.to]] += t.rate;
+    for (const auto& [to, rate] : lumped) b.add_markov(blk, rate, to);
+  }
+
+  return b.build();
+}
+
+Imc minimize_branching(const Imc& m) {
+  return quotient(m, branching_bisimulation(m), QuotientStyle::Branching);
+}
+
+Imc minimize_strong(const Imc& m) {
+  return quotient(m, strong_bisimulation(m), QuotientStyle::Strong);
+}
+
+}  // namespace unicon

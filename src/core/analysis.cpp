@@ -1,0 +1,28 @@
+#include "core/analysis.hpp"
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+UimcAnalysisResult analyze_timed_reachability(const Imc& m, const std::vector<bool>& goal,
+                                              double t, const UimcAnalysisOptions& options) {
+  if (options.check_uniformity && !m.is_uniform(UniformityView::Closed, 1e-6)) {
+    throw UniformityError(
+        "analyze_timed_reachability: model is not uniform (closed view); "
+        "build it uniformly by construction or uniformize it first");
+  }
+
+  UimcAnalysisResult result;
+  result.transformed = transform_to_ctmdp(m, &goal);
+  result.transform = result.transformed.stats;
+
+  const std::vector<bool>& ctmdp_goal =
+      options.reachability.objective == Objective::Maximize ? result.transformed.goal
+                                                            : result.transformed.goal_universal;
+  result.reachability =
+      timed_reachability(result.transformed.ctmdp, ctmdp_goal, t, options.reachability);
+  result.value = result.reachability.values[result.transformed.ctmdp.initial()];
+  return result;
+}
+
+}  // namespace unicon

@@ -1,0 +1,53 @@
+#include "core/time_constraint.hpp"
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+CompositionExpr time_constrained_expr(const Lts& lts,
+                                      const std::vector<TimeConstraint>& constraints) {
+  if (constraints.empty()) {
+    return CompositionExpr::leaf(imc_from_lts(lts));
+  }
+  const auto& actions = lts.action_table();
+
+  // Fold the constraint IMCs together.  Two constraints that share an
+  // action (e.g. one's fire is the other's trigger) must synchronize on it,
+  // so each fold syncs on the overlap of the accumulated alphabet with the
+  // next constraint's {fire, trigger}.
+  std::unordered_set<Action> sync;  // accumulated timer alphabet
+  CompositionExpr timers = [&] {
+    ElapseOptions opts;
+    opts.uniform_rate = constraints[0].uniform_rate;
+    opts.initially_running = constraints[0].initially_running;
+    sync.insert(actions->intern(constraints[0].fire));
+    sync.insert(actions->intern(constraints[0].trigger));
+    return CompositionExpr::leaf(
+        elapse(constraints[0].distribution, constraints[0].fire, constraints[0].trigger, actions, opts));
+  }();
+  for (std::size_t i = 1; i < constraints.size(); ++i) {
+    ElapseOptions opts;
+    opts.uniform_rate = constraints[i].uniform_rate;
+    opts.initially_running = constraints[i].initially_running;
+    const Action fire = actions->intern(constraints[i].fire);
+    const Action trigger = actions->intern(constraints[i].trigger);
+    std::unordered_set<Action> overlap;
+    if (sync.count(fire) != 0) overlap.insert(fire);
+    if (sync.count(trigger) != 0) overlap.insert(trigger);
+    sync.insert(fire);
+    sync.insert(trigger);
+    timers = CompositionExpr::parallel(
+        std::move(timers), std::move(overlap),
+        CompositionExpr::leaf(elapse(constraints[i].distribution, constraints[i].fire,
+                                     constraints[i].trigger, actions, opts)));
+  }
+  return CompositionExpr::parallel(CompositionExpr::leaf(imc_from_lts(lts)), std::move(sync),
+                                   std::move(timers));
+}
+
+Imc apply_time_constraints(const Lts& lts, const std::vector<TimeConstraint>& constraints,
+                           const ExploreOptions& options) {
+  return time_constrained_expr(lts, constraints).explore(options);
+}
+
+}  // namespace unicon

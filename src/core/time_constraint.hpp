@@ -1,0 +1,50 @@
+// Time constraints: incorporating stochastic delays into LTSs by
+// composition (Sec. 3 and Fig. 3 of the paper).
+//
+// A TimeConstraint says: between an occurrence of `trigger` and the next
+// occurrence of `fire` there must be a Ph-distributed delay.  It is realized
+// as the uniform IMC El(Ph, fire, trigger); apply_time_constraints fully
+// interleaves all constraints of a component and synchronizes the result
+// with the component's LTS on every fire/trigger action — exactly the
+// construction of the workstation model in Fig. 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctmc/phase_type.hpp"
+#include "imc/compose.hpp"
+#include "imc/elapse.hpp"
+#include "imc/imc.hpp"
+#include "lts/lts.hpp"
+
+namespace unicon {
+
+struct TimeConstraint {
+  PhaseType distribution;
+  std::string fire;     // delayed action
+  std::string trigger;  // action (re)starting the delay
+  bool initially_running = false;
+  double uniform_rate = 0.0;  // 0 = maximal phase exit rate
+
+  TimeConstraint(PhaseType ph, std::string fire_action, std::string trigger_action,
+                 bool running = false, double rate = 0.0)
+      : distribution(std::move(ph)),
+        fire(std::move(fire_action)),
+        trigger(std::move(trigger_action)),
+        initially_running(running),
+        uniform_rate(rate) {}
+};
+
+/// Builds lts |[sync]| (El_1 ||| El_2 ||| ... ||| El_k) where sync is the
+/// set of all fire/trigger actions of the constraints.  The result is
+/// uniform by construction (Lemmas 1 and 2) with rate sum_i E_i.
+Imc apply_time_constraints(const Lts& lts, const std::vector<TimeConstraint>& constraints,
+                           const ExploreOptions& options = {});
+
+/// Same, but returns the unexplored composition expression so it can be
+/// embedded into a larger composition.
+CompositionExpr time_constrained_expr(const Lts& lts,
+                                      const std::vector<TimeConstraint>& constraints);
+
+}  // namespace unicon

@@ -1,0 +1,294 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+namespace unicon {
+
+namespace {
+
+std::uint64_t pair_key(StateId a, StateId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct MarkovAlternating {
+  Imc imc;
+  /// For fresh pair states (ids >= num_original): the Markov state s' the
+  /// pair (s, s') leads into.
+  std::vector<StateId> pair_target;
+  std::size_t num_original = 0;
+};
+
+MarkovAlternating markov_alternating_impl(const Imc& m) {
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (m.kind(s) == StateKind::Hybrid) {
+      throw ModelError("make_markov_alternating: input has hybrid states; run step (1) first");
+    }
+  }
+
+  MarkovAlternating result;
+  result.num_original = m.num_states();
+
+  ImcBuilder b(m.action_table());
+  for (StateId s = 0; s < m.num_states(); ++s) b.add_state(m.state_name(s));
+  b.set_initial(m.initial());
+  for (const LtsTransition& t : m.interactive_transitions()) {
+    b.add_interactive(t.from, t.action, t.to);
+  }
+
+  std::unordered_map<std::uint64_t, StateId> pair_states;
+  for (const MarkovTransition& t : m.markov_transitions()) {
+    const bool target_is_markov = m.kind(t.to) == StateKind::Markov;
+    if (!target_is_markov) {
+      b.add_markov(t.from, t.rate, t.to);
+      continue;
+    }
+    // Break the Markov->Markov sequence with a fresh interactive state.
+    const std::uint64_t key = pair_key(t.from, t.to);
+    auto it = pair_states.find(key);
+    StateId fresh;
+    if (it == pair_states.end()) {
+      fresh = b.add_state();
+      pair_states.emplace(key, fresh);
+      result.pair_target.push_back(t.to);
+      b.add_interactive(fresh, kTau, t.to);
+    } else {
+      fresh = it->second;
+    }
+    b.add_markov(t.from, t.rate, fresh);
+  }
+
+  result.imc = b.build();
+  return result;
+}
+
+}  // namespace
+
+Imc make_alternating(const Imc& m) {
+  ImcBuilder b(m.action_table());
+  for (StateId s = 0; s < m.num_states(); ++s) b.add_state(m.state_name(s));
+  b.set_initial(m.initial());
+  for (const LtsTransition& t : m.interactive_transitions()) {
+    b.add_interactive(t.from, t.action, t.to);
+  }
+  for (const MarkovTransition& t : m.markov_transitions()) {
+    // Urgency: any interactive transition preempts the delays of a hybrid
+    // state, so its Markov transitions are cut.
+    if (!m.has_interactive(t.from)) b.add_markov(t.from, t.rate, t.to);
+  }
+  return b.build();
+}
+
+Imc make_markov_alternating(const Imc& m) { return markov_alternating_impl(m).imc; }
+
+TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal) {
+  if (goal != nullptr && goal->size() != m.num_states()) {
+    throw ModelError("transform_to_ctmdp: goal vector size mismatch");
+  }
+  Stopwatch timer;
+
+  const Imc alternating = make_alternating(m);
+  const MarkovAlternating ma = markov_alternating_impl(alternating);
+  const Imc& m2 = ma.imc;
+  const std::size_t n2 = m2.num_states();
+
+  auto original_goal = [&](StateId s) -> bool {
+    if (goal == nullptr) return false;
+    if (s < ma.num_original) return (*goal)[s];
+    return false;  // fresh pair states carry no atomic propositions
+  };
+
+  // --- Zero-time closure bookkeeping over interactive states of m2 -------
+  // For every interactive state v (memoized):
+  //   exists_hit(v): some zero-time resolution from v hits the goal set.
+  //   all_hit(v):    every zero-time resolution from v hits it.
+  // A back edge during this DFS is a cycle of interactive transitions,
+  // i.e. Zeno behaviour; an interactive successor without any transitions
+  // is a zero-time deadlock.  Both are rejected (Sec. 4.1).
+  enum class Color : std::uint8_t { White, Grey, Black };
+  std::vector<Color> color(n2, Color::White);
+  std::vector<bool> exists_hit(n2, false), all_hit(n2, false);
+
+  auto successor_hits = [&](StateId w, bool& ex, bool& all) {
+    // Contribution of successor w (any kind) to its predecessor's flags.
+    if (m2.has_interactive(w)) {
+      ex = exists_hit[w];
+      all = all_hit[w];
+    } else if (m2.has_markov(w)) {
+      ex = all = original_goal(w);
+    } else {
+      throw ModelError("transform_to_ctmdp: zero-time deadlock (absorbing interactive path)");
+    }
+  };
+
+  struct Frame {
+    StateId v;
+    std::size_t edge = 0;
+  };
+  auto closure_dfs = [&](StateId root) {
+    if (color[root] != Color::White) return;
+    std::vector<Frame> stack{Frame{root}};
+    color[root] = Color::Grey;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto ts = m2.out_interactive(f.v);
+      if (f.edge < ts.size()) {
+        const StateId w = ts[f.edge++].to;
+        if (!m2.has_interactive(w)) continue;  // Markov/absorbing handled at fold time
+        if (color[w] == Color::Grey) {
+          throw ZenoError("transform_to_ctmdp: cycle of interactive transitions (Zeno behaviour)");
+        }
+        if (color[w] == Color::White) {
+          color[w] = Color::Grey;
+          stack.push_back(Frame{w});
+        }
+        continue;
+      }
+      // Fold successors.
+      bool ex = original_goal(f.v);
+      bool all = ts.empty() ? original_goal(f.v) : true;
+      for (const LtsTransition& t : ts) {
+        bool sex = false, sall = false;
+        successor_hits(t.to, sex, sall);
+        ex = ex || sex;
+        all = all && sall;
+      }
+      all = all || original_goal(f.v);
+      exists_hit[f.v] = ex;
+      all_hit[f.v] = all;
+      color[f.v] = Color::Black;
+      stack.pop_back();
+    }
+  };
+
+  // --- Step (3): word closure and CTMDP interpretation -------------------
+  CtmdpBuilder builder(m2.action_table(), nullptr);
+  const WordId tau_word = builder.word_table()->intern_single(kTau);
+
+  TransformResult result;
+  TransformStats& stats = result.stats;
+
+  std::unordered_map<StateId, StateId> ctmdp_id;  // m2 interactive state -> ctmdp state
+  std::deque<StateId> worklist;
+  auto intern_entry = [&](StateId v) -> StateId {
+    auto it = ctmdp_id.find(v);
+    if (it != ctmdp_id.end()) return it->second;
+    const StateId id = builder.add_state();
+    ctmdp_id.emplace(v, id);
+    worklist.push_back(v);
+    // Sojourn-wise origin: fresh pair states live in the Markov state they
+    // lead into.
+    result.origin_of.push_back(v < ma.num_original ? v : ma.pair_target[v - ma.num_original]);
+    closure_dfs(v);  // also detects Zeno cycles and zero-time deadlocks
+    if (goal != nullptr) {
+      result.goal.push_back(exists_hit[v]);
+      result.goal_universal.push_back(all_hit[v]);
+    }
+    return id;
+  };
+
+  // Entry point: the initial state, prefixed by a fresh tau word when it is
+  // not interactive.
+  const StateId init2 = m2.initial();
+  StateId ctmdp_initial;
+  bool initial_is_markov = false;
+  if (m2.has_interactive(init2)) {
+    ctmdp_initial = intern_entry(init2);
+  } else if (m2.has_markov(init2)) {
+    // Fresh interactive pre-initial state with a single tau-word transition
+    // whose rate function is the initial Markov state's.
+    initial_is_markov = true;
+    ctmdp_initial = builder.add_state();
+    result.origin_of.push_back(init2);
+    if (goal != nullptr) {
+      result.goal.push_back(original_goal(init2));
+      result.goal_universal.push_back(original_goal(init2));
+    }
+  } else {
+    throw ModelError("transform_to_ctmdp: initial state is absorbing");
+  }
+  builder.set_initial(ctmdp_initial);
+
+  std::unordered_set<StateId> markov_seen;  // distinct Markov states used
+  auto emit_rates = [&](StateId markov_state) {
+    for (const MarkovTransition& t : m2.out_markov(markov_state)) {
+      builder.add_rate(intern_entry(t.to), t.rate);
+    }
+    if (markov_seen.insert(markov_state).second) {
+      ++stats.markov_states;
+      stats.markov_transitions += m2.out_markov(markov_state).size();
+    }
+  };
+
+  if (initial_is_markov) {
+    builder.begin_transition(ctmdp_initial, tau_word);
+    emit_rates(init2);
+    ++stats.interactive_transitions;
+  }
+
+  // Per-entry BFS over the zero-time interactive closure.
+  struct QueueItem {
+    StateId state;
+    std::vector<Action> word;  // visible actions so far
+  };
+  std::unordered_set<StateId> visited;
+  std::unordered_set<StateId> targets_done;  // Markov states already linked from this entry
+  std::deque<QueueItem> queue;
+
+  while (!worklist.empty()) {
+    const StateId entry = worklist.front();
+    worklist.pop_front();
+    const StateId from = ctmdp_id.at(entry);
+
+    visited.clear();
+    targets_done.clear();
+    queue.clear();
+    visited.insert(entry);
+    queue.push_back(QueueItem{entry, {}});
+
+    while (!queue.empty()) {
+      QueueItem item = std::move(queue.front());
+      queue.pop_front();
+      for (const LtsTransition& t : m2.out_interactive(item.state)) {
+        std::vector<Action> word = item.word;
+        if (t.action != kTau) word.push_back(t.action);
+        if (m2.has_interactive(t.to)) {
+          if (visited.insert(t.to).second) {
+            queue.push_back(QueueItem{t.to, std::move(word)});
+          }
+          continue;
+        }
+        if (!m2.has_markov(t.to)) {
+          throw ModelError("transform_to_ctmdp: zero-time deadlock (absorbing interactive path)");
+        }
+        // Maximal interactive sequence ends: emit one CTMDP transition per
+        // (entry, Markov target) pair.
+        if (!targets_done.insert(t.to).second) {
+          ++stats.words_deduplicated;
+          continue;
+        }
+        const WordId label = word.empty() ? tau_word : builder.intern_word(word);
+        builder.begin_transition(from, label);
+        emit_rates(t.to);
+        ++stats.interactive_transitions;
+      }
+    }
+  }
+
+  result.ctmdp = builder.build();
+  stats.interactive_states = result.ctmdp.num_states();
+  // Strictly alternating storage estimate: interactive word edges
+  // (source, word, target) and Markov rate edges (source, rate, target).
+  stats.memory_bytes = stats.interactive_transitions * (3 * sizeof(std::uint32_t)) +
+                       stats.markov_transitions * (2 * sizeof(std::uint32_t) + sizeof(double)) +
+                       (stats.interactive_states + stats.markov_states) * sizeof(std::uint64_t);
+  stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace unicon

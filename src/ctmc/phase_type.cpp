@@ -1,0 +1,143 @@
+#include "ctmc/phase_type.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/transient.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+
+PhaseType PhaseType::exponential(double rate) {
+  if (!(rate > 0.0)) throw ModelError("PhaseType::exponential: rate must be positive");
+  PhaseType ph;
+  ph.phase_rates_ = CsrBuilder(1).finish();
+  ph.absorption_ = {rate};
+  return ph;
+}
+
+PhaseType PhaseType::erlang(std::size_t k, double rate) {
+  if (k == 0) throw ModelError("PhaseType::erlang: k must be positive");
+  return hypoexponential(std::vector<double>(k, rate));
+}
+
+PhaseType PhaseType::hypoexponential(const std::vector<double>& rates) {
+  if (rates.empty()) throw ModelError("PhaseType::hypoexponential: empty rate list");
+  PhaseType ph;
+  CsrBuilder b(rates.size());
+  ph.absorption_.assign(rates.size(), 0.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (!(rates[i] > 0.0)) throw ModelError("PhaseType: rates must be positive");
+    if (i + 1 < rates.size()) {
+      b.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1), rates[i]);
+    } else {
+      ph.absorption_[i] = rates[i];
+    }
+  }
+  ph.phase_rates_ = b.finish();
+  return ph;
+}
+
+PhaseType PhaseType::deterministic_approx(double mean, std::size_t phases) {
+  if (!(mean > 0.0)) throw ModelError("PhaseType::deterministic_approx: mean must be positive");
+  if (phases == 0) throw ModelError("PhaseType::deterministic_approx: phases must be positive");
+  return erlang(phases, static_cast<double>(phases) / mean);
+}
+
+PhaseType PhaseType::coxian(const std::vector<double>& rates,
+                            const std::vector<double>& exit_probs) {
+  if (rates.empty() || rates.size() != exit_probs.size()) {
+    throw ModelError("PhaseType::coxian: rates and exit_probs must match and be non-empty");
+  }
+  if (std::fabs(exit_probs.back() - 1.0) > 1e-12) {
+    throw ModelError("PhaseType::coxian: last exit probability must be 1");
+  }
+  PhaseType ph;
+  CsrBuilder b(rates.size());
+  ph.absorption_.assign(rates.size(), 0.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (!(rates[i] > 0.0)) throw ModelError("PhaseType: rates must be positive");
+    const double p = exit_probs[i];
+    if (p < 0.0 || p > 1.0) throw ModelError("PhaseType::coxian: exit probability out of [0,1]");
+    ph.absorption_[i] = rates[i] * p;
+    if (i + 1 < rates.size() && p < 1.0) {
+      b.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1), rates[i] * (1.0 - p));
+    }
+  }
+  ph.phase_rates_ = b.finish();
+  return ph;
+}
+
+double PhaseType::exit_rate(std::size_t i) const {
+  return phase_rates_.row_sum(i) + absorption_[i];
+}
+
+double PhaseType::max_exit_rate() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < num_phases(); ++i) m = std::max(m, exit_rate(i));
+  return m;
+}
+
+double PhaseType::mean() const {
+  // Solve (I - P) m = 1/E elementwise on the embedded jump chain:
+  // m_i = 1/E_i + sum_j P(i,j) m_j.  The phase graph of all factory-built
+  // distributions is acyclic (upper triangular), so a reverse sweep solves
+  // the system exactly; for safety we fall back to fixed-point iteration
+  // when a cycle is present.
+  const std::size_t n = num_phases();
+  std::vector<double> m(n, 0.0);
+  bool acyclic = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const SparseEntry& e : phase_rates_.row(i)) {
+      if (e.col <= i) acyclic = false;
+    }
+  }
+  if (acyclic) {
+    for (std::size_t i = n; i-- > 0;) {
+      const double exit = exit_rate(i);
+      double acc = 1.0 / exit;
+      for (const SparseEntry& e : phase_rates_.row(i)) acc += (e.value / exit) * m[e.col];
+      m[i] = acc;
+    }
+    return m[0];
+  }
+  for (int iter = 0; iter < 100000; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+      const double exit = exit_rate(i);
+      double acc = 1.0 / exit;
+      for (const SparseEntry& e : phase_rates_.row(i)) acc += (e.value / exit) * m[e.col];
+      delta = std::max(delta, std::fabs(acc - m[i]));
+      m[i] = acc;
+    }
+    if (delta < 1e-14) break;
+  }
+  return m[0];
+}
+
+Ctmc PhaseType::to_ctmc() const {
+  const std::size_t n = num_phases();
+  CtmcBuilder b(n + 1);
+  b.ensure_states(n + 1);
+  b.set_initial(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const SparseEntry& e : phase_rates_.row(i)) {
+      b.add_transition(static_cast<StateId>(i), e.value, e.col);
+    }
+    if (absorption_[i] > 0.0) {
+      b.add_transition(static_cast<StateId>(i), absorption_[i], static_cast<StateId>(n));
+    }
+  }
+  return b.build();
+}
+
+double PhaseType::cdf(double t, double epsilon) const {
+  if (t < 0.0) return 0.0;
+  const Ctmc chain = to_ctmc();
+  std::vector<bool> goal(chain.num_states(), false);
+  goal.back() = true;
+  const auto result = timed_reachability(chain, goal, t, TransientOptions{epsilon});
+  return result.probabilities[0];
+}
+
+}  // namespace unicon

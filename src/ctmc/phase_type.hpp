@@ -1,0 +1,77 @@
+// Phase-type distributions.
+//
+// A phase-type distribution is the distribution of the time until absorption
+// in a finite absorbing CTMC [23].  The paper uses them as the timing
+// specification fed to the elapse operator: any distribution on [0, inf) can
+// be approximated arbitrarily closely given enough phases.
+//
+// We store the transient part explicitly: `phases` transient states with a
+// sparse rate matrix among themselves plus per-phase absorption rates.  The
+// elapse operator requires a distinguished initial *state* (phase 0); the
+// common point-initial families (exponential, Erlang, Coxian, and
+// generalized Erlang chains) are provided as factories.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "support/sparse.hpp"
+
+namespace unicon {
+
+class PhaseType {
+ public:
+  /// Exponential distribution with the given rate (one phase).
+  static PhaseType exponential(double rate);
+
+  /// Erlang distribution: @p k sequential phases each with rate @p rate.
+  static PhaseType erlang(std::size_t k, double rate);
+
+  /// Coxian distribution: phase i has service rate rates[i]; after phase i
+  /// the process absorbs with probability exit_probs[i] and otherwise moves
+  /// to phase i+1 (exit_probs.back() must be 1).
+  static PhaseType coxian(const std::vector<double>& rates,
+                          const std::vector<double>& exit_probs);
+
+  /// Hypoexponential (generalized Erlang): sequential phases with the given
+  /// per-phase rates.
+  static PhaseType hypoexponential(const std::vector<double>& rates);
+
+  /// Erlang approximation of a deterministic delay of the given mean: an
+  /// Erlang(k, k / mean) has mean `mean` and coefficient of variation
+  /// 1/sqrt(k) — increase @p phases for a sharper delay.
+  static PhaseType deterministic_approx(double mean, std::size_t phases = 16);
+
+  std::size_t num_phases() const { return absorption_.size(); }
+
+  /// Rates among transient phases (no absorption entries).
+  const CsrMatrix& phase_rates() const { return phase_rates_; }
+
+  /// Rate from phase @p i into the absorbing state.
+  double absorption_rate(std::size_t i) const { return absorption_[i]; }
+
+  /// Exit rate of phase @p i (internal + absorption).
+  double exit_rate(std::size_t i) const;
+
+  /// Largest exit rate over all phases — the minimal admissible
+  /// uniformization rate.
+  double max_exit_rate() const;
+
+  /// Mean of the distribution (expected time to absorption from phase 0).
+  double mean() const;
+
+  /// P[T <= t], evaluated by uniformization with truncation error epsilon.
+  double cdf(double t, double epsilon = 1e-10) const;
+
+  /// The underlying absorbing CTMC: phases 0..n-1 plus absorbing state n,
+  /// initial state 0.
+  Ctmc to_ctmc() const;
+
+ private:
+  PhaseType() = default;
+  CsrMatrix phase_rates_;
+  std::vector<double> absorption_;
+};
+
+}  // namespace unicon

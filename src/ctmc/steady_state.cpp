@@ -1,0 +1,48 @@
+#include "ctmc/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hpp"
+#include "support/numerics.hpp"
+
+namespace unicon {
+
+SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& options) {
+  const std::size_t n = chain.num_states();
+  const double max_rate = chain.max_exit_rate();
+  double e = options.uniform_rate != 0.0 ? options.uniform_rate : 1.05 * max_rate;
+  if (e == 0.0) e = 1.0;  // no transitions at all: the initial state is it
+  if (e + 1e-12 < max_rate) {
+    throw UniformityError("steady_state: uniformization rate below maximal exit rate");
+  }
+
+  std::vector<double> cur(n, 0.0), next(n, 0.0);
+  cur[chain.initial()] = 1.0;
+
+  SteadyStateResult result;
+  for (std::uint64_t i = 0; i < options.max_iterations; ++i) {
+    // next = cur P with implicit diagonal 1 - exit/E.
+    for (StateId s = 0; s < n; ++s) next[s] = cur[s] * (1.0 - chain.exit_rate(s) / e);
+    for (StateId s = 0; s < n; ++s) {
+      const double mass = cur[s];
+      if (mass == 0.0) continue;
+      for (const SparseEntry& t : chain.out(s)) next[t.col] += mass * (t.value / e);
+    }
+    const double total = l1_norm(next);
+    if (total > 0.0) {
+      for (double& v : next) v /= total;
+    }
+    const double delta = max_abs_diff(cur, next);
+    cur.swap(next);
+    ++result.iterations;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.distribution = std::move(cur);
+  return result;
+}
+
+}  // namespace unicon

@@ -1,0 +1,36 @@
+// Long-run (steady-state) analysis of CTMCs.
+//
+// The stationary distribution pi solves pi Q = 0, pi 1 = 1; on the
+// uniformized jump chain P this is the fixed point pi = pi P, computed here
+// by power iteration with periodic renormalization.  Requires an
+// irreducible chain reachable from the initial state (more precisely: the
+// iteration converges to the stationary distribution of the recurrent class
+// reached from the initial state; chains with several closed classes give
+// the class-weighted limit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace unicon {
+
+struct SteadyStateOptions {
+  double tolerance = 1e-12;
+  std::uint64_t max_iterations = 1u << 22;
+  /// Uniformization rate override (0 = 1.05 x maximal exit rate; the small
+  /// margin keeps the jump chain aperiodic).
+  double uniform_rate = 0.0;
+};
+
+struct SteadyStateResult {
+  std::vector<double> distribution;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Long-run state distribution starting from the initial state.
+SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& options = {});
+
+}  // namespace unicon

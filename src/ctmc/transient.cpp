@@ -1,0 +1,190 @@
+#include "ctmc/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hpp"
+#include "support/fox_glynn.hpp"
+#include "support/numerics.hpp"
+
+namespace unicon {
+
+namespace {
+
+/// Uniformized jump matrix: P = R / E with the residual mass on the
+/// diagonal.  Diagonal entries are kept implicitly as (1 - rowsum/E).
+struct JumpMatrix {
+  const CsrMatrix* rates;
+  double e;
+  std::vector<double> self_residual;  // per state: 1 - exit/E (excl. explicit self-loops)
+
+  explicit JumpMatrix(const Ctmc& chain, double rate) : rates(&chain.rate_matrix()), e(rate) {
+    const std::size_t n = chain.num_states();
+    self_residual.resize(n);
+    for (StateId s = 0; s < n; ++s) {
+      self_residual[s] = 1.0 - chain.exit_rate(s) / e;
+      if (self_residual[s] < 0.0) self_residual[s] = 0.0;
+    }
+  }
+
+  // y = x P (forward / distribution step)
+  void step_forward(const std::vector<double>& x, std::vector<double>& y) const {
+    const std::size_t n = self_residual.size();
+    for (std::size_t s = 0; s < n; ++s) y[s] = x[s] * self_residual[s];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double xs = x[s];
+      if (xs == 0.0) continue;
+      for (const SparseEntry& t : rates->row(s)) y[t.col] += xs * (t.value / e);
+    }
+  }
+
+  // y = P x (backward / value step)
+  void step_backward(const std::vector<double>& x, std::vector<double>& y) const {
+    const std::size_t n = self_residual.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      double acc = self_residual[s] * x[s];
+      for (const SparseEntry& t : rates->row(s)) acc += (t.value / e) * x[t.col];
+      y[s] = acc;
+    }
+  }
+};
+
+double pick_rate(const Ctmc& chain, const TransientOptions& options) {
+  const double max_rate = chain.max_exit_rate();
+  double e = options.uniform_rate == 0.0 ? max_rate : options.uniform_rate;
+  if (e + 1e-12 < max_rate) {
+    throw UniformityError("transient: uniformization rate below maximal exit rate");
+  }
+  if (e == 0.0) e = 1.0;  // chain without transitions; any rate works
+  return e;
+}
+
+}  // namespace
+
+TransientResult transient_distribution(const Ctmc& chain, double t,
+                                       const TransientOptions& options) {
+  if (t < 0.0) throw ModelError("transient: negative time bound");
+  const std::size_t n = chain.num_states();
+  const double e = pick_rate(chain, options);
+  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  const JumpMatrix p(chain, e);
+
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> acc(n, 0.0);
+  cur[chain.initial()] = 1.0;
+
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    const double w = psi.psi(i);
+    if (w > 0.0) {
+      for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
+    }
+    if (i >= psi.right()) break;
+    p.step_forward(cur, next);
+    ++executed;
+    if (options.early_termination &&
+        max_abs_diff(cur, next) <= options.early_termination_delta) {
+      // The distribution has converged; the remaining window mass sits on
+      // the fixed point.
+      const double tail = psi.tail_mass(i + 1);
+      for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+      cur.swap(next);
+      break;
+    }
+    cur.swap(next);
+  }
+
+  // Normalize by the realized window mass so that the result is a
+  // (sub-stochastic up to epsilon) distribution.
+  const double mass = psi.total_mass();
+  if (mass > 0.0) {
+    for (double& v : acc) v = clamp01(v / mass);
+  }
+  return TransientResult{std::move(acc), psi.right(), executed, e};
+}
+
+TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+                                   double t, const TransientOptions& options) {
+  if (t < 0.0) throw ModelError("timed_reachability: negative time bound");
+  if (goal.size() != chain.num_states()) {
+    throw ModelError("timed_reachability: goal vector size mismatch");
+  }
+  const Ctmc absorbing = chain.make_absorbing(goal);
+  const std::size_t n = absorbing.num_states();
+  const double e = pick_rate(absorbing, options);
+  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  const JumpMatrix p(absorbing, e);
+
+  // v_i(s) = probability to sit in B after i jumps of the absorbing chain.
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) cur[s] = goal[s] ? 1.0 : 0.0;
+
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    const double w = psi.psi(i);
+    if (w > 0.0) {
+      for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
+    }
+    if (i >= psi.right()) break;
+    p.step_backward(cur, next);
+    ++executed;
+    if (options.early_termination &&
+        max_abs_diff(cur, next) <= options.early_termination_delta) {
+      const double tail = psi.tail_mass(i + 1);
+      for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+      cur.swap(next);
+      break;
+    }
+    cur.swap(next);
+  }
+
+  for (std::size_t s = 0; s < n; ++s) acc[s] = goal[s] ? 1.0 : clamp01(acc[s]);
+  return TransientResult{std::move(acc), psi.right(), executed, e};
+}
+
+TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+                                      double t1, double t2, const TransientOptions& options) {
+  if (t1 < 0.0 || t2 < t1) throw ModelError("interval_reachability: need 0 <= t1 <= t2");
+  if (goal.size() != chain.num_states()) {
+    throw ModelError("interval_reachability: goal vector size mismatch");
+  }
+  // Phase A: values w(s) = Pr(s, <= t2 - t1, B), B absorbing.
+  TransientResult phase_a = timed_reachability(chain, goal, t2 - t1, options);
+  if (t1 == 0.0) return phase_a;
+
+  // Phase B: propagate the terminal vector w backward for t1 over the
+  // unmodified chain (B is not absorbing before t1).
+  const std::size_t n = chain.num_states();
+  const double e = pick_rate(chain, options);
+  const PoissonWindow psi = PoissonWindow::compute(e * t1, options.epsilon);
+  const JumpMatrix p(chain, e);
+
+  std::vector<double> cur = std::move(phase_a.probabilities);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> acc(n, 0.0);
+
+  std::uint64_t executed = phase_a.iterations_executed;
+  for (std::uint64_t i = 0;; ++i) {
+    const double w = psi.psi(i);
+    if (w > 0.0) {
+      for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
+    }
+    if (i >= psi.right()) break;
+    p.step_backward(cur, next);
+    ++executed;
+    if (options.early_termination &&
+        max_abs_diff(cur, next) <= options.early_termination_delta) {
+      const double tail = psi.tail_mass(i + 1);
+      for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+      break;
+    }
+    cur.swap(next);
+  }
+  for (double& v : acc) v = clamp01(v);
+  return TransientResult{std::move(acc), phase_a.iterations + psi.right(), executed, e};
+}
+
+}  // namespace unicon

@@ -1,0 +1,254 @@
+#include "ctmdp/reachability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hpp"
+#include "support/fox_glynn.hpp"
+#include "support/numerics.hpp"
+
+namespace unicon {
+
+namespace {
+
+/// Precomputed discrete branching structure shared by the solvers:
+/// probability entries Pr_R(s, s') = R(s') / E_R and per-transition goal
+/// mass Pr_R(s, B).
+struct DiscreteModel {
+  std::vector<double> prob;     // parallel to Ctmdp entry storage
+  std::vector<double> goal_pr;  // per transition
+
+  DiscreteModel(const Ctmdp& model, const std::vector<bool>& goal) {
+    prob.reserve(model.num_transitions());
+    goal_pr.assign(model.num_transitions(), 0.0);
+    for (std::uint64_t t = 0; t < model.num_transitions(); ++t) {
+      const double e = model.exit_rate(t);
+      double g = 0.0;
+      for (const SparseEntry& entry : model.rates(t)) {
+        const double p = entry.value / e;
+        prob.push_back(p);
+        if (goal[entry.col]) g += p;
+      }
+      goal_pr[t] = g;
+    }
+  }
+};
+
+void check_inputs(const Ctmdp& model, const std::vector<bool>& goal) {
+  if (goal.size() != model.num_states()) {
+    throw ModelError("timed_reachability: goal vector size mismatch");
+  }
+}
+
+}  // namespace
+
+TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                           double t, const TimedReachabilityOptions& options) {
+  check_inputs(model, goal);
+  if (t < 0.0) throw ModelError("timed_reachability: negative time bound");
+  const auto uniform = model.uniform_rate(1e-6);
+  if (!uniform) {
+    throw UniformityError(
+        "timed_reachability: model is not uniform; construct it uniformly or uniformize first");
+  }
+  const double e = *uniform;
+  const std::size_t n = model.num_states();
+  const bool maximize = options.objective == Objective::Maximize;
+
+  TimedReachabilityResult result;
+  result.uniform_rate = e;
+  result.lambda = e * t;
+
+  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  const std::uint64_t k = psi.right();
+  result.iterations_planned = k;
+
+  if (!options.avoid.empty() && options.avoid.size() != n) {
+    throw ModelError("timed_reachability: avoid vector size mismatch");
+  }
+  auto avoided = [&](StateId s) {
+    return !options.avoid.empty() && options.avoid[s] && !goal[s];
+  };
+
+  const DiscreteModel discrete(model, goal);
+
+  const bool record_all_decisions =
+      options.extract_scheduler &&
+      k * static_cast<std::uint64_t>(n) <= options.max_decision_entries;
+  if (options.extract_scheduler) {
+    result.initial_decision.assign(n, kNoTransition);
+    if (record_all_decisions) result.decisions.resize(k);
+  }
+
+  // q_next = q_{i+1}, q_cur = q_i.
+  std::vector<double> q_next(n, 0.0);
+  std::vector<double> q_cur(n, 0.0);
+  std::vector<std::uint64_t> decision(options.extract_scheduler ? n : 0, kNoTransition);
+
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = k; i >= 1; --i) {
+    const double w = psi.psi(i);
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        q_cur[s] = w + q_next[s];
+        if (options.extract_scheduler) decision[s] = kNoTransition;
+      } else if (avoided(s)) {
+        q_cur[s] = 0.0;
+        if (options.extract_scheduler) decision[s] = kNoTransition;
+      } else {
+        const auto [first, last] = model.transition_range(s);
+        double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+        std::uint64_t best_t = kNoTransition;
+        for (std::uint64_t tr = first; tr < last; ++tr) {
+          double acc = w * discrete.goal_pr[tr];
+          const auto rates = model.rates(tr);
+          const std::size_t base = static_cast<std::size_t>(
+              rates.data() - model.rates(0).data());
+          for (std::size_t j = 0; j < rates.size(); ++j) {
+            acc += discrete.prob[base + j] * q_next[rates[j].col];
+          }
+          if (maximize ? acc > best : acc < best) {
+            best = acc;
+            best_t = tr;
+          }
+        }
+        delta = std::max(delta, std::fabs(best - q_next[s]));
+        q_cur[s] = best;
+        if (options.extract_scheduler) decision[s] = best_t;
+      }
+    }
+    q_cur.swap(q_next);  // q_next now holds q_i for the next round
+    ++executed;
+
+    if (record_all_decisions) result.decisions[i - 1] = decision;
+    if (options.extract_scheduler && i == 1) result.initial_decision = decision;
+
+    if (options.early_termination && i > 1) {
+      // Below the Poisson window no further psi mass arrives; once the
+      // vector stops moving the remaining iterations are no-ops up to
+      // early_termination_delta.
+      if (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) {
+        if (delta <= options.early_termination_delta) {
+          if (options.extract_scheduler) result.initial_decision = decision;
+          break;
+        }
+      }
+    }
+  }
+  result.iterations_executed = executed;
+
+  result.values = std::move(q_next);
+  for (StateId s = 0; s < n; ++s) {
+    result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
+  }
+  return result;
+}
+
+TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector<bool>& goal,
+                                           double t, const std::vector<std::uint64_t>& choice,
+                                           const TimedReachabilityOptions& options) {
+  check_inputs(model, goal);
+  if (choice.size() != model.num_states()) {
+    throw ModelError("evaluate_scheduler: choice vector size mismatch");
+  }
+  const auto uniform = model.uniform_rate(1e-6);
+  if (!uniform) throw UniformityError("evaluate_scheduler: model is not uniform");
+  const double e = *uniform;
+  const std::size_t n = model.num_states();
+
+  for (StateId s = 0; s < n; ++s) {
+    if (goal[s]) continue;
+    const auto [first, last] = model.transition_range(s);
+    if (first == last) continue;
+    if (choice[s] < first || choice[s] >= last) {
+      throw ModelError("evaluate_scheduler: choice out of range for state");
+    }
+  }
+
+  TimedReachabilityResult result;
+  result.uniform_rate = e;
+  result.lambda = e * t;
+  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  const std::uint64_t k = psi.right();
+  result.iterations_planned = k;
+
+  const DiscreteModel discrete(model, goal);
+
+  std::vector<double> q_next(n, 0.0);
+  std::vector<double> q_cur(n, 0.0);
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = k; i >= 1; --i) {
+    const double w = psi.psi(i);
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        q_cur[s] = w + q_next[s];
+        continue;
+      }
+      const auto [first, last] = model.transition_range(s);
+      if (first == last) {
+        q_cur[s] = 0.0;
+        continue;
+      }
+      const std::uint64_t tr = choice[s];
+      double acc = w * discrete.goal_pr[tr];
+      const auto rates = model.rates(tr);
+      const std::size_t base = static_cast<std::size_t>(rates.data() - model.rates(0).data());
+      for (std::size_t j = 0; j < rates.size(); ++j) {
+        acc += discrete.prob[base + j] * q_next[rates[j].col];
+      }
+      delta = std::max(delta, std::fabs(acc - q_next[s]));
+      q_cur[s] = acc;
+    }
+    q_cur.swap(q_next);
+    ++executed;
+    if (options.early_termination && i > 1 && (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) &&
+        delta <= options.early_termination_delta) {
+      break;
+    }
+  }
+  result.iterations_executed = executed;
+  result.values = std::move(q_next);
+  for (StateId s = 0; s < n; ++s) {
+    result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
+  }
+  return result;
+}
+
+std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                              std::uint64_t steps, Objective objective) {
+  check_inputs(model, goal);
+  const std::size_t n = model.num_states();
+  const bool maximize = objective == Objective::Maximize;
+  const DiscreteModel discrete(model, goal);
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (StateId s = 0; s < n; ++s) v[s] = goal[s] ? 1.0 : 0.0;
+
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        next[s] = 1.0;
+        continue;
+      }
+      const auto [first, last] = model.transition_range(s);
+      double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+      for (std::uint64_t tr = first; tr < last; ++tr) {
+        double acc = 0.0;
+        const auto rates = model.rates(tr);
+        const std::size_t base = static_cast<std::size_t>(rates.data() - model.rates(0).data());
+        for (std::size_t j = 0; j < rates.size(); ++j) {
+          acc += discrete.prob[base + j] * v[rates[j].col];
+        }
+        best = maximize ? std::max(best, acc) : std::min(best, acc);
+      }
+      next[s] = best;
+    }
+    v.swap(next);
+  }
+  return v;
+}
+
+}  // namespace unicon

@@ -1,0 +1,95 @@
+// Timed reachability in uniform CTMDPs — Algorithm 1 of the paper,
+// originally due to Baier, Haverkort, Hermanns and Katoen [2].
+//
+// Computes, for every state s, the supremum (or infimum) over all
+// randomized time-abstract history-dependent schedulers of the probability
+// to reach a goal set B within t time units:
+//
+//     sup_D Pr_D(s, reach B within t).
+//
+// The greedy backward value iteration runs k = k(epsilon, E, t) steps where
+// k is the right truncation point of the Poisson(E t) distribution at
+// precision epsilon: q_{k+1} := 0 and for i = k..1
+//
+//     q_i(s) = max_{(s,a,R)} [ psi(i) Pr_R(s,B) + sum_{s'} Pr_R(s,s') q_{i+1}(s') ]
+//     q_i(s) = psi(i) + q_{i+1}(s)                                for s in B.
+//
+// The variant of Def. 1 (multiple transitions per action) only means the
+// maximum ranges over all emanating transitions instead of all actions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmdp/ctmdp.hpp"
+
+namespace unicon {
+
+enum class Objective : std::uint8_t { Maximize, Minimize };
+
+struct TimedReachabilityOptions {
+  /// Truncation precision (paper: 0.000001).
+  double epsilon = 1e-6;
+  Objective objective = Objective::Maximize;
+  /// Optional "until"-style constraint: states flagged here must not be
+  /// visited before the goal (their value is pinned to 0, the absorbing
+  /// treatment of phi U<=t psi model checking).  Goal membership wins when
+  /// a state is flagged in both.  Must be empty or num_states() long.
+  std::vector<bool> avoid;
+  /// Stop iterating once the Poisson window is exhausted (no further psi
+  /// mass below the current step) and the value vector has converged to
+  /// within early_termination_delta in sup norm.  The faithful iteration
+  /// count k is still reported in iterations_planned.
+  bool early_termination = false;
+  double early_termination_delta = 1e-9;
+  /// Record the optimal decision (transition index) per state for the first
+  /// step (i = 1) — e.g. which component the optimal FTWC policy repairs
+  /// first.  Also records full per-step decisions if the table stays below
+  /// max_decision_entries.
+  bool extract_scheduler = false;
+  std::uint64_t max_decision_entries = 1u << 24;
+};
+
+struct TimedReachabilityResult {
+  /// q(s): optimal probability to reach B within t from s (1 for s in B).
+  std::vector<double> values;
+  /// k — the faithful number of value-iteration steps (Table 1 column).
+  std::uint64_t iterations_planned = 0;
+  /// Steps actually executed (== planned unless early termination fired).
+  std::uint64_t iterations_executed = 0;
+  /// Uniform rate E of the model.
+  double uniform_rate = 0.0;
+  /// Poisson parameter E * t.
+  double lambda = 0.0;
+  /// Optimal transition index per state at step i = 1 (empty unless
+  /// extract_scheduler; kNoTransition for goal/transitionless states).
+  std::vector<std::uint64_t> initial_decision;
+  /// Full step-dependent decision table, decisions[j] = choices at step
+  /// i = j+1 (empty if disabled or above max_decision_entries).
+  std::vector<std::vector<std::uint64_t>> decisions;
+};
+
+inline constexpr std::uint64_t kNoTransition = static_cast<std::uint64_t>(-1);
+
+/// Runs Algorithm 1.  Requires a uniform CTMDP (throws UniformityError
+/// otherwise) and goal.size() == num_states().
+TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                           double t, const TimedReachabilityOptions& options = {});
+
+/// Policy evaluation: the same backward iteration but following the fixed
+/// stationary scheduler @p choice (a transition index per state; entries for
+/// goal or transitionless states are ignored).  The induced process is a
+/// uniform CTMC, so this equals CTMC timed reachability and serves as a
+/// cross-check in the tests.
+TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector<bool>& goal,
+                                           double t, const std::vector<std::uint64_t>& choice,
+                                           const TimedReachabilityOptions& options = {});
+
+/// Discrete step-bounded reachability: optimal probability to reach B
+/// within at most @p steps jumps (no timing).  Used by unit tests as an
+/// independently checkable special case.
+std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                              std::uint64_t steps,
+                                              Objective objective = Objective::Maximize);
+
+}  // namespace unicon

@@ -1,0 +1,70 @@
+// Scheduler objects for CTMDPs.
+//
+// Algorithm 1 constructs an optimal *step-dependent* scheduler D_0 (the
+// transition to pick at each countdown step i); stationary schedulers pick
+// per state only.  This module makes both first-class: they can be
+// evaluated, simulated, and — for stationary ones — used to build the
+// induced CTMC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmdp/ctmdp.hpp"
+#include "ctmdp/reachability.hpp"
+
+namespace unicon {
+
+/// A stationary (memoryless, time-abstract) scheduler: one transition
+/// index per state (kNoTransition for states without transitions).
+class StationaryScheduler {
+ public:
+  StationaryScheduler() = default;
+  explicit StationaryScheduler(std::vector<std::uint64_t> choice) : choice_(std::move(choice)) {}
+
+  /// The scheduler that always picks the first transition of each state.
+  static StationaryScheduler first_transition(const Ctmdp& model);
+
+  /// Extracts the decisions Algorithm 1 makes at step i = 1 (the choice
+  /// relevant at time 0) as a stationary scheduler; states without a
+  /// recorded decision fall back to their first transition.
+  static StationaryScheduler from_initial_decisions(const Ctmdp& model,
+                                                    const TimedReachabilityResult& result);
+
+  std::uint64_t choice(StateId s) const { return choice_[s]; }
+  std::vector<std::uint64_t>& choices() { return choice_; }
+  const std::vector<std::uint64_t>& choices() const { return choice_; }
+
+  /// Validates against @p model (every state with transitions has a choice
+  /// within its range); throws ModelError otherwise.
+  void validate(const Ctmdp& model) const;
+
+  /// The CTMC induced by following this scheduler forever.
+  Ctmc induced_ctmc(const Ctmdp& model) const;
+
+ private:
+  std::vector<std::uint64_t> choice_;
+};
+
+/// The step-dependent scheduler of Algorithm 1: decisions[j] holds the
+/// per-state choices at countdown step i = j + 1.  Requires
+/// extract_scheduler with a full decision table.
+class CountdownScheduler {
+ public:
+  explicit CountdownScheduler(std::vector<std::vector<std::uint64_t>> decisions)
+      : decisions_(std::move(decisions)) {}
+
+  static CountdownScheduler from_result(const TimedReachabilityResult& result);
+
+  std::uint64_t num_steps() const { return decisions_.size(); }
+
+  /// Choice at countdown step i (1-based, i <= num_steps()); steps beyond
+  /// the table fall back to the last recorded row.
+  std::uint64_t choice(std::uint64_t i, StateId s) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> decisions_;
+};
+
+}  // namespace unicon

@@ -1,0 +1,55 @@
+#include "ctmdp/simulate.hpp"
+
+#include <cmath>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                       double t, const std::vector<std::uint64_t>& choice,
+                                       const SimulationOptions& options) {
+  if (goal.size() != model.num_states()) {
+    throw ModelError("simulate_reachability: goal vector size mismatch");
+  }
+  if (choice.size() != model.num_states()) {
+    throw ModelError("simulate_reachability: choice vector size mismatch");
+  }
+
+  Rng rng(options.seed);
+  std::uint64_t hits = 0;
+  std::vector<double> weights;
+
+  for (std::uint64_t run = 0; run < options.num_runs; ++run) {
+    StateId s = model.initial();
+    double clock = 0.0;
+    for (std::uint64_t jump = 0; jump < options.max_jumps; ++jump) {
+      if (goal[s]) {
+        ++hits;
+        break;
+      }
+      const auto [first, last] = model.transition_range(s);
+      if (first == last) break;  // absorbing non-goal state
+      const std::uint64_t tr = choice[s];
+      if (tr < first || tr >= last) {
+        throw ModelError("simulate_reachability: scheduler choice out of range");
+      }
+      clock += rng.next_exponential(model.exit_rate(tr));
+      if (clock > t) break;
+      const auto rates = model.rates(tr);
+      weights.resize(rates.size());
+      for (std::size_t j = 0; j < rates.size(); ++j) weights[j] = rates[j].value;
+      s = rates[rng.next_discrete(weights)].col;
+    }
+  }
+
+  SimulationResult result;
+  result.num_runs = options.num_runs;
+  result.estimate = static_cast<double>(hits) / static_cast<double>(options.num_runs);
+  const double p = result.estimate;
+  result.half_width =
+      1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(options.num_runs));
+  return result;
+}
+
+}  // namespace unicon

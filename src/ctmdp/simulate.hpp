@@ -1,0 +1,41 @@
+// Discrete-event simulation of CTMDPs under a fixed stationary scheduler.
+//
+// Used to cross-validate the analytic solvers: the empirical frequency of
+// reaching the goal set within the time bound must agree with
+// evaluate_scheduler() up to Monte-Carlo error.  The semantics simulated
+// follows Sec. 2 of the paper: the scheduler picks a transition (s, a, R),
+// the sojourn in s is Exp(E_R) distributed, and the successor is drawn with
+// probability R(s') / E_R.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmdp/ctmdp.hpp"
+#include "support/rng.hpp"
+
+namespace unicon {
+
+struct SimulationOptions {
+  std::uint64_t num_runs = 10000;
+  std::uint64_t seed = 42;
+  /// Safety cap on jumps per run (guards against pathological models).
+  std::uint64_t max_jumps = 1u << 22;
+};
+
+struct SimulationResult {
+  /// Fraction of runs that reached the goal set within the bound.
+  double estimate = 0.0;
+  /// 95% confidence half-width (normal approximation).
+  double half_width = 0.0;
+  std::uint64_t num_runs = 0;
+};
+
+/// Estimates Pr(reach goal within t) from the initial state under the
+/// stationary scheduler @p choice (transition index per state; must be
+/// valid for every reachable non-goal state with transitions).
+SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+                                       double t, const std::vector<std::uint64_t>& choice,
+                                       const SimulationOptions& options = {});
+
+}  // namespace unicon

@@ -1,0 +1,61 @@
+#include "ftwc/components.hpp"
+
+#include <string>
+
+#include "bisim/bisimulation.hpp"
+
+namespace unicon::ftwc {
+
+Lts component_lts(Component c, const std::shared_ptr<ActionTable>& actions) {
+  LtsBuilder b(actions);
+  const StateId up = b.add_state("o");
+  const StateId down = b.add_state("d");
+  const StateId in_repair = b.add_state("d");
+  const StateId repaired = b.add_state("o");
+  b.set_initial(up);
+  const std::string t = tag(c);
+  b.add_transition(up, "fail", down);
+  b.add_transition(down, "g_" + t, in_repair);
+  b.add_transition(in_repair, "repair", repaired);
+  b.add_transition(repaired, "r_" + t, up);
+  return b.build();
+}
+
+std::vector<TimeConstraint> component_constraints(Component c, const Parameters& params) {
+  const std::string t = tag(c);
+  std::vector<TimeConstraint> constraints;
+  // Failure delay: runs from system start, re-armed once the repair unit
+  // releases the freshly repaired component.
+  constraints.emplace_back(PhaseType::exponential(params.fail_rate(c)), "fail", "r_" + t,
+                           /*running=*/true);
+  // Repair delay: armed when the repair unit grabs the component.
+  constraints.emplace_back(PhaseType::exponential(params.repair_rate(c)), "repair", "g_" + t,
+                           /*running=*/false);
+  return constraints;
+}
+
+Imc component_imc(Component c, const Parameters& params,
+                  const std::shared_ptr<ActionTable>& actions) {
+  const Lts lts = component_lts(c, actions);
+  ExploreOptions options;
+  options.record_names = true;
+  Imc composed = apply_time_constraints(lts, component_constraints(c, params), options);
+  std::unordered_set<Action> hidden{actions->intern("fail"), actions->intern("repair")};
+  return composed.hide(hidden);
+}
+
+Lts repair_unit_lts(const std::shared_ptr<ActionTable>& actions) {
+  LtsBuilder b(actions);
+  const StateId idle = b.add_state("idle");
+  b.set_initial(idle);
+  for (int i = 0; i < kNumComponents; ++i) {
+    const auto c = static_cast<Component>(i);
+    const std::string t = tag(c);
+    const StateId busy = b.add_state(t);
+    b.add_transition(idle, "g_" + t, busy);
+    b.add_transition(busy, "r_" + t, idle);
+  }
+  return b.build();
+}
+
+}  // namespace unicon::ftwc

@@ -1,0 +1,36 @@
+// FTWC component models: the LTSs of Fig. 2 and the time-constrained
+// component IMCs of Fig. 3.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/time_constraint.hpp"
+#include "ftwc/parameters.hpp"
+#include "imc/imc.hpp"
+#include "lts/lts.hpp"
+
+namespace unicon::ftwc {
+
+/// The LTS of one repairable component of class @p c (Fig. 2, right):
+///   up --fail--> down --g_<c>--> in_repair --repair--> repaired --r_<c>--> up.
+/// Actions fail/repair are local (to be constrained and hidden), g_*/r_*
+/// synchronize with the repair unit.  State names "o"/"d" encode whether
+/// the component is operational, which the property evaluation reads back.
+Lts component_lts(Component c, const std::shared_ptr<ActionTable>& actions);
+
+/// The time constraints of a component: the failure delay (running from
+/// system start, re-armed by the release) and the repair delay (armed by
+/// the grab) — Fig. 3 left.
+std::vector<TimeConstraint> component_constraints(Component c, const Parameters& params);
+
+/// Fully time-constrained component IMC with fail/repair hidden (Fig. 3
+/// right).  Uniform by construction with rate fail_rate(c) + repair_rate(c).
+Imc component_imc(Component c, const Parameters& params,
+                  const std::shared_ptr<ActionTable>& actions);
+
+/// The repair unit LTS (Fig. 2, left): from idle, grab any of the five
+/// component classes (g_<c>); the matching release r_<c> returns to idle.
+Lts repair_unit_lts(const std::shared_ptr<ActionTable>& actions);
+
+}  // namespace unicon::ftwc

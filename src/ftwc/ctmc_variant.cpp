@@ -1,0 +1,137 @@
+#include "ftwc/ctmc_variant.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "support/errors.hpp"
+
+namespace unicon::ftwc {
+
+namespace {
+
+struct SemState {
+  Config config;
+  bool busy = false;
+  Component repairing = Component::WsLeft;
+};
+
+std::uint64_t encode(const SemState& s) {
+  std::uint64_t k = s.config.failed_left;
+  k = (k << 16) | s.config.failed_right;
+  k = (k << 1) | (s.config.sw_left_up ? 1 : 0);
+  k = (k << 1) | (s.config.sw_right_up ? 1 : 0);
+  k = (k << 1) | (s.config.backbone_up ? 1 : 0);
+  k = (k << 1) | (s.busy ? 1 : 0);
+  k = (k << 3) | static_cast<std::uint64_t>(s.repairing);
+  return k;
+}
+
+bool class_failed(const Config& c, Component comp) {
+  switch (comp) {
+    case Component::WsLeft: return c.failed_left > 0;
+    case Component::WsRight: return c.failed_right > 0;
+    case Component::SwLeft: return !c.sw_left_up;
+    case Component::SwRight: return !c.sw_right_up;
+    case Component::Backbone: return !c.backbone_up;
+  }
+  return false;
+}
+
+void repair_one(Config& c, Component comp) {
+  switch (comp) {
+    case Component::WsLeft: --c.failed_left; break;
+    case Component::WsRight: --c.failed_right; break;
+    case Component::SwLeft: c.sw_left_up = true; break;
+    case Component::SwRight: c.sw_right_up = true; break;
+    case Component::Backbone: c.backbone_up = true; break;
+  }
+}
+
+}  // namespace
+
+CtmcResult build_ctmc_variant(const Parameters& params) {
+  const unsigned n = params.n;
+  if (n == 0) throw ModelError("ftwc: n must be positive");
+  if (!(params.decision_rate > 0.0)) throw ModelError("ftwc: decision rate must be positive");
+
+  CtmcBuilder builder;
+  CtmcResult result;
+  std::unordered_map<std::uint64_t, StateId> ids;
+  std::deque<SemState> frontier;
+
+  auto intern_state = [&](const SemState& s) -> StateId {
+    const std::uint64_t key = encode(s);
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    const StateId id = builder.add_state();
+    ids.emplace(key, id);
+    result.configs.push_back(s.config);
+    result.goal.push_back(!premium(s.config, n));
+    frontier.push_back(s);
+    return id;
+  };
+
+  const SemState initial{};
+  builder.set_initial(intern_state(initial));
+
+  while (!frontier.empty()) {
+    const SemState s = frontier.front();
+    frontier.pop_front();
+    const StateId from = ids.at(encode(s));
+
+    // Failures of operational components (these race with everything,
+    // including the decision transitions — the source of the modeling flaw
+    // discussed in Sec. 5).
+    if (s.config.failed_left < n) {
+      SemState next = s;
+      ++next.config.failed_left;
+      builder.add_transition(from, (n - s.config.failed_left) * params.ws_fail,
+                             intern_state(next));
+    }
+    if (s.config.failed_right < n) {
+      SemState next = s;
+      ++next.config.failed_right;
+      builder.add_transition(from, (n - s.config.failed_right) * params.ws_fail,
+                             intern_state(next));
+    }
+    if (s.config.sw_left_up) {
+      SemState next = s;
+      next.config.sw_left_up = false;
+      builder.add_transition(from, params.sw_fail, intern_state(next));
+    }
+    if (s.config.sw_right_up) {
+      SemState next = s;
+      next.config.sw_right_up = false;
+      builder.add_transition(from, params.sw_fail, intern_state(next));
+    }
+    if (s.config.backbone_up) {
+      SemState next = s;
+      next.config.backbone_up = false;
+      builder.add_transition(from, params.bb_fail, intern_state(next));
+    }
+
+    if (s.busy) {
+      // Repair completion frees the repair unit immediately.
+      SemState next = s;
+      repair_one(next.config, s.repairing);
+      next.busy = false;
+      builder.add_transition(from, params.repair_rate(s.repairing), intern_state(next));
+    } else {
+      // Probabilistic repair-unit assignment: a race of rate-Gamma
+      // transitions, one per failed component class.
+      for (int i = 0; i < kNumComponents; ++i) {
+        const auto c = static_cast<Component>(i);
+        if (!class_failed(s.config, c)) continue;
+        SemState next = s;
+        next.busy = true;
+        next.repairing = c;
+        builder.add_transition(from, params.decision_rate, intern_state(next));
+      }
+    }
+  }
+
+  result.ctmc = builder.build();
+  return result;
+}
+
+}  // namespace unicon::ftwc

@@ -1,0 +1,27 @@
+// The CTMC approximation of the FTWC used by earlier studies [13, 18]:
+// the nondeterministic repair-unit assignment is replaced by a race of
+// very fast exponential "decision" transitions (rate Gamma).  Figure 4 of
+// the paper compares this model's time-bounded reachability against the
+// faithful CTMDP worst case and finds the CTMC *over*estimates — the
+// artificial races admit low-probability paths that do not exist under the
+// nondeterministic interpretation.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ftwc/parameters.hpp"
+
+namespace unicon::ftwc {
+
+struct CtmcResult {
+  Ctmc ctmc;
+  /// Goal mask per state: premium service not guaranteed.
+  std::vector<bool> goal;
+  std::vector<Config> configs;
+};
+
+/// Builds the Gamma-race CTMC (params.decision_rate is Gamma).
+CtmcResult build_ctmc_variant(const Parameters& params);
+
+}  // namespace unicon::ftwc

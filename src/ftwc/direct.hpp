@@ -1,0 +1,34 @@
+// Direct FTWC state-space generation — the paper's PRISM route for large N
+// (Sec. 5 "Technicalities"): the semantic product states are enumerated
+// without building intermediate compositions, the repair-unit assignment is
+// kept as genuine nondeterminism (interactive grab transitions), and the
+// closed IMC is made uniform by Jensen self-loop padding at the maximal
+// exit rate ("equivalent models ... up to uniformity").
+#pragma once
+
+#include <vector>
+
+#include "ftwc/parameters.hpp"
+#include "imc/imc.hpp"
+
+namespace unicon::ftwc {
+
+struct DirectResult {
+  /// Closed *uniform* IMC of the FTWC (urgency already applied: interactive
+  /// states carry no Markov transitions).
+  Imc uimc;
+  /// Goal mask per state: premium service not guaranteed.
+  std::vector<bool> goal;
+  /// Semantic configuration per state (for property evaluation and tests).
+  std::vector<Config> configs;
+  /// The uniform rate E (maximal exit rate before padding).
+  double uniform_rate = 0.0;
+};
+
+/// Builds the FTWC uIMC by reachable-state enumeration.
+/// With params.with_release, finishing a repair leads to a release state
+/// whose r_<c> action chains with the next grab decision into action words
+/// of the transformed CTMDP.
+DirectResult build_direct(const Parameters& params, bool record_names = false);
+
+}  // namespace unicon::ftwc

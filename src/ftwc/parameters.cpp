@@ -1,0 +1,50 @@
+#include "ftwc/parameters.hpp"
+
+#include "support/errors.hpp"
+
+namespace unicon::ftwc {
+
+const char* tag(Component c) {
+  switch (c) {
+    case Component::WsLeft: return "wsL";
+    case Component::WsRight: return "wsR";
+    case Component::SwLeft: return "swL";
+    case Component::SwRight: return "swR";
+    case Component::Backbone: return "bb";
+  }
+  throw ModelError("ftwc: bad component");
+}
+
+double Parameters::fail_rate(Component c) const {
+  switch (c) {
+    case Component::WsLeft:
+    case Component::WsRight: return ws_fail;
+    case Component::SwLeft:
+    case Component::SwRight: return sw_fail;
+    case Component::Backbone: return bb_fail;
+  }
+  throw ModelError("ftwc: bad component");
+}
+
+double Parameters::repair_rate(Component c) const {
+  switch (c) {
+    case Component::WsLeft:
+    case Component::WsRight: return ws_repair;
+    case Component::SwLeft:
+    case Component::SwRight: return sw_repair;
+    case Component::Backbone: return bb_repair;
+  }
+  throw ModelError("ftwc: bad component");
+}
+
+bool quality(const Config& c, unsigned n, unsigned k) {
+  const unsigned left_ok = n - c.failed_left;
+  const unsigned right_ok = n - c.failed_right;
+  if (c.sw_left_up && left_ok >= k) return true;
+  if (c.sw_right_up && right_ok >= k) return true;
+  return c.sw_left_up && c.sw_right_up && c.backbone_up && left_ok + right_ok >= k;
+}
+
+bool premium(const Config& c, unsigned n) { return quality(c, n, n); }
+
+}  // namespace unicon::ftwc

@@ -1,0 +1,72 @@
+// Parameters and the premium-service property of the fault-tolerant
+// workstation cluster (FTWC, Sec. 5 / Fig. 1 of the paper; first studied by
+// Haverkort, Hermanns and Katoen [13] and a PRISM benchmark since).
+//
+// Two sub-clusters of N workstations each hang off a switch; the switches
+// are joined by a backbone.  Every component fails and is repaired with
+// exponentially distributed delays (mean times in Fig. 1); a single repair
+// unit serves one failed component at a time, and *which* failed component
+// it grabs next is a nondeterministic decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace unicon::ftwc {
+
+/// Component classes, in the fixed order used for actions and encodings.
+enum class Component : std::uint8_t { WsLeft, WsRight, SwLeft, SwRight, Backbone };
+inline constexpr int kNumComponents = 5;
+
+/// Short class tag used in action names: g_wsL, r_bb, ...
+const char* tag(Component c);
+
+struct Parameters {
+  /// Workstations per sub-cluster.
+  unsigned n = 4;
+
+  // Failure rates, per hour (Fig. 1: mean times to failure 500 h for a
+  // workstation, 4000 h for a switch, 5000 h for the backbone).
+  double ws_fail = 1.0 / 500.0;
+  double sw_fail = 1.0 / 4000.0;
+  double bb_fail = 1.0 / 5000.0;
+
+  // Repair rates, per hour (Fig. 1: mean repair times 0.5 h, 4 h, 8 h).
+  double ws_repair = 2.0;
+  double sw_repair = 0.25;
+  double bb_repair = 0.125;
+
+  /// Rate of the artificial high-rate repair-unit assignment races in the
+  /// CTMC variant of [13] (the nondeterminism replaced "by using very high
+  /// rates assigned to the decisive transitions").
+  double decision_rate = 200.0;
+
+  /// Model the explicit repair-unit release step (the r_* actions of the
+  /// component LTSs in Fig. 2).  Zero-time releases chain with the next
+  /// grab decision into multi-action words in the CTMDP.
+  bool with_release = true;
+
+  double fail_rate(Component c) const;
+  double repair_rate(Component c) const;
+};
+
+/// A semantic FTWC configuration (used for the property and by the direct
+/// generator).
+struct Config {
+  unsigned failed_left = 0;   // failed workstations, left sub-cluster
+  unsigned failed_right = 0;  // failed workstations, right sub-cluster
+  bool sw_left_up = true;
+  bool sw_right_up = true;
+  bool backbone_up = true;
+};
+
+/// Quality level k (the PRISM benchmark's "minimum QoS"): at least k
+/// workstations operational and mutually connected — either k inside one
+/// sub-cluster behind its working switch, or k pooled across both
+/// sub-clusters via both switches and the backbone.
+bool quality(const Config& c, unsigned n, unsigned k);
+
+/// Premium quality (Sec. 5): quality at level k = N.
+bool premium(const Config& c, unsigned n);
+
+}  // namespace unicon::ftwc

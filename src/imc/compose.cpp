@@ -1,0 +1,275 @@
+#include "imc/compose.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+namespace {
+
+/// Hash for composite states (vectors of component state ids).
+struct TupleHash {
+  std::size_t operator()(const std::vector<StateId>& v) const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (StateId s : v) {
+      h ^= s;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// A pending update set: which leaves move to which local states.
+using Updates = std::vector<std::pair<std::uint32_t, StateId>>;
+
+struct IMove {
+  Action action;
+  Updates updates;
+};
+
+struct MMove {
+  double rate;
+  std::uint32_t leaf;
+  StateId to;
+};
+
+}  // namespace
+
+CompositionExpr CompositionExpr::leaf(Imc imc) {
+  CompositionExpr e;
+  e.actions_ = imc.action_table();
+  e.leaves_.push_back(std::move(imc));
+  Node n;
+  n.kind = NodeKind::Leaf;
+  n.leaf = 0;
+  e.nodes_.push_back(std::move(n));
+  e.root_ = 0;
+  return e;
+}
+
+CompositionExpr CompositionExpr::combine(CompositionExpr&& a, CompositionExpr&& b, Node&& parent) {
+  if (a.actions_ != b.actions_) {
+    throw ModelError("CompositionExpr: components must share one ActionTable");
+  }
+  CompositionExpr e;
+  e.actions_ = a.actions_;
+  e.leaves_ = std::move(a.leaves_);
+  e.nodes_ = std::move(a.nodes_);
+  const std::size_t leaf_offset = e.leaves_.size();
+  const std::size_t node_offset = e.nodes_.size();
+  for (Imc& m : b.leaves_) e.leaves_.push_back(std::move(m));
+  for (Node& n : b.nodes_) {
+    Node copy = std::move(n);
+    if (copy.kind == NodeKind::Leaf) {
+      copy.leaf += leaf_offset;
+    } else if (copy.kind == NodeKind::Parallel) {
+      copy.left += node_offset;
+      copy.right += node_offset;
+    } else {
+      copy.child += node_offset;
+    }
+    e.nodes_.push_back(std::move(copy));
+  }
+  parent.left = a.root_;
+  parent.right = b.root_ + node_offset;
+  e.nodes_.push_back(std::move(parent));
+  e.root_ = e.nodes_.size() - 1;
+  return e;
+}
+
+CompositionExpr CompositionExpr::parallel(CompositionExpr left, std::unordered_set<Action> sync,
+                                          CompositionExpr right) {
+  if (sync.count(kTau) != 0) {
+    throw ModelError("CompositionExpr: tau cannot be in a synchronization set");
+  }
+  Node n;
+  n.kind = NodeKind::Parallel;
+  n.sync = std::move(sync);
+  return combine(std::move(left), std::move(right), std::move(n));
+}
+
+CompositionExpr CompositionExpr::interleave(CompositionExpr left, CompositionExpr right) {
+  return parallel(std::move(left), {}, std::move(right));
+}
+
+CompositionExpr CompositionExpr::hide(CompositionExpr inner, std::unordered_set<Action> hidden) {
+  CompositionExpr e = std::move(inner);
+  Node n;
+  n.kind = NodeKind::Hide;
+  n.child = e.root_;
+  n.hidden = std::move(hidden);
+  e.nodes_.push_back(std::move(n));
+  e.root_ = e.nodes_.size() - 1;
+  return e;
+}
+
+CompositionExpr CompositionExpr::hide_all(CompositionExpr inner) {
+  CompositionExpr e = std::move(inner);
+  Node n;
+  n.kind = NodeKind::Hide;
+  n.child = e.root_;
+  n.hide_everything = true;
+  e.nodes_.push_back(std::move(n));
+  e.root_ = e.nodes_.size() - 1;
+  return e;
+}
+
+/// Performs the reachable-state exploration of a composition expression.
+class ComposeExplorer {
+ public:
+  ComposeExplorer(const CompositionExpr& expr, const ExploreOptions& options)
+      : expr_(expr), options_(options) {}
+
+  Imc run() {
+    ImcBuilder builder(expr_.actions_);
+
+    std::vector<StateId> initial(expr_.leaves_.size());
+    for (std::size_t i = 0; i < expr_.leaves_.size(); ++i) initial[i] = expr_.leaves_[i].initial();
+
+    std::unordered_map<std::vector<StateId>, StateId, TupleHash> ids;
+    std::vector<std::vector<StateId>> frontier;
+    auto intern_state = [&](const std::vector<StateId>& tuple) -> StateId {
+      auto it = ids.find(tuple);
+      if (it != ids.end()) return it->second;
+      if (ids.size() >= options_.max_states) {
+        throw ModelError("CompositionExpr::explore: state limit exceeded");
+      }
+      const StateId id = builder.add_state(options_.record_names ? name_of(tuple) : std::string());
+      ids.emplace(tuple, id);
+      frontier.push_back(tuple);
+      return id;
+    };
+
+    const StateId init_id = intern_state(initial);
+    builder.set_initial(init_id);
+
+    std::vector<IMove> imoves;
+    std::vector<MMove> mmoves;
+    std::size_t cursor = 0;
+    while (cursor < frontier.size()) {
+      const std::vector<StateId> tuple = frontier[cursor++];
+      const StateId from = ids.at(tuple);
+
+      imoves.clear();
+      collect_interactive(expr_.root_, tuple, imoves);
+      for (const IMove& m : imoves) {
+        std::vector<StateId> next = tuple;
+        for (const auto& [leaf, to] : m.updates) next[leaf] = to;
+        builder.add_interactive(from, m.action, intern_state(next));
+      }
+
+      if (options_.urgent && !imoves.empty()) continue;
+
+      mmoves.clear();
+      collect_markov(expr_.root_, tuple, mmoves);
+      for (const MMove& m : mmoves) {
+        std::vector<StateId> next = tuple;
+        next[m.leaf] = m.to;
+        builder.add_markov(from, m.rate, intern_state(next));
+      }
+    }
+
+    return builder.build();
+  }
+
+ private:
+  std::string name_of(const std::vector<StateId>& tuple) const {
+    std::string name = "(";
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (i) name += ',';
+      const std::string& local = expr_.leaves_[i].state_name(tuple[i]);
+      name += local.empty() ? std::to_string(tuple[i]) : local;
+    }
+    name += ')';
+    return name;
+  }
+
+  void collect_interactive(std::size_t node_idx, const std::vector<StateId>& tuple,
+                           std::vector<IMove>& out) const {
+    const auto& node = expr_.nodes_[node_idx];
+    switch (node.kind) {
+      case CompositionExpr::NodeKind::Leaf: {
+        const Imc& m = expr_.leaves_[node.leaf];
+        for (const LtsTransition& t : m.out_interactive(tuple[node.leaf])) {
+          out.push_back(IMove{t.action, {{static_cast<std::uint32_t>(node.leaf), t.to}}});
+        }
+        break;
+      }
+      case CompositionExpr::NodeKind::Parallel: {
+        std::vector<IMove> left, right;
+        collect_interactive(node.left, tuple, left);
+        collect_interactive(node.right, tuple, right);
+        for (const IMove& l : left) {
+          if (node.sync.count(l.action) == 0) out.push_back(l);
+        }
+        for (const IMove& r : right) {
+          if (node.sync.count(r.action) == 0) out.push_back(r);
+        }
+        for (const IMove& l : left) {
+          if (node.sync.count(l.action) == 0) continue;
+          for (const IMove& r : right) {
+            if (r.action != l.action) continue;
+            IMove merged{l.action, l.updates};
+            merged.updates.insert(merged.updates.end(), r.updates.begin(), r.updates.end());
+            out.push_back(std::move(merged));
+          }
+        }
+        break;
+      }
+      case CompositionExpr::NodeKind::Hide: {
+        std::vector<IMove> inner;
+        collect_interactive(node.child, tuple, inner);
+        for (IMove& m : inner) {
+          if (m.action != kTau &&
+              (node.hide_everything || node.hidden.count(m.action) != 0)) {
+            m.action = kTau;
+          }
+          out.push_back(std::move(m));
+        }
+        break;
+      }
+    }
+  }
+
+  void collect_markov(std::size_t node_idx, const std::vector<StateId>& tuple,
+                      std::vector<MMove>& out) const {
+    const auto& node = expr_.nodes_[node_idx];
+    switch (node.kind) {
+      case CompositionExpr::NodeKind::Leaf: {
+        const Imc& m = expr_.leaves_[node.leaf];
+        for (const MarkovTransition& t : m.out_markov(tuple[node.leaf])) {
+          out.push_back(MMove{t.rate, static_cast<std::uint32_t>(node.leaf), t.to});
+        }
+        break;
+      }
+      case CompositionExpr::NodeKind::Parallel:
+        collect_markov(node.left, tuple, out);
+        collect_markov(node.right, tuple, out);
+        break;
+      case CompositionExpr::NodeKind::Hide:
+        collect_markov(node.child, tuple, out);
+        break;
+    }
+  }
+
+  const CompositionExpr& expr_;
+  const ExploreOptions& options_;
+};
+
+Imc CompositionExpr::explore(const ExploreOptions& options) const {
+  ComposeExplorer explorer(*this, options);
+  return explorer.run();
+}
+
+Imc parallel_compose(const Imc& a, const std::unordered_set<Action>& sync, const Imc& b,
+                     const ExploreOptions& options) {
+  auto expr = CompositionExpr::parallel(CompositionExpr::leaf(a),
+                                        std::unordered_set<Action>(sync),
+                                        CompositionExpr::leaf(b));
+  return expr.explore(options);
+}
+
+}  // namespace unicon

@@ -1,0 +1,44 @@
+// The elapse operator El(Ph, f, r) (Sec. 3 of the paper, following [15]).
+//
+// A time constraint turns a phase-type distribution Ph into an IMC with
+// synchronization potential: after action r (the trigger) occurs, the Ph
+// distributed delay runs; only once it has elapsed is action f (the fire
+// action) offered, and after f the constraint returns to its idle state.
+//
+// The phase-type CTMC is uniformized at rate E, and the idle and done
+// states carry Markov self-loops with rate E as well, so that *every* state
+// of the constraint has exit rate E: the constraint is a uniform IMC and —
+// by Lemmas 1 and 2 — any composition of such constraints with LTSs remains
+// uniform by construction.
+#pragma once
+
+#include <memory>
+
+#include "ctmc/phase_type.hpp"
+#include "imc/imc.hpp"
+
+namespace unicon {
+
+struct ElapseOptions {
+  /// Uniformization rate E; 0 selects the maximal phase exit rate.  Must be
+  /// >= the maximal phase exit rate otherwise.
+  double uniform_rate = 0.0;
+  /// When true the delay is already running at system start (the constraint
+  /// starts in phase 0 instead of the idle state).  E.g. the failure delay
+  /// of a fresh FTWC component runs from time zero, while its repair delay
+  /// is triggered only once the repair unit is grabbed.
+  bool initially_running = false;
+};
+
+/// Builds the time-constraint IMC El(Ph, fire, trigger).
+///
+/// State layout: 0 = idle (offers @p trigger), 1..n = phases of @p ph,
+/// n+1 = done (offers @p fire).  All states have exit rate E.
+Imc elapse(const PhaseType& ph, Action fire, Action trigger,
+           std::shared_ptr<ActionTable> actions, const ElapseOptions& options = {});
+
+/// Convenience overload interning action names.
+Imc elapse(const PhaseType& ph, std::string_view fire, std::string_view trigger,
+           std::shared_ptr<ActionTable> actions, const ElapseOptions& options = {});
+
+}  // namespace unicon

@@ -1,0 +1,47 @@
+#include "io/dot.hpp"
+
+#include <ostream>
+
+namespace unicon::io {
+
+namespace {
+std::string node_label(const Imc& m, StateId s) {
+  const std::string& name = m.state_name(s);
+  return name.empty() ? std::to_string(s) : name;
+}
+}  // namespace
+
+void write_dot(std::ostream& out, const Imc& m) {
+  out << "digraph imc {\n  rankdir=LR;\n";
+  out << "  init [shape=point];\n  init -> s" << m.initial() << ";\n";
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    out << "  s" << s << " [label=\"" << node_label(m, s) << "\"];\n";
+  }
+  for (const LtsTransition& t : m.interactive_transitions()) {
+    out << "  s" << t.from << " -> s" << t.to << " [label=\"" << m.actions().name(t.action)
+        << "\"];\n";
+  }
+  for (const MarkovTransition& t : m.markov_transitions()) {
+    out << "  s" << t.from << " -> s" << t.to << " [style=dashed,label=\"" << t.rate << "\"];\n";
+  }
+  out << "}\n";
+}
+
+void write_dot(std::ostream& out, const Ctmdp& model) {
+  out << "digraph ctmdp {\n  rankdir=LR;\n";
+  out << "  init [shape=point];\n  init -> s" << model.initial() << ";\n";
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    out << "  s" << s << " [label=\"" << s << "\"];\n";
+  }
+  for (std::uint64_t t = 0; t < model.num_transitions(); ++t) {
+    out << "  t" << t << " [shape=box,label=\""
+        << model.words().str(model.label(t), model.actions()) << "\"];\n";
+    out << "  s" << model.source(t) << " -> t" << t << ";\n";
+    for (const SparseEntry& e : model.rates(t)) {
+      out << "  t" << t << " -> s" << e.col << " [style=dashed,label=\"" << e.value << "\"];\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace unicon::io

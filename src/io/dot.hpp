@@ -1,0 +1,21 @@
+// Graphviz DOT export for small models (documentation and debugging).
+#pragma once
+
+#include <iosfwd>
+
+#include "ctmdp/ctmdp.hpp"
+#include "imc/imc.hpp"
+
+namespace unicon::io {
+
+/// Writes @p m as a DOT digraph: solid edges for interactive transitions
+/// (labelled with the action), dashed edges for Markov transitions
+/// (labelled with the rate).
+void write_dot(std::ostream& out, const Imc& m);
+
+/// Writes @p model as a DOT digraph with one intermediate box node per
+/// transition (the rate function), mirroring the hyperedge reading of
+/// CTMDP transitions.
+void write_dot(std::ostream& out, const Ctmdp& model);
+
+}  // namespace unicon::io

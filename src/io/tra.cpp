@@ -1,0 +1,206 @@
+#include "io/tra.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace unicon::io {
+
+namespace {
+
+void expect_keyword(std::istream& in, const std::string& keyword) {
+  std::string word;
+  if (!(in >> word) || word != keyword) {
+    throw ParseError("expected '" + keyword + "', got '" + word + "'");
+  }
+}
+
+std::vector<Action> parse_word(const std::string& label, ActionTable& actions) {
+  std::vector<Action> word;
+  std::string token;
+  std::istringstream stream(label);
+  while (std::getline(stream, token, '.')) {
+    if (!token.empty()) word.push_back(actions.intern(token));
+  }
+  if (word.empty()) throw ParseError("empty transition label");
+  return word;
+}
+
+}  // namespace
+
+void write_ctmc(std::ostream& out, const Ctmc& chain) {
+  out << "STATES " << chain.num_states() << "\n";
+  out << "TRANSITIONS " << chain.num_transitions() << "\n";
+  out << "INITIAL " << chain.initial() << "\n";
+  out << std::setprecision(17);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    for (const SparseEntry& t : chain.out(s)) {
+      out << s << ' ' << t.col << ' ' << t.value << "\n";
+    }
+  }
+}
+
+Ctmc read_ctmc(std::istream& in) {
+  std::size_t states = 0, transitions = 0;
+  StateId initial = 0;
+  expect_keyword(in, "STATES");
+  in >> states;
+  expect_keyword(in, "TRANSITIONS");
+  in >> transitions;
+  expect_keyword(in, "INITIAL");
+  in >> initial;
+  if (!in) throw ParseError("bad CTMC header");
+
+  CtmcBuilder b(states);
+  b.ensure_states(states);
+  b.set_initial(initial);
+  for (std::size_t i = 0; i < transitions; ++i) {
+    StateId from = 0, to = 0;
+    double rate = 0.0;
+    if (!(in >> from >> to >> rate)) throw ParseError("bad CTMC transition line");
+    b.add_transition(from, rate, to);
+  }
+  return b.build();
+}
+
+void write_imc(std::ostream& out, const Imc& m) {
+  out << "STATES " << m.num_states() << "\n";
+  out << "INITIAL " << m.initial() << "\n";
+  out << std::setprecision(17);
+  for (const LtsTransition& t : m.interactive_transitions()) {
+    out << "I " << t.from << ' ' << m.actions().name(t.action) << ' ' << t.to << "\n";
+  }
+  for (const MarkovTransition& t : m.markov_transitions()) {
+    out << "M " << t.from << ' ' << t.rate << ' ' << t.to << "\n";
+  }
+  out << "END\n";
+}
+
+Imc read_imc(std::istream& in) {
+  std::size_t states = 0;
+  StateId initial = 0;
+  expect_keyword(in, "STATES");
+  in >> states;
+  expect_keyword(in, "INITIAL");
+  in >> initial;
+  if (!in) throw ParseError("bad IMC header");
+
+  ImcBuilder b;
+  b.ensure_states(states);
+  b.set_initial(initial);
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "END") return b.build();
+    StateId from = 0, to = 0;
+    if (kind == "I") {
+      std::string action;
+      if (!(in >> from >> action >> to)) throw ParseError("bad IMC interactive line");
+      b.add_interactive(from, action, to);
+    } else if (kind == "M") {
+      double rate = 0.0;
+      if (!(in >> from >> rate >> to)) throw ParseError("bad IMC Markov line");
+      b.add_markov(from, rate, to);
+    } else {
+      throw ParseError("bad IMC line kind: " + kind);
+    }
+  }
+  throw ParseError("IMC file missing END marker");
+}
+
+void write_ctmdp(std::ostream& out, const Ctmdp& model) {
+  out << "STATES " << model.num_states() << "\n";
+  out << "TRANSITIONS " << model.num_transitions() << "\n";
+  out << "INITIAL " << model.initial() << "\n";
+  out << std::setprecision(17);
+  for (std::uint64_t t = 0; t < model.num_transitions(); ++t) {
+    const auto rates = model.rates(t);
+    out << model.source(t) << ' ' << model.words().str(model.label(t), model.actions()) << ' '
+        << rates.size();
+    for (const SparseEntry& e : rates) out << ' ' << e.col << ' ' << e.value;
+    out << "\n";
+  }
+}
+
+Ctmdp read_ctmdp(std::istream& in) {
+  std::size_t states = 0, transitions = 0;
+  StateId initial = 0;
+  expect_keyword(in, "STATES");
+  in >> states;
+  expect_keyword(in, "TRANSITIONS");
+  in >> transitions;
+  expect_keyword(in, "INITIAL");
+  in >> initial;
+  if (!in) throw ParseError("bad CTMDP header");
+
+  CtmdpBuilder b;
+  b.ensure_states(states);
+  b.set_initial(initial);
+  for (std::size_t i = 0; i < transitions; ++i) {
+    StateId from = 0;
+    std::string label;
+    std::size_t k = 0;
+    if (!(in >> from >> label >> k)) throw ParseError("bad CTMDP transition line");
+    const std::vector<Action> word = parse_word(label, *b.action_table());
+    b.begin_transition(from, b.intern_word(word));
+    for (std::size_t j = 0; j < k; ++j) {
+      StateId to = 0;
+      double rate = 0.0;
+      if (!(in >> to >> rate)) throw ParseError("bad CTMDP rate entry");
+      b.add_rate(to, rate);
+    }
+  }
+  return b.build();
+}
+
+void write_goal(std::ostream& out, const std::vector<bool>& goal) {
+  for (std::size_t s = 0; s < goal.size(); ++s) {
+    if (goal[s]) out << s << " goal\n";
+  }
+}
+
+std::vector<bool> read_goal(std::istream& in, std::size_t num_states) {
+  std::vector<bool> goal(num_states, false);
+  std::size_t s = 0;
+  std::string prop;
+  while (in >> s >> prop) {
+    if (s >= num_states) throw ParseError("goal state out of range");
+    if (prop == "goal") goal[s] = true;
+  }
+  return goal;
+}
+
+namespace {
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  return out;
+}
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open for reading: " + path);
+  return in;
+}
+}  // namespace
+
+void save_ctmc(const std::string& path, const Ctmc& chain) {
+  auto out = open_out(path);
+  write_ctmc(out, chain);
+}
+Ctmc load_ctmc(const std::string& path) {
+  auto in = open_in(path);
+  return read_ctmc(in);
+}
+void save_ctmdp(const std::string& path, const Ctmdp& model) {
+  auto out = open_out(path);
+  write_ctmdp(out, model);
+}
+Ctmdp load_ctmdp(const std::string& path) {
+  auto in = open_in(path);
+  return read_ctmdp(in);
+}
+
+}  // namespace unicon::io

@@ -1,0 +1,44 @@
+// Plain-text model exchange formats, in the spirit of the .tra/.lab files
+// used by ETMCC/MRMC (the tools the paper's implementation plugged into).
+//
+// CTMC  (.tra):    header "STATES n" / "TRANSITIONS m" / "INITIAL s",
+//                  then one "from to rate" line per transition.
+// CTMDP (.ctmdp):  header as above plus a transition block per line:
+//                  "from label k  to1 rate1 ... tok ratek"
+//                  where label is the '.'-separated action word.
+// Labels (.lab):   "s prop1 prop2 ..." — here used for the goal mask with
+//                  the single proposition "goal".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmdp/ctmdp.hpp"
+#include "imc/imc.hpp"
+
+namespace unicon::io {
+
+void write_ctmc(std::ostream& out, const Ctmc& chain);
+Ctmc read_ctmc(std::istream& in);
+
+// IMC (.imc): header "STATES n" / "INITIAL s", then one line per
+// transition: "I from action to" (interactive) or "M from rate to"
+// (Markov), terminated by "END".  Action names must not contain spaces.
+void write_imc(std::ostream& out, const Imc& m);
+Imc read_imc(std::istream& in);
+
+void write_ctmdp(std::ostream& out, const Ctmdp& model);
+Ctmdp read_ctmdp(std::istream& in);
+
+void write_goal(std::ostream& out, const std::vector<bool>& goal);
+std::vector<bool> read_goal(std::istream& in, std::size_t num_states);
+
+// File-path convenience wrappers (throw ParseError / ModelError).
+void save_ctmc(const std::string& path, const Ctmc& chain);
+Ctmc load_ctmc(const std::string& path);
+void save_ctmdp(const std::string& path, const Ctmdp& model);
+Ctmdp load_ctmdp(const std::string& path);
+
+}  // namespace unicon::io

@@ -1,0 +1,134 @@
+#include "lts/lts.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+namespace {
+const std::string kEmptyName;
+
+bool transition_less(const LtsTransition& a, const LtsTransition& b) {
+  if (a.from != b.from) return a.from < b.from;
+  if (a.action != b.action) return a.action < b.action;
+  return a.to < b.to;
+}
+}  // namespace
+
+const std::string& Lts::state_name(StateId s) const {
+  if (s < state_names_.size()) return state_names_[s];
+  return kEmptyName;
+}
+
+void Lts::index() {
+  std::sort(transitions_.begin(), transitions_.end(), transition_less);
+  transitions_.erase(std::unique(transitions_.begin(), transitions_.end()), transitions_.end());
+  row_.assign(num_states_ + 1, 0);
+  for (const LtsTransition& t : transitions_) ++row_[t.from + 1];
+  for (std::size_t i = 0; i < num_states_; ++i) row_[i + 1] += row_[i];
+}
+
+Lts Lts::hide(const std::unordered_set<Action>& hidden) const {
+  Lts result = *this;
+  for (LtsTransition& t : result.transitions_) {
+    if (hidden.count(t.action) != 0) t.action = kTau;
+  }
+  result.index();
+  return result;
+}
+
+Lts Lts::relabel(const std::unordered_map<Action, Action>& renaming) const {
+  Lts result = *this;
+  for (LtsTransition& t : result.transitions_) {
+    auto it = renaming.find(t.action);
+    if (it != renaming.end()) t.action = it->second;
+  }
+  result.index();
+  return result;
+}
+
+Lts Lts::reachable() const {
+  std::vector<StateId> remap(num_states_, kNoState);
+  std::vector<StateId> stack{initial_};
+  remap[initial_] = 0;
+  StateId next_id = 1;
+  std::vector<StateId> order{initial_};
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (const LtsTransition& t : out(s)) {
+      if (remap[t.to] == kNoState) {
+        remap[t.to] = next_id++;
+        order.push_back(t.to);
+        stack.push_back(t.to);
+      }
+    }
+  }
+
+  LtsBuilder b(actions_);
+  for (StateId old : order) b.add_state(state_name(old));
+  b.set_initial(0);
+  for (const LtsTransition& t : transitions_) {
+    if (remap[t.from] != kNoState && remap[t.to] != kNoState) {
+      b.add_transition(remap[t.from], t.action, remap[t.to]);
+    }
+  }
+  return b.build();
+}
+
+bool Lts::deterministic() const {
+  for (StateId s = 0; s < num_states_; ++s) {
+    const auto ts = out(s);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      if (ts[i].action == ts[i - 1].action) return false;
+    }
+  }
+  return true;
+}
+
+LtsBuilder::LtsBuilder(std::shared_ptr<ActionTable> actions)
+    : actions_(actions ? std::move(actions) : std::make_shared<ActionTable>()) {}
+
+StateId LtsBuilder::add_state(std::string name) {
+  state_names_.push_back(std::move(name));
+  return static_cast<StateId>(num_states_++);
+}
+
+void LtsBuilder::ensure_states(std::size_t n) {
+  while (num_states_ < n) add_state();
+}
+
+void LtsBuilder::add_transition(StateId from, Action action, StateId to) {
+  transitions_.push_back(LtsTransition{from, action, to});
+}
+
+void LtsBuilder::add_transition(StateId from, std::string_view action, StateId to) {
+  add_transition(from, actions_->intern(action), to);
+}
+
+Lts LtsBuilder::build() {
+  if (num_states_ == 0) throw ModelError("Lts: at least one state required");
+  for (const LtsTransition& t : transitions_) {
+    if (t.from >= num_states_ || t.to >= num_states_) {
+      throw ModelError("Lts: transition references unknown state");
+    }
+  }
+  if (initial_ >= num_states_) throw ModelError("Lts: initial state out of range");
+
+  Lts lts;
+  lts.actions_ = actions_;
+  lts.num_states_ = num_states_;
+  lts.initial_ = initial_;
+  lts.transitions_ = std::move(transitions_);
+  lts.state_names_ = std::move(state_names_);
+  lts.index();
+
+  num_states_ = 0;
+  initial_ = 0;
+  transitions_.clear();
+  state_names_.clear();
+  return lts;
+}
+
+}  // namespace unicon

@@ -1,0 +1,116 @@
+// Labeled transition systems.
+//
+// LTSs describe the functional behaviour of components (Fig. 2 of the
+// paper).  They are special IMCs with an empty Markov transition relation
+// and are, by definition, uniform with rate E = 0.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/symbols.hpp"
+
+namespace unicon {
+
+/// One interactive transition from(s) --action--> to.
+struct LtsTransition {
+  StateId from = 0;
+  Action action = kTau;
+  StateId to = 0;
+
+  friend bool operator==(const LtsTransition&, const LtsTransition&) = default;
+};
+
+class LtsBuilder;
+
+/// An immutable labeled transition system.  States are dense ids; the action
+/// table is shared so that independently built components agree on action
+/// ids when composed.
+class Lts {
+ public:
+  Lts() : actions_(std::make_shared<ActionTable>()) {}
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_transitions() const { return transitions_.size(); }
+  StateId initial() const { return initial_; }
+
+  const ActionTable& actions() const { return *actions_; }
+  const std::shared_ptr<ActionTable>& action_table() const { return actions_; }
+
+  /// Transitions emanating from state @p s, sorted by (action, target).
+  std::span<const LtsTransition> out(StateId s) const {
+    return std::span<const LtsTransition>(transitions_.data() + row_[s],
+                                          transitions_.data() + row_[s + 1]);
+  }
+
+  /// All transitions, grouped by source state.
+  std::span<const LtsTransition> transitions() const { return transitions_; }
+
+  /// Optional human-readable state name ("" when unnamed).
+  const std::string& state_name(StateId s) const;
+
+  /// Returns a copy in which every action in @p hidden is replaced by tau.
+  Lts hide(const std::unordered_set<Action>& hidden) const;
+
+  /// Returns a copy with actions renamed according to @p renaming (actions
+  /// not in the map are unchanged).  This is process-algebraic relabelling,
+  /// used to instantiate e.g. the generic grab/release actions of Fig. 2.
+  Lts relabel(const std::unordered_map<Action, Action>& renaming) const;
+
+  /// Returns the restriction to states reachable from the initial state.
+  Lts reachable() const;
+
+  /// True iff some state has two transitions with the same action to
+  /// different targets, or any state has more than one outgoing transition.
+  bool deterministic() const;
+
+ private:
+  friend class LtsBuilder;
+  std::shared_ptr<ActionTable> actions_;
+  std::size_t num_states_ = 0;
+  StateId initial_ = 0;
+  std::vector<LtsTransition> transitions_;  // sorted by (from, action, to)
+  std::vector<std::uint64_t> row_;          // num_states_+1 offsets
+  std::vector<std::string> state_names_;
+
+  void index();
+};
+
+/// Builder for Lts.
+class LtsBuilder {
+ public:
+  /// Creates a builder; components to be composed should share one table.
+  explicit LtsBuilder(std::shared_ptr<ActionTable> actions = nullptr);
+
+  /// Adds a state, optionally named; the first added state is initial
+  /// unless set_initial is called.
+  StateId add_state(std::string name = "");
+
+  /// Ensures at least @p n states exist.
+  void ensure_states(std::size_t n);
+
+  void set_initial(StateId s) { initial_ = s; }
+
+  void add_transition(StateId from, Action action, StateId to);
+  void add_transition(StateId from, std::string_view action, StateId to);
+
+  Action intern(std::string_view name) { return actions_->intern(name); }
+  const std::shared_ptr<ActionTable>& action_table() const { return actions_; }
+
+  /// Finalizes the LTS.  Throws ModelError if empty or ids out of range.
+  Lts build();
+
+ private:
+  std::shared_ptr<ActionTable> actions_;
+  std::size_t num_states_ = 0;
+  StateId initial_ = 0;
+  std::vector<LtsTransition> transitions_;
+  std::vector<std::string> state_names_;
+};
+
+}  // namespace unicon

@@ -1,0 +1,42 @@
+// Error types shared across the unicon library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace unicon {
+
+/// Base class for all unicon errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model violates a structural precondition (bad state id, negative rate,
+/// empty state space, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// The closed model admits Zeno behaviour: a cycle of interactive
+/// transitions that can be traversed in zero time (Sec. 4.1 of the paper
+/// excludes such models).
+class ZenoError : public Error {
+ public:
+  explicit ZenoError(const std::string& what) : Error(what) {}
+};
+
+/// An operation required a uniform model but the argument is not uniform.
+class UniformityError : public Error {
+ public:
+  explicit UniformityError(const std::string& what) : Error(what) {}
+};
+
+/// Failure to parse a model file.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace unicon

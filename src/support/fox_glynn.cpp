@@ -1,0 +1,87 @@
+#include "support/fox_glynn.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+double poisson_pmf(std::uint64_t n, double lambda) {
+  if (lambda == 0.0) return n == 0 ? 1.0 : 0.0;
+  const double logp =
+      -lambda + static_cast<double>(n) * std::log(lambda) - std::lgamma(static_cast<double>(n) + 1.0);
+  return std::exp(logp);
+}
+
+PoissonWindow PoissonWindow::compute(double lambda, double epsilon) {
+  if (!(lambda >= 0.0) || !std::isfinite(lambda)) throw ModelError("PoissonWindow: lambda must be finite and >= 0");
+  if (!(epsilon > 0.0) || epsilon >= 1.0) throw ModelError("PoissonWindow: epsilon must be in (0, 1)");
+
+  PoissonWindow w;
+  w.lambda_ = lambda;
+  w.epsilon_ = epsilon;
+
+  if (lambda == 0.0) {
+    w.left_ = w.right_ = 0;
+    w.weights_ = {1.0};
+    w.total_mass_ = 1.0;
+    w.suffix_mass_ = {1.0};
+    return w;
+  }
+
+  const auto mode = static_cast<std::uint64_t>(lambda);
+  const double pmode = poisson_pmf(mode, lambda);
+
+  // Expand outward from the mode, adding the larger of the two frontier
+  // probabilities each step, until the accumulated mass reaches 1 - epsilon.
+  // The frontier probabilities follow the ratio recurrences
+  //   p(n+1) = p(n) * lambda / (n+1)      and      p(n-1) = p(n) * n / lambda.
+  std::vector<double> up;    // p(mode+1), p(mode+2), ...
+  std::vector<double> down;  // p(mode-1), p(mode-2), ...
+  double up_p = pmode;       // last materialized probability above the mode
+  double down_p = pmode;     // last materialized probability below the mode
+  std::uint64_t hi = mode;
+  std::uint64_t lo = mode;
+  double mass = pmode;
+  const double target = 1.0 - epsilon;
+
+  while (mass < target) {
+    const double next_up = up_p * lambda / static_cast<double>(hi + 1);
+    const double next_down = lo > 0 ? down_p * static_cast<double>(lo) / lambda : 0.0;
+    if (next_up <= 0.0 && next_down <= 0.0) break;  // numeric floor reached
+    if (next_up >= next_down) {
+      ++hi;
+      up_p = next_up;
+      up.push_back(next_up);
+      mass += next_up;
+    } else {
+      --lo;
+      down_p = next_down;
+      down.push_back(next_down);
+      mass += next_down;
+    }
+  }
+
+  w.left_ = lo;
+  w.right_ = hi;
+  w.total_mass_ = mass;
+  w.weights_.resize(hi - lo + 1);
+  for (std::size_t i = 0; i < down.size(); ++i) w.weights_[down.size() - 1 - i] = down[i];
+  w.weights_[down.size()] = pmode;
+  for (std::size_t i = 0; i < up.size(); ++i) w.weights_[down.size() + 1 + i] = up[i];
+
+  w.suffix_mass_.resize(w.weights_.size() + 1);
+  w.suffix_mass_.back() = 0.0;
+  for (std::size_t i = w.weights_.size(); i-- > 0;)
+    w.suffix_mass_[i] = w.suffix_mass_[i + 1] + w.weights_[i];
+  return w;
+}
+
+double PoissonWindow::tail_mass(std::uint64_t n) const {
+  if (n <= left_) return suffix_mass_.empty() ? 0.0 : suffix_mass_[0];
+  if (n > right_) return 0.0;
+  return suffix_mass_[n - left_];
+}
+
+}  // namespace unicon

@@ -1,0 +1,44 @@
+// Small numeric helpers used throughout the library.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace unicon {
+
+/// Compensated (Kahan) accumulator for long probability sums.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// True iff |a - b| <= tol (absolute tolerance).
+inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Clamps a probability-like value into [0, 1]; values outside by more than
+/// @p slack indicate a bug and are reported by the callers.
+inline double clamp01(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+/// Maximum absolute difference between two equally sized vectors.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// L1 norm of a vector.
+double l1_norm(std::span<const double> v);
+
+}  // namespace unicon

@@ -1,0 +1,73 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  if (n == 0) throw ModelError("Rng::next_below: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_exponential(double rate) {
+  if (!(rate > 0.0)) throw ModelError("Rng::next_exponential: rate must be positive");
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::next_discrete(std::span<const double> weights) {
+  if (weights.empty()) throw ModelError("Rng::next_discrete: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (!(total > 0.0)) throw ModelError("Rng::next_discrete: weights must have positive sum");
+  double x = next_double() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace unicon

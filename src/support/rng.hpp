@@ -1,0 +1,37 @@
+// Deterministic pseudo-random numbers for property tests and simulation.
+//
+// xoshiro256++ seeded via splitmix64.  Self-contained so that test and
+// simulation results are reproducible across standard-library versions
+// (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace unicon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Sample from Exp(rate).  Requires rate > 0.
+  double next_exponential(double rate);
+
+  /// Samples an index with probability weights[i] / sum(weights).
+  /// Requires a non-empty span with non-negative entries and positive sum.
+  std::size_t next_discrete(std::span<const double> weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unicon

@@ -1,0 +1,68 @@
+#include "support/sparse.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+double CsrMatrix::row_sum(std::size_t r) const {
+  double sum = 0.0;
+  for (const SparseEntry& e : row(r)) sum += e.value;
+  return sum;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (const SparseEntry& e : row(r)) acc += e.value * x[e.col];
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_transposed(std::span<const double> x, std::span<double> y) const {
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (const SparseEntry& e : row(r)) y[e.col] += e.value * xr;
+  }
+}
+
+void CsrBuilder::add(std::uint32_t row, std::uint32_t col, double value) {
+  if (row >= rows_) rows_ = row + 1;
+  triplets_.push_back(Triplet{row, col, value});
+}
+
+CsrMatrix CsrBuilder::finish() {
+  std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.entries_.reserve(triplets_.size());
+
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    m.row_ptr_[r] = m.entries_.size();
+    while (i < triplets_.size() && triplets_[i].row == r) {
+      if (!m.entries_.empty() && m.row_ptr_[r] < m.entries_.size() &&
+          m.entries_.back().col == triplets_[i].col) {
+        m.entries_.back().value += triplets_[i].value;
+      } else {
+        m.entries_.push_back(SparseEntry{triplets_[i].col, triplets_[i].value});
+      }
+      ++i;
+    }
+  }
+  m.row_ptr_[rows_] = m.entries_.size();
+
+  triplets_.clear();
+  rows_ = 0;
+  return m;
+}
+
+}  // namespace unicon

@@ -1,0 +1,90 @@
+// Compressed-sparse-row matrices over double values.
+//
+// The transition relations of all models in this library are stored in CSR
+// form: a row-pointer array, a column array and a value array.  This mirrors
+// the storage strategy of the paper's implementation ("the transition
+// relation is stored as sparse matrices storing action and rate information
+// separately", Sec. 4.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace unicon {
+
+/// One (column, value) entry of a sparse row.
+struct SparseEntry {
+  std::uint32_t col = 0;
+  double value = 0.0;
+
+  friend bool operator==(const SparseEntry&, const SparseEntry&) = default;
+};
+
+class CsrBuilder;
+
+/// An immutable CSR matrix.  Rows are contiguous spans of SparseEntry,
+/// sorted by column with duplicate columns merged (values summed).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t entries() const { return entries_.size(); }
+
+  /// Entries of row @p r.
+  std::span<const SparseEntry> row(std::size_t r) const {
+    return std::span<const SparseEntry>(entries_.data() + row_ptr_[r],
+                                        entries_.data() + row_ptr_[r + 1]);
+  }
+
+  /// Sum of the values in row @p r.
+  double row_sum(std::size_t r) const;
+
+  /// y = A * x  (sizes must match; y is overwritten).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T * x.
+  void multiply_transposed(std::span<const double> x, std::span<double> y) const;
+
+  /// Approximate heap footprint in bytes.
+  std::size_t memory_bytes() const {
+    return row_ptr_.size() * sizeof(std::uint64_t) + entries_.size() * sizeof(SparseEntry);
+  }
+
+ private:
+  friend class CsrBuilder;
+  std::vector<std::uint64_t> row_ptr_;   // size rows()+1
+  std::vector<SparseEntry> entries_;
+};
+
+/// Incremental builder for CsrMatrix.  Entries may be added in any order;
+/// finish() sorts rows, merges duplicate columns and returns the matrix.
+class CsrBuilder {
+ public:
+  /// Creates a builder for a matrix with @p rows rows.
+  explicit CsrBuilder(std::size_t rows = 0) : rows_(rows) {}
+
+  /// Ensures the matrix has at least @p rows rows.
+  void reserve_rows(std::size_t rows) { rows_ = rows > rows_ ? rows : rows_; }
+
+  /// Adds @p value at (@p row, @p col); duplicate coordinates are summed.
+  void add(std::uint32_t row, std::uint32_t col, double value);
+
+  std::size_t pending_entries() const { return triplets_.size(); }
+
+  /// Builds the matrix and resets the builder.
+  CsrMatrix finish();
+
+ private:
+  struct Triplet {
+    std::uint32_t row;
+    std::uint32_t col;
+    double value;
+  };
+  std::size_t rows_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace unicon

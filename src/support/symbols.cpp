@@ -1,0 +1,75 @@
+#include "support/symbols.hpp"
+
+#include <cstring>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+ActionTable::ActionTable() {
+  names_.emplace_back("tau");
+  ids_.emplace("tau", kTau);
+}
+
+Action ActionTable::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<Action>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Action ActionTable::id(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) throw ModelError("unknown action: " + std::string(name));
+  return it->second;
+}
+
+bool ActionTable::contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+const std::string& ActionTable::name(Action a) const {
+  if (a >= names_.size()) throw ModelError("action id out of range");
+  return names_[a];
+}
+
+std::string WordTable::key(std::span<const Action> word) {
+  std::string k(word.size() * sizeof(Action), '\0');
+  if (!word.empty()) std::memcpy(k.data(), word.data(), k.size());
+  return k;
+}
+
+WordId WordTable::intern(std::span<const Action> word) {
+  if (word.empty()) throw ModelError("cannot intern the empty word");
+  auto k = key(word);
+  auto it = ids_.find(k);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<WordId>(index_.size());
+  index_.push_back(Entry{pool_.size(), static_cast<std::uint32_t>(word.size())});
+  pool_.insert(pool_.end(), word.begin(), word.end());
+  ids_.emplace(std::move(k), id);
+  return id;
+}
+
+WordId WordTable::intern_single(Action a) { return intern(std::span<const Action>(&a, 1)); }
+
+std::span<const Action> WordTable::actions(WordId w) const {
+  if (w >= index_.size()) throw ModelError("word id out of range");
+  const Entry& e = index_[w];
+  return std::span<const Action>(pool_.data() + e.offset, e.length);
+}
+
+std::string WordTable::str(WordId w, const ActionTable& actions_tbl) const {
+  std::string out;
+  bool first = true;
+  for (Action a : actions(w)) {
+    if (!first) out += '.';
+    out += actions_tbl.name(a);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace unicon

@@ -1,0 +1,90 @@
+// Interned action names and action words.
+//
+// Actions label interactive transitions of LTSs, IMCs and CTMDPs.  The
+// distinguished internal action tau always has id 0.  Words over
+// Act+_{\tau} u {tau} label the transitions produced by the
+// interactive-alternating transformation step (Sec. 4.1, step 3); they are
+// interned in a WordTable so that CTMDP transitions carry a compact id.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace unicon {
+
+/// Id of an interned action name.
+using Action = std::uint32_t;
+
+/// The distinguished internal action.
+inline constexpr Action kTau = 0;
+
+/// Id of an interned action word.
+using WordId = std::uint32_t;
+
+/// Id of a state in any of the transition-system models.
+using StateId = std::uint32_t;
+
+inline constexpr StateId kNoState = static_cast<StateId>(-1);
+
+/// Bidirectional map between action names and dense ids.  The table is
+/// append-only; id 0 is pre-interned as "tau".
+class ActionTable {
+ public:
+  ActionTable();
+
+  /// Interns @p name, returning its id (existing id if already interned).
+  Action intern(std::string_view name);
+
+  /// Returns the id of @p name or throws ModelError if unknown.
+  Action id(std::string_view name) const;
+
+  /// Returns true iff @p name has been interned.
+  bool contains(std::string_view name) const;
+
+  /// Returns the name of action @p a.
+  const std::string& name(Action a) const;
+
+  /// Number of interned actions (including tau).
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Action> ids_;
+};
+
+/// Bidirectional map between action words (non-empty action sequences, or
+/// the singleton tau word) and dense ids.  Words are flattened into a shared
+/// pool; a word is addressed by (offset, length).
+class WordTable {
+ public:
+  /// Interns @p word (a non-empty sequence of actions).
+  WordId intern(std::span<const Action> word);
+
+  /// Interns the singleton word consisting of @p a alone.
+  WordId intern_single(Action a);
+
+  /// Returns the actions of word @p w.
+  std::span<const Action> actions(WordId w) const;
+
+  /// Renders word @p w as a '.'-separated string using @p actions.
+  std::string str(WordId w, const ActionTable& actions) const;
+
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  std::vector<Action> pool_;
+  std::vector<Entry> index_;
+  std::unordered_map<std::string, WordId> ids_;  // key: raw bytes of the word
+
+  static std::string key(std::span<const Action> word);
+};
+
+}  // namespace unicon

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "imc/compose.hpp"
+#include "imc/imc.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace unicon {
+namespace {
+
+Imc single_action_imc(const std::shared_ptr<ActionTable>& actions, const std::string& a) {
+  ImcBuilder b(actions);
+  b.add_state("p0");
+  b.add_state("p1");
+  b.set_initial(0);
+  b.add_interactive(0, a, 1);
+  return b.build();
+}
+
+Imc single_rate_imc(const std::shared_ptr<ActionTable>& actions, double rate) {
+  ImcBuilder b(actions);
+  b.add_state("m0");
+  b.add_state("m1");
+  b.set_initial(0);
+  b.add_markov(0, rate, 1);
+  return b.build();
+}
+
+// ------------------------------------------------------ SOS rule checks
+
+TEST(Compose, InterleavingIndependentActions) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left = single_action_imc(actions, "a");
+  const Imc right = single_action_imc(actions, "b");
+  const Imc prod = parallel_compose(left, {}, right);
+  // Diamond: 2x2 states, a and b in either order.
+  EXPECT_EQ(prod.num_states(), 4u);
+  EXPECT_EQ(prod.num_interactive_transitions(), 4u);
+}
+
+TEST(Compose, SynchronizedActionFiresJointly) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left = single_action_imc(actions, "a");
+  const Imc right = single_action_imc(actions, "a");
+  const Imc prod = parallel_compose(left, {actions->id("a")}, right);
+  // Only the joint a-step: 2 states, 1 transition.
+  EXPECT_EQ(prod.num_states(), 2u);
+  EXPECT_EQ(prod.num_interactive_transitions(), 1u);
+}
+
+TEST(Compose, SynchronizationBlocksWhenPartnerCannot) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left = single_action_imc(actions, "a");
+  const Imc right = single_action_imc(actions, "b");  // never offers a
+  const Imc prod = parallel_compose(left, {actions->id("a")}, right);
+  // a blocked forever; only b fires.
+  EXPECT_EQ(prod.num_interactive_transitions(), 1u);
+}
+
+TEST(Compose, TauInSyncSetRejected) {
+  auto actions = std::make_shared<ActionTable>();
+  EXPECT_THROW(CompositionExpr::parallel(CompositionExpr::leaf(single_action_imc(actions, "a")),
+                                         {kTau},
+                                         CompositionExpr::leaf(single_action_imc(actions, "a"))),
+               ModelError);
+}
+
+TEST(Compose, MarkovTransitionsInterleave) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left = single_rate_imc(actions, 1.0);
+  const Imc right = single_rate_imc(actions, 2.0);
+  const Imc prod = parallel_compose(left, {}, right);
+  EXPECT_EQ(prod.num_states(), 4u);
+  EXPECT_EQ(prod.num_markov_transitions(), 4u);
+  // Initial state carries both rates.
+  EXPECT_DOUBLE_EQ(prod.exit_rate(prod.initial()), 3.0);
+}
+
+TEST(Compose, DifferentActionTablesRejected) {
+  const Imc left = single_action_imc(std::make_shared<ActionTable>(), "a");
+  const Imc right = single_action_imc(std::make_shared<ActionTable>(), "a");
+  EXPECT_THROW(parallel_compose(left, {}, right), ModelError);
+}
+
+TEST(Compose, HideNodeRenamesToTau) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc leaf = single_action_imc(actions, "a");
+  auto expr = CompositionExpr::hide(CompositionExpr::leaf(leaf), {actions->id("a")});
+  const Imc m = expr.explore();
+  ASSERT_EQ(m.num_interactive_transitions(), 1u);
+  EXPECT_EQ(m.interactive_transitions()[0].action, kTau);
+}
+
+TEST(Compose, HideAllNode) {
+  auto actions = std::make_shared<ActionTable>();
+  auto expr = CompositionExpr::hide_all(CompositionExpr::parallel(
+      CompositionExpr::leaf(single_action_imc(actions, "a")), {},
+      CompositionExpr::leaf(single_action_imc(actions, "b"))));
+  const Imc m = expr.explore();
+  for (const LtsTransition& t : m.interactive_transitions()) EXPECT_EQ(t.action, kTau);
+}
+
+TEST(Compose, HiddenActionNoLongerSynchronizes) {
+  // Hiding below a parallel node makes the action internal; the outer sync
+  // set cannot capture it.
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left_leaf = single_action_imc(actions, "a");
+  const Imc right_leaf = single_action_imc(actions, "a");
+  auto hidden_left = CompositionExpr::hide(CompositionExpr::leaf(left_leaf), {actions->id("a")});
+  auto expr = CompositionExpr::parallel(std::move(hidden_left), {actions->id("a")},
+                                        CompositionExpr::leaf(right_leaf));
+  const Imc m = expr.explore();
+  // Left moves independently via tau; right's a is blocked forever.
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.num_interactive_transitions(), 1u);
+  EXPECT_EQ(m.interactive_transitions()[0].action, kTau);
+}
+
+TEST(Compose, UrgentExplorationCutsMarkovAtInteractiveStates) {
+  auto actions = std::make_shared<ActionTable>();
+  ImcBuilder b(actions);
+  b.add_state();
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_interactive(0, "a", 1);
+  b.add_markov(0, 5.0, 2);
+  const Imc hybrid = b.build();
+
+  ExploreOptions urgent;
+  urgent.urgent = true;
+  const Imc closed = CompositionExpr::leaf(hybrid).explore(urgent);
+  EXPECT_EQ(closed.num_markov_transitions(), 0u);
+  EXPECT_EQ(closed.num_states(), 2u);  // Markov successor never materialized
+}
+
+TEST(Compose, MaxStatesGuard) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc left = single_rate_imc(actions, 1.0);
+  const Imc right = single_rate_imc(actions, 2.0);
+  ExploreOptions options;
+  options.max_states = 2;
+  EXPECT_THROW(parallel_compose(left, {}, right, options), ModelError);
+}
+
+TEST(Compose, RecordNamesBuildsTuples) {
+  auto actions = std::make_shared<ActionTable>();
+  ExploreOptions options;
+  options.record_names = true;
+  const Imc prod =
+      parallel_compose(single_action_imc(actions, "a"), {}, single_action_imc(actions, "b"),
+                       options);
+  EXPECT_EQ(prod.state_name(prod.initial()), "(p0,p0)");
+}
+
+TEST(Compose, OnlyReachableProductStatesMaterialize) {
+  auto actions = std::make_shared<ActionTable>();
+  // Sync on a: the right component needs b first, which is blocked by sync
+  // on b with a left component that never offers it -> deadlock; only the
+  // initial state exists.
+  ImcBuilder rb(actions);
+  rb.add_state();
+  rb.add_state();
+  rb.add_state();
+  rb.set_initial(0);
+  rb.add_interactive(0, "b", 1);
+  rb.add_interactive(1, "a", 2);
+  const Imc right = rb.build();
+  const Imc left = single_action_imc(actions, "a");
+  const Imc prod =
+      parallel_compose(left, {actions->id("a"), actions->id("b")}, right);
+  EXPECT_EQ(prod.num_states(), 1u);
+  EXPECT_EQ(prod.num_interactive_transitions(), 0u);
+}
+
+TEST(Compose, ThreeWayncSynchronizationThroughNesting) {
+  // a |[x]| (b |[x]| c): action x fires only when all three agree.
+  auto actions = std::make_shared<ActionTable>();
+  const Imc a = single_action_imc(actions, "x");
+  const Imc b = single_action_imc(actions, "x");
+  const Imc c = single_action_imc(actions, "x");
+  const Action x = actions->id("x");
+  auto expr = CompositionExpr::parallel(
+      CompositionExpr::leaf(a), {x},
+      CompositionExpr::parallel(CompositionExpr::leaf(b), {x}, CompositionExpr::leaf(c)));
+  const Imc prod = expr.explore();
+  EXPECT_EQ(prod.num_states(), 2u);
+  EXPECT_EQ(prod.num_interactive_transitions(), 1u);
+}
+
+TEST(Compose, InterleaveIsAssociativeOnStateCounts) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc a = single_action_imc(actions, "a");
+  const Imc b = single_rate_imc(actions, 1.0);
+  const Imc c = single_action_imc(actions, "c");
+  const Imc left = CompositionExpr::interleave(
+                       CompositionExpr::interleave(CompositionExpr::leaf(a), CompositionExpr::leaf(b)),
+                       CompositionExpr::leaf(c))
+                       .explore();
+  const Imc right = CompositionExpr::interleave(
+                        CompositionExpr::leaf(a),
+                        CompositionExpr::interleave(CompositionExpr::leaf(b), CompositionExpr::leaf(c)))
+                        .explore();
+  EXPECT_EQ(left.num_states(), right.num_states());
+  EXPECT_EQ(left.num_interactive_transitions(), right.num_interactive_transitions());
+  EXPECT_EQ(left.num_markov_transitions(), right.num_markov_transitions());
+}
+
+TEST(Compose, RatesAddAcrossManyComponents) {
+  auto actions = std::make_shared<ActionTable>();
+  CompositionExpr expr = CompositionExpr::leaf(single_rate_imc(actions, 0.5));
+  for (int i = 0; i < 4; ++i) {
+    expr = CompositionExpr::interleave(std::move(expr),
+                                       CompositionExpr::leaf(single_rate_imc(actions, 0.5)));
+  }
+  const Imc prod = expr.explore();
+  EXPECT_DOUBLE_EQ(prod.exit_rate(prod.initial()), 2.5);
+  EXPECT_EQ(prod.num_states(), 32u);
+}
+
+TEST(Compose, SynchronizedMarkovNeverHappens) {
+  // Markov transitions always interleave even if both components carry the
+  // same rates: the initial product state has both exit rates summed, not
+  // a "joint" transition.
+  auto actions = std::make_shared<ActionTable>();
+  const Imc a = single_rate_imc(actions, 2.0);
+  const Imc b = single_rate_imc(actions, 2.0);
+  const Imc prod = parallel_compose(a, {}, b);
+  const auto out = prod.out_markov(prod.initial());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ------------------------------------- Lemmas 1 and 2 (property sweeps)
+
+class UniformityPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformityPreservation, ParallelCompositionAddsUniformRates) {
+  // Lemma 2: M |[A]| N is uniform whenever M and N are; rates add up.
+  Rng rng(GetParam());
+  testutil::RandomImcConfig config;
+  config.num_states = 8;
+  config.uniform_rate = 2.0;
+
+  ImcBuilder shared_builder;  // to share an action table across components
+  auto actions = shared_builder.action_table();
+
+  const Imc m = testutil::random_uniform_imc(rng, config);
+  config.uniform_rate = 3.0;
+  const Imc n = testutil::random_uniform_imc(rng, config);
+  // Rebuild n over m's table so they can be composed.
+  ImcBuilder rebuild(m.action_table());
+  for (StateId s = 0; s < n.num_states(); ++s) rebuild.add_state();
+  rebuild.set_initial(n.initial());
+  for (const LtsTransition& t : n.interactive_transitions()) {
+    rebuild.add_interactive(t.from, m.action_table()->intern(n.actions().name(t.action)), t.to);
+  }
+  for (const MarkovTransition& t : n.markov_transitions()) {
+    rebuild.add_markov(t.from, t.rate, t.to);
+  }
+  const Imc n2 = rebuild.build();
+
+  ASSERT_TRUE(m.is_uniform(UniformityView::Open, 1e-9));
+  ASSERT_TRUE(n2.is_uniform(UniformityView::Open, 1e-9));
+
+  const Imc prod = parallel_compose(m, {m.action_table()->id("a")}, n2);
+  ASSERT_TRUE(prod.is_uniform(UniformityView::Open, 1e-6));
+  EXPECT_NEAR(*prod.uniform_rate(UniformityView::Open, 1e-6), 5.0, 1e-9);
+}
+
+TEST_P(UniformityPreservation, HidingPreservesUniformity) {
+  // Lemma 1: hide a in (M) is uniform whenever M is.
+  Rng rng(GetParam() + 1000);
+  testutil::RandomImcConfig config;
+  config.num_states = 10;
+  config.uniform_rate = 4.0;
+  config.tau_bias = 0.2;  // mostly visible actions so hiding does something
+  const Imc m = testutil::random_uniform_imc(rng, config);
+  ASSERT_TRUE(m.is_uniform(UniformityView::Open, 1e-9));
+  const Imc h = m.hide({m.action_table()->id("a")});
+  EXPECT_TRUE(h.is_uniform(UniformityView::Open, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformityPreservation, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace unicon

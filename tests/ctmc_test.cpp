@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/transient.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+/// The simplest birth-death chain: 0 --lambda--> 1 --mu--> 0.
+Ctmc two_state_chain(double lambda, double mu) {
+  CtmcBuilder b(2);
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.add_transition(0, lambda, 1);
+  b.add_transition(1, mu, 0);
+  return b.build();
+}
+
+TEST(Ctmc, BuilderBasics) {
+  const Ctmc c = two_state_chain(1.0, 2.0);
+  EXPECT_EQ(c.num_states(), 2u);
+  EXPECT_EQ(c.num_transitions(), 2u);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(c.max_exit_rate(), 2.0);
+}
+
+TEST(Ctmc, RejectsNonPositiveRates) {
+  CtmcBuilder b(2);
+  EXPECT_THROW(b.add_transition(0, 0.0, 1), ModelError);
+  EXPECT_THROW(b.add_transition(0, -1.0, 1), ModelError);
+}
+
+TEST(Ctmc, EmptyBuildThrows) {
+  CtmcBuilder b;
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Ctmc, ParallelTransitionsAccumulate) {
+  CtmcBuilder b(2);
+  b.ensure_states(2);
+  b.add_transition(0, 1.0, 1);
+  b.add_transition(0, 2.0, 1);
+  const Ctmc c = b.build();
+  EXPECT_EQ(c.num_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 3.0);
+}
+
+TEST(Ctmc, UniformRateDetection) {
+  EXPECT_FALSE(two_state_chain(1.0, 2.0).is_uniform());
+  EXPECT_TRUE(two_state_chain(2.0, 2.0).is_uniform());
+  EXPECT_DOUBLE_EQ(*two_state_chain(2.0, 2.0).uniform_rate(), 2.0);
+}
+
+TEST(Ctmc, NoTransitionsIsUniformAtZero) {
+  CtmcBuilder b(1);
+  b.ensure_states(1);
+  EXPECT_DOUBLE_EQ(*b.build().uniform_rate(), 0.0);
+}
+
+TEST(Ctmc, UniformizeAddsSelfLoops) {
+  const Ctmc u = two_state_chain(1.0, 2.0).uniformize();
+  EXPECT_TRUE(u.is_uniform());
+  EXPECT_DOUBLE_EQ(*u.uniform_rate(), 2.0);
+  // State 0 gained a self-loop with the missing mass.
+  double self_loop = 0.0;
+  for (const SparseEntry& t : u.out(0)) {
+    if (t.col == 0) self_loop = t.value;
+  }
+  EXPECT_DOUBLE_EQ(self_loop, 1.0);
+}
+
+TEST(Ctmc, UniformizeWithExplicitRate) {
+  const Ctmc u = two_state_chain(1.0, 2.0).uniformize(5.0);
+  EXPECT_DOUBLE_EQ(*u.uniform_rate(), 5.0);
+}
+
+TEST(Ctmc, UniformizeBelowMaxThrows) {
+  EXPECT_THROW(two_state_chain(1.0, 2.0).uniformize(1.5), UniformityError);
+}
+
+TEST(Ctmc, MakeAbsorbingRemovesOutgoing) {
+  const Ctmc c = two_state_chain(1.0, 2.0).make_absorbing({false, true});
+  EXPECT_DOUBLE_EQ(c.exit_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 1.0);
+}
+
+// ---------------------------------------------------------- transient
+
+TEST(Transient, SingleStateStaysPut) {
+  CtmcBuilder b(1);
+  b.ensure_states(1);
+  const auto r = transient_distribution(b.build(), 10.0);
+  ASSERT_EQ(r.probabilities.size(), 1u);
+  EXPECT_NEAR(r.probabilities[0], 1.0, 1e-9);
+}
+
+TEST(Transient, PureDecayMatchesExponential) {
+  // 0 --lambda--> 1 (absorbing): P(in 1 at t) = 1 - e^{-lambda t}.
+  CtmcBuilder b(2);
+  b.ensure_states(2);
+  b.add_transition(0, 0.7, 1);
+  const Ctmc c = b.build();
+  for (double t : {0.1, 1.0, 3.0, 10.0}) {
+    const auto r = transient_distribution(c, t);
+    EXPECT_NEAR(r.probabilities[1], 1.0 - std::exp(-0.7 * t), 1e-6) << t;
+  }
+}
+
+TEST(Transient, TwoStateChainMatchesClosedForm) {
+  // Closed form: P(in 1 at t | start 0) = l/(l+m) (1 - e^{-(l+m)t}).
+  const double l = 1.5, m = 0.5;
+  const Ctmc c = two_state_chain(l, m);
+  for (double t : {0.2, 1.0, 5.0}) {
+    const auto r = transient_distribution(c, t, TransientOptions{1e-9});
+    const double expected = l / (l + m) * (1.0 - std::exp(-(l + m) * t));
+    EXPECT_NEAR(r.probabilities[1], expected, 1e-7) << t;
+  }
+}
+
+TEST(Transient, DistributionSumsToOne) {
+  const Ctmc c = two_state_chain(1.0, 2.0);
+  const auto r = transient_distribution(c, 3.0);
+  EXPECT_NEAR(std::accumulate(r.probabilities.begin(), r.probabilities.end(), 0.0), 1.0, 1e-6);
+}
+
+TEST(Transient, TimeZeroIsInitialDistribution) {
+  const Ctmc c = two_state_chain(1.0, 2.0);
+  const auto r = transient_distribution(c, 0.0);
+  EXPECT_NEAR(r.probabilities[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.probabilities[1], 0.0, 1e-12);
+}
+
+TEST(Transient, NegativeTimeThrows) {
+  EXPECT_THROW(transient_distribution(two_state_chain(1.0, 1.0), -1.0), ModelError);
+}
+
+class UniformizationInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(UniformizationInvariance, TransientUnaffectedByRateChoice) {
+  // Jensen [19]: uniformization at any admissible rate leaves transient
+  // probabilities unchanged.
+  const double rate = GetParam();
+  const Ctmc base = two_state_chain(1.0, 2.0);
+  const Ctmc uni = base.uniformize(rate);
+  for (double t : {0.5, 2.0, 8.0}) {
+    const auto r0 = transient_distribution(base, t);
+    const auto r1 = transient_distribution(uni, t);
+    EXPECT_NEAR(r0.probabilities[0], r1.probabilities[0], 1e-7);
+    EXPECT_NEAR(r0.probabilities[1], r1.probabilities[1], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, UniformizationInvariance,
+                         ::testing::Values(2.0, 3.0, 5.0, 10.0, 50.0));
+
+// ---------------------------------------------------- timed reachability
+
+TEST(TimedReachability, SingleStepMatchesExponentialCdf) {
+  CtmcBuilder b(2);
+  b.ensure_states(2);
+  b.add_transition(0, 0.3, 1);
+  const Ctmc c = b.build();
+  const std::vector<bool> goal{false, true};
+  for (double t : {0.5, 2.0, 10.0}) {
+    const auto r = timed_reachability(c, goal, t, TransientOptions{1e-9});
+    EXPECT_NEAR(r.probabilities[0], 1.0 - std::exp(-0.3 * t), 1e-7);
+    EXPECT_DOUBLE_EQ(r.probabilities[1], 1.0);
+  }
+}
+
+TEST(TimedReachability, GoalStatesAreSticky) {
+  // Even though the chain could leave state 1, reachability counts the
+  // first visit: make-absorbing semantics.
+  const Ctmc c = two_state_chain(1.0, 100.0);
+  const std::vector<bool> goal{false, true};
+  const auto r = timed_reachability(c, goal, 50.0);
+  EXPECT_NEAR(r.probabilities[0], 1.0, 1e-6);
+}
+
+TEST(TimedReachability, MonotoneInTime) {
+  const Ctmc c = two_state_chain(0.2, 0.1);
+  const std::vector<bool> goal{false, true};
+  double prev = -1.0;
+  for (double t : {0.0, 1.0, 5.0, 20.0, 100.0}) {
+    const double p = timed_reachability(c, goal, t).probabilities[0];
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TimedReachability, UnreachableGoalStaysZero) {
+  CtmcBuilder b(3);
+  b.ensure_states(3);
+  b.add_transition(0, 1.0, 1);
+  b.add_transition(1, 1.0, 0);
+  b.add_transition(2, 1.0, 0);  // state 2 reaches others, but not vice versa
+  const Ctmc c = b.build();
+  const std::vector<bool> goal{false, false, true};
+  EXPECT_DOUBLE_EQ(timed_reachability(c, goal, 100.0).probabilities[0], 0.0);
+}
+
+TEST(TimedReachability, GoalSizeMismatchThrows) {
+  EXPECT_THROW(timed_reachability(two_state_chain(1.0, 1.0), {true}, 1.0), ModelError);
+}
+
+TEST(TimedReachability, ErlangChainMatchesClosedForm) {
+  // 3-stage Erlang with rate 2: P(absorbed by t) = 1 - e^{-2t} sum_{k<3} (2t)^k/k!.
+  CtmcBuilder b(4);
+  b.ensure_states(4);
+  for (StateId s = 0; s < 3; ++s) b.add_transition(s, 2.0, s + 1);
+  const Ctmc c = b.build();
+  const std::vector<bool> goal{false, false, false, true};
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    double tail = 0.0;
+    double term = 1.0;
+    for (int k = 0; k < 3; ++k) {
+      tail += term;
+      term *= 2.0 * t / (k + 1);
+    }
+    const double expected = 1.0 - std::exp(-2.0 * t) * tail;
+    EXPECT_NEAR(timed_reachability(c, goal, t, TransientOptions{1e-9}).probabilities[0], expected,
+                1e-7)
+        << t;
+  }
+}
+
+TEST(IntervalReachability, ZeroLeftBoundMatchesTimedReachability) {
+  const Ctmc c = two_state_chain(0.4, 0.2);
+  const std::vector<bool> goal{false, true};
+  const auto interval = interval_reachability(c, goal, 0.0, 3.0, TransientOptions{1e-9});
+  const auto plain = timed_reachability(c, goal, 3.0, TransientOptions{1e-9});
+  EXPECT_NEAR(interval.probabilities[0], plain.probabilities[0], 1e-9);
+}
+
+TEST(IntervalReachability, PointIntervalIsOccupancyProbability) {
+  // [t, t]: the chain must BE in the goal at exactly t — the transient
+  // occupancy (no absorption beforehand).
+  const double l = 1.0, m = 0.5;
+  const Ctmc c = two_state_chain(l, m);
+  const std::vector<bool> goal{false, true};
+  for (double t : {0.5, 2.0, 10.0}) {
+    const auto r = interval_reachability(c, goal, t, t, TransientOptions{1e-10});
+    const double expected = l / (l + m) * (1.0 - std::exp(-(l + m) * t));
+    EXPECT_NEAR(r.probabilities[0], expected, 1e-7) << t;
+  }
+}
+
+TEST(IntervalReachability, WiderIntervalGivesLargerProbability) {
+  const Ctmc c = two_state_chain(0.3, 5.0);
+  const std::vector<bool> goal{false, true};
+  const double narrow = interval_reachability(c, goal, 2.0, 2.5).probabilities[0];
+  const double wide = interval_reachability(c, goal, 2.0, 8.0).probabilities[0];
+  EXPECT_LE(narrow, wide + 1e-9);
+}
+
+TEST(IntervalReachability, CanBeSmallerThanTimeBoundedAtT2) {
+  // With a fast return rate the chain may visit the goal before t1 and be
+  // back: Pr([t1,t2]) < Pr([0,t2]).
+  const Ctmc c = two_state_chain(0.3, 5.0);
+  const std::vector<bool> goal{false, true};
+  const double interval = interval_reachability(c, goal, 4.0, 5.0).probabilities[0];
+  const double bounded = timed_reachability(c, goal, 5.0).probabilities[0];
+  EXPECT_LT(interval, bounded);
+}
+
+TEST(IntervalReachability, ValidatesArguments) {
+  const Ctmc c = two_state_chain(1.0, 1.0);
+  EXPECT_THROW(interval_reachability(c, {false, true}, 2.0, 1.0), ModelError);
+  EXPECT_THROW(interval_reachability(c, {false, true}, -1.0, 1.0), ModelError);
+  EXPECT_THROW(interval_reachability(c, {true}, 0.0, 1.0), ModelError);
+}
+
+TEST(Transient, EarlyTerminationMatchesFullRunOnLongHorizon) {
+  const Ctmc c = two_state_chain(1.0, 2.0);
+  TransientOptions options;
+  options.epsilon = 1e-8;
+  const auto full = transient_distribution(c, 500.0, options);
+  options.early_termination = true;
+  const auto early = transient_distribution(c, 500.0, options);
+  EXPECT_LT(early.iterations_executed, full.iterations_executed);
+  EXPECT_NEAR(full.probabilities[0], early.probabilities[0], 1e-7);
+  EXPECT_NEAR(full.probabilities[1], early.probabilities[1], 1e-7);
+}
+
+TEST(TimedReachability, EarlyTerminationMatchesFullRunOnLongHorizon) {
+  const Ctmc c = two_state_chain(0.5, 0.25);
+  const std::vector<bool> goal{false, true};
+  TransientOptions options;
+  options.epsilon = 1e-8;
+  const auto full = timed_reachability(c, goal, 400.0, options);
+  options.early_termination = true;
+  const auto early = timed_reachability(c, goal, 400.0, options);
+  EXPECT_LT(early.iterations_executed, full.iterations_executed);
+  EXPECT_NEAR(full.probabilities[0], early.probabilities[0], 1e-7);
+}
+
+TEST(TimedReachability, IterationCountEqualsPoissonRightBound) {
+  const Ctmc c = two_state_chain(1.0, 2.0);
+  const auto r = timed_reachability(c, {false, true}, 10.0, TransientOptions{1e-6});
+  // The goal state is made absorbing first, so E = max exit of the
+  // absorbing chain = 1; lambda = 10 and the right bound is lambda + O(sqrt).
+  EXPECT_GT(r.iterations, 10u);
+  EXPECT_LT(r.iterations, 60u);
+  EXPECT_DOUBLE_EQ(r.uniform_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace unicon

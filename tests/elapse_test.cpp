@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/time_constraint.hpp"
+#include "imc/compose.hpp"
+#include "imc/elapse.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+TEST(Elapse, ExponentialStructure) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc el = elapse(PhaseType::exponential(2.0), "fire", "go", actions);
+  // idle + 1 phase + done.
+  EXPECT_EQ(el.num_states(), 3u);
+  EXPECT_EQ(el.initial(), 0u);  // idle by default
+  EXPECT_EQ(el.num_interactive_transitions(), 2u);
+  // Every state has exit rate E = 2.
+  for (StateId s = 0; s < el.num_states(); ++s) EXPECT_DOUBLE_EQ(el.exit_rate(s), 2.0);
+}
+
+TEST(Elapse, IsUniformByConstruction) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc el = elapse(PhaseType::erlang(4, 3.0), "fire", "go", actions);
+  EXPECT_TRUE(el.is_uniform(UniformityView::Open, 1e-9));
+  EXPECT_DOUBLE_EQ(*el.uniform_rate(UniformityView::Open, 1e-9), 3.0);
+}
+
+TEST(Elapse, InitiallyRunningStartsInPhase) {
+  auto actions = std::make_shared<ActionTable>();
+  ElapseOptions options;
+  options.initially_running = true;
+  const Imc el = elapse(PhaseType::exponential(1.0), "fire", "go", actions, options);
+  EXPECT_EQ(el.initial(), 1u);
+}
+
+TEST(Elapse, ExplicitUniformRatePadsPhases) {
+  auto actions = std::make_shared<ActionTable>();
+  ElapseOptions options;
+  options.uniform_rate = 10.0;
+  const Imc el = elapse(PhaseType::exponential(2.0), "fire", "go", actions, options);
+  for (StateId s = 0; s < el.num_states(); ++s) EXPECT_DOUBLE_EQ(el.exit_rate(s), 10.0);
+}
+
+TEST(Elapse, RateBelowPhaseExitThrows) {
+  auto actions = std::make_shared<ActionTable>();
+  ElapseOptions options;
+  options.uniform_rate = 1.0;
+  EXPECT_THROW(elapse(PhaseType::exponential(2.0), "fire", "go", actions, options),
+               UniformityError);
+}
+
+TEST(Elapse, TauActionsRejected) {
+  auto actions = std::make_shared<ActionTable>();
+  EXPECT_THROW(elapse(PhaseType::exponential(1.0), kTau, actions->intern("go"), actions),
+               ModelError);
+}
+
+TEST(Elapse, NullActionTableRejected) {
+  EXPECT_THROW(elapse(PhaseType::exponential(1.0), "fire", "go", nullptr), ModelError);
+}
+
+TEST(Elapse, FireTriggerCycle) {
+  auto actions = std::make_shared<ActionTable>();
+  const Imc el = elapse(PhaseType::exponential(1.0), "fire", "go", actions);
+  // idle --go--> phase, done --fire--> idle.
+  const auto idle_out = el.out_interactive(0);
+  ASSERT_EQ(idle_out.size(), 1u);
+  EXPECT_EQ(el.actions().name(idle_out[0].action), "go");
+  EXPECT_EQ(idle_out[0].to, 1u);
+  const auto done_out = el.out_interactive(2);
+  ASSERT_EQ(done_out.size(), 1u);
+  EXPECT_EQ(el.actions().name(done_out[0].action), "fire");
+  EXPECT_EQ(done_out[0].to, 0u);
+}
+
+// ------------------------------------------- semantic check via analysis
+
+/// The delay enforced by an elapse constraint equals the phase-type CDF:
+/// compose a one-shot LTS (start --go--> wait --fire--> finished) with
+/// El(Ph, fire, go) and measure P(finished within t).
+class ElapseDelaySemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElapseDelaySemantics, ReachabilityEqualsPhaseTypeCdf) {
+  PhaseType ph = [&]() -> PhaseType {
+    switch (GetParam()) {
+      case 0: return PhaseType::exponential(1.3);
+      case 1: return PhaseType::erlang(3, 4.0);
+      case 2: return PhaseType::hypoexponential({1.0, 2.0, 3.0});
+      default: return PhaseType::coxian({2.0, 1.0}, {0.4, 1.0});
+    }
+  }();
+
+  auto actions = std::make_shared<ActionTable>();
+  LtsBuilder lb(actions);
+  const StateId start = lb.add_state("start");
+  const StateId wait = lb.add_state("wait");
+  const StateId finished = lb.add_state("finished");
+  lb.set_initial(start);
+  lb.add_transition(start, "go", wait);
+  lb.add_transition(wait, "fire", finished);
+  const Lts lts = lb.build();
+
+  std::vector<TimeConstraint> constraints;
+  constraints.emplace_back(ph, "fire", "go");
+  ExploreOptions explore;
+  explore.record_names = true;
+  explore.urgent = true;
+  const Imc system = apply_time_constraints(lts, constraints, explore);
+
+  std::vector<bool> goal(system.num_states());
+  for (StateId s = 0; s < system.num_states(); ++s) {
+    goal[s] = system.state_name(s).find("finished") != std::string::npos;
+  }
+
+  for (double t : {0.2, 0.8, 2.0, 5.0}) {
+    UimcAnalysisOptions options;
+    options.reachability.epsilon = 1e-9;
+    const double via_imc = analyze_timed_reachability(system, goal, t, options).value;
+    EXPECT_NEAR(via_imc, ph.cdf(t, 1e-10), 1e-6) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, ElapseDelaySemantics, ::testing::Range(0, 4));
+
+TEST(TimeConstraint, EmptyConstraintListGivesPlainLts) {
+  auto actions = std::make_shared<ActionTable>();
+  LtsBuilder lb(actions);
+  lb.add_state();
+  lb.add_state();
+  lb.add_transition(0, "x", 1);
+  const Imc m = apply_time_constraints(lb.build(), {});
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.num_markov_transitions(), 0u);
+}
+
+TEST(TimeConstraint, MultipleConstraintsSumRates) {
+  auto actions = std::make_shared<ActionTable>();
+  LtsBuilder lb(actions);
+  const StateId s0 = lb.add_state();
+  const StateId s1 = lb.add_state();
+  lb.add_transition(s0, "f1", s1);
+  lb.add_transition(s1, "f2", s0);
+  const Lts lts = lb.build();
+
+  std::vector<TimeConstraint> constraints;
+  constraints.emplace_back(PhaseType::exponential(2.0), "f1", "f2", /*running=*/true);
+  constraints.emplace_back(PhaseType::exponential(3.0), "f2", "f1", /*running=*/false);
+  const Imc m = apply_time_constraints(lts, constraints);
+  EXPECT_TRUE(m.is_uniform(UniformityView::Open, 1e-9));
+  EXPECT_NEAR(*m.uniform_rate(UniformityView::Open, 1e-9), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/transform.hpp"
+#include "ctmdp/reachability.hpp"
+#include "ftwc/direct.hpp"
+#include "io/dot.hpp"
+#include "io/tra.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+Ctmc sample_ctmc() {
+  CtmcBuilder b(3);
+  b.ensure_states(3);
+  b.set_initial(1);
+  b.add_transition(0, 1.5, 1);
+  b.add_transition(1, 0.25, 2);
+  b.add_transition(2, 3.0, 0);
+  b.add_transition(2, 1.0, 2);
+  return b.build();
+}
+
+Ctmdp sample_ctmdp() {
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.set_initial(0);
+  const std::vector<Action> word{b.intern_action("r_a"), b.intern_action("g_b")};
+  b.begin_transition(0, b.intern_word(word));
+  b.add_rate(1, 2.0);
+  b.begin_transition(0, "tau");
+  b.add_rate(0, 1.0);
+  b.add_rate(1, 1.0);
+  b.begin_transition(1, "stay");
+  b.add_rate(1, 2.0);
+  return b.build();
+}
+
+TEST(TraIo, CtmcRoundTrip) {
+  const Ctmc original = sample_ctmc();
+  std::stringstream buffer;
+  io::write_ctmc(buffer, original);
+  const Ctmc loaded = io::read_ctmc(buffer);
+  ASSERT_EQ(loaded.num_states(), original.num_states());
+  ASSERT_EQ(loaded.num_transitions(), original.num_transitions());
+  EXPECT_EQ(loaded.initial(), original.initial());
+  for (StateId s = 0; s < original.num_states(); ++s) {
+    EXPECT_DOUBLE_EQ(loaded.exit_rate(s), original.exit_rate(s));
+  }
+}
+
+TEST(TraIo, CtmdpRoundTrip) {
+  const Ctmdp original = sample_ctmdp();
+  std::stringstream buffer;
+  io::write_ctmdp(buffer, original);
+  const Ctmdp loaded = io::read_ctmdp(buffer);
+  ASSERT_EQ(loaded.num_states(), original.num_states());
+  ASSERT_EQ(loaded.num_transitions(), original.num_transitions());
+  for (std::uint64_t t = 0; t < original.num_transitions(); ++t) {
+    EXPECT_EQ(loaded.source(t), original.source(t));
+    EXPECT_DOUBLE_EQ(loaded.exit_rate(t), original.exit_rate(t));
+    EXPECT_EQ(loaded.words().str(loaded.label(t), loaded.actions()),
+              original.words().str(original.label(t), original.actions()));
+  }
+}
+
+TEST(TraIo, ImcRoundTrip) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_state();
+  b.set_initial(1);
+  b.add_interactive(0, "grab", 1);
+  b.add_interactive(1, kTau, 2);
+  b.add_markov(2, 3.5, 0);
+  b.add_markov(2, 0.5, 2);
+  const Imc original = b.build();
+
+  std::stringstream buffer;
+  io::write_imc(buffer, original);
+  const Imc loaded = io::read_imc(buffer);
+  ASSERT_EQ(loaded.num_states(), original.num_states());
+  EXPECT_EQ(loaded.initial(), original.initial());
+  EXPECT_EQ(loaded.num_interactive_transitions(), original.num_interactive_transitions());
+  EXPECT_EQ(loaded.num_markov_transitions(), original.num_markov_transitions());
+  EXPECT_TRUE(loaded.has_tau(1));
+  EXPECT_DOUBLE_EQ(loaded.exit_rate(2), 4.0);
+  EXPECT_EQ(loaded.actions().name(loaded.out_interactive(0)[0].action), "grab");
+}
+
+TEST(TraIo, ImcMissingEndThrows) {
+  std::stringstream buffer("STATES 1\nINITIAL 0\n");
+  EXPECT_THROW(io::read_imc(buffer), ParseError);
+}
+
+TEST(TraIo, ImcBadLineKindThrows) {
+  std::stringstream buffer("STATES 1\nINITIAL 0\nX 0 1 0\nEND\n");
+  EXPECT_THROW(io::read_imc(buffer), ParseError);
+}
+
+TEST(TraIo, GoalRoundTrip) {
+  const std::vector<bool> goal{false, true, true, false};
+  std::stringstream buffer;
+  io::write_goal(buffer, goal);
+  EXPECT_EQ(io::read_goal(buffer, 4), goal);
+}
+
+TEST(TraIo, GoalOutOfRangeThrows) {
+  std::stringstream buffer("7 goal\n");
+  EXPECT_THROW(io::read_goal(buffer, 4), ParseError);
+}
+
+TEST(TraIo, BadHeaderThrows) {
+  std::stringstream buffer("NOTSTATES 2\n");
+  EXPECT_THROW(io::read_ctmc(buffer), ParseError);
+}
+
+TEST(TraIo, TruncatedBodyThrows) {
+  std::stringstream buffer("STATES 2\nTRANSITIONS 2\nINITIAL 0\n0 1 1.0\n");
+  EXPECT_THROW(io::read_ctmc(buffer), ParseError);
+}
+
+TEST(TraIo, FtwcCtmdpRoundTripPreservesAnalysis) {
+  ftwc::Parameters params;
+  params.n = 1;
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+
+  std::stringstream buffer;
+  io::write_ctmdp(buffer, transformed.ctmdp);
+  const Ctmdp loaded = io::read_ctmdp(buffer);
+
+  const auto before = timed_reachability(transformed.ctmdp, transformed.goal, 100.0);
+  const auto after = timed_reachability(loaded, transformed.goal, 100.0);
+  EXPECT_NEAR(before.values[transformed.ctmdp.initial()], after.values[loaded.initial()], 1e-9);
+}
+
+TEST(TraIo, FileHelpersWorkAndThrowOnBadPaths) {
+  const Ctmc c = sample_ctmc();
+  const std::string path = ::testing::TempDir() + "/unicon_io_test.tra";
+  io::save_ctmc(path, c);
+  const Ctmc loaded = io::load_ctmc(path);
+  EXPECT_EQ(loaded.num_states(), c.num_states());
+  EXPECT_THROW(io::load_ctmc("/nonexistent/dir/x.tra"), ParseError);
+  EXPECT_THROW(io::save_ctmc("/nonexistent/dir/x.tra", c), ParseError);
+}
+
+TEST(Dot, ImcExportMentionsStatesAndRates) {
+  ImcBuilder b;
+  b.add_state("start");
+  b.add_state("stop");
+  b.set_initial(0);
+  b.add_interactive(0, "a", 1);
+  b.add_markov(1, 2.5, 0);
+  std::stringstream out;
+  io::write_dot(out, b.build());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph imc"), std::string::npos);
+  EXPECT_NE(dot.find("start"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("2.5"), std::string::npos);
+}
+
+TEST(Dot, CtmdpExportHasTransitionBoxes) {
+  std::stringstream out;
+  io::write_dot(out, sample_ctmdp());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph ctmdp"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("r_a.g_b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "lts/lts.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+Lts three_state_lts() {
+  LtsBuilder b;
+  const StateId s0 = b.add_state("zero");
+  const StateId s1 = b.add_state("one");
+  const StateId s2 = b.add_state("two");
+  b.set_initial(s0);
+  b.add_transition(s0, "a", s1);
+  b.add_transition(s1, "b", s2);
+  b.add_transition(s2, "a", s0);
+  return b.build();
+}
+
+TEST(Lts, BuilderBasics) {
+  const Lts lts = three_state_lts();
+  EXPECT_EQ(lts.num_states(), 3u);
+  EXPECT_EQ(lts.num_transitions(), 3u);
+  EXPECT_EQ(lts.initial(), 0u);
+  EXPECT_EQ(lts.state_name(1), "one");
+}
+
+TEST(Lts, OutTransitionsSortedAndIndexed) {
+  LtsBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_transition(0, "b", 1);
+  b.add_transition(0, "a", 1);
+  b.add_transition(0, "a", 0);
+  const Lts lts = b.build();
+  // Transitions sort by action *id* (interning order: b before a here),
+  // then by target.
+  const auto out = lts.out(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(lts.actions().name(out[0].action), "b");
+  EXPECT_EQ(out[0].to, 1u);
+  EXPECT_EQ(lts.actions().name(out[1].action), "a");
+  EXPECT_EQ(out[1].to, 0u);
+  EXPECT_EQ(out[2].to, 1u);
+}
+
+TEST(Lts, DuplicateTransitionsCollapse) {
+  LtsBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_transition(0, "a", 1);
+  b.add_transition(0, "a", 1);
+  EXPECT_EQ(b.build().num_transitions(), 1u);
+}
+
+TEST(Lts, EmptyBuildThrows) {
+  LtsBuilder b;
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Lts, DanglingTransitionThrows) {
+  LtsBuilder b;
+  b.add_state();
+  b.add_transition(0, "a", 5);
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Lts, BadInitialThrows) {
+  LtsBuilder b;
+  b.add_state();
+  b.set_initial(3);
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Lts, HideTurnsActionsIntoTau) {
+  const Lts lts = three_state_lts();
+  const Action a = lts.actions().id("a");
+  const Lts hidden = lts.hide({a});
+  int taus = 0;
+  for (const LtsTransition& t : hidden.transitions()) {
+    if (t.action == kTau) ++taus;
+  }
+  EXPECT_EQ(taus, 2);
+}
+
+TEST(Lts, RelabelRenamesActions) {
+  const Lts lts = three_state_lts();
+  const Action a = lts.actions().id("a");
+  LtsBuilder helper(lts.action_table());
+  const Action c = helper.intern("c");
+  const Lts renamed = lts.relabel({{a, c}});
+  int cs = 0;
+  for (const LtsTransition& t : renamed.transitions()) {
+    if (t.action == c) ++cs;
+  }
+  EXPECT_EQ(cs, 2);
+}
+
+TEST(Lts, ReachableDropsIsolatedStates) {
+  LtsBuilder b;
+  b.add_state("init");
+  b.add_state("next");
+  b.add_state("island");
+  b.add_transition(0, "a", 1);
+  b.add_transition(2, "a", 0);  // island is never entered
+  const Lts lts = b.build().reachable();
+  EXPECT_EQ(lts.num_states(), 2u);
+  EXPECT_EQ(lts.state_name(0), "init");
+}
+
+TEST(Lts, ReachablePreservesInitialAndTransitions) {
+  const Lts lts = three_state_lts().reachable();
+  EXPECT_EQ(lts.num_states(), 3u);
+  EXPECT_EQ(lts.num_transitions(), 3u);
+}
+
+TEST(Lts, DeterministicDetection) {
+  EXPECT_TRUE(three_state_lts().deterministic());
+  LtsBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_state();
+  b.add_transition(0, "a", 1);
+  b.add_transition(0, "a", 2);
+  EXPECT_FALSE(b.build().deterministic());
+}
+
+TEST(Lts, SharedActionTable) {
+  auto table = std::make_shared<ActionTable>();
+  LtsBuilder b1(table), b2(table);
+  b1.add_state();
+  b2.add_state();
+  const Action a1 = b1.intern("shared");
+  const Action a2 = b2.intern("shared");
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(Lts, EnsureStatesGrows) {
+  LtsBuilder b;
+  b.ensure_states(4);
+  EXPECT_EQ(b.build().num_states(), 4u);
+}
+
+}  // namespace
+}  // namespace unicon

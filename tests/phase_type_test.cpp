@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/phase_type.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+TEST(PhaseType, ExponentialBasics) {
+  const PhaseType ph = PhaseType::exponential(2.0);
+  EXPECT_EQ(ph.num_phases(), 1u);
+  EXPECT_DOUBLE_EQ(ph.absorption_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(ph.exit_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(ph.max_exit_rate(), 2.0);
+  EXPECT_NEAR(ph.mean(), 0.5, 1e-12);
+}
+
+TEST(PhaseType, ExponentialCdfMatchesClosedForm) {
+  const PhaseType ph = PhaseType::exponential(0.5);
+  for (double t : {0.1, 1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(ph.cdf(t), 1.0 - std::exp(-0.5 * t), 1e-7) << t;
+  }
+}
+
+TEST(PhaseType, InvalidRatesThrow) {
+  EXPECT_THROW(PhaseType::exponential(0.0), ModelError);
+  EXPECT_THROW(PhaseType::exponential(-1.0), ModelError);
+  EXPECT_THROW(PhaseType::erlang(0, 1.0), ModelError);
+  EXPECT_THROW(PhaseType::hypoexponential({}), ModelError);
+  EXPECT_THROW(PhaseType::hypoexponential({1.0, -2.0}), ModelError);
+}
+
+class ErlangSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ErlangSweep, MeanIsKOverLambda) {
+  const auto [k, lambda] = GetParam();
+  const PhaseType ph = PhaseType::erlang(k, lambda);
+  EXPECT_EQ(ph.num_phases(), static_cast<std::size_t>(k));
+  EXPECT_NEAR(ph.mean(), k / lambda, 1e-10);
+}
+
+TEST_P(ErlangSweep, CdfMatchesClosedForm) {
+  const auto [k, lambda] = GetParam();
+  const PhaseType ph = PhaseType::erlang(k, lambda);
+  for (double t : {0.3, 1.0, 2.5}) {
+    double tail = 0.0;
+    double term = 1.0;
+    for (int i = 0; i < k; ++i) {
+      tail += term;
+      term *= lambda * t / (i + 1);
+    }
+    const double expected = 1.0 - std::exp(-lambda * t) * tail;
+    EXPECT_NEAR(ph.cdf(t), expected, 1e-7) << "k=" << k << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ErlangSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 10),
+                                            ::testing::Values(0.5, 2.0, 8.0)));
+
+TEST(PhaseType, HypoexponentialMeanIsSumOfStageMeans) {
+  const PhaseType ph = PhaseType::hypoexponential({1.0, 2.0, 4.0});
+  EXPECT_NEAR(ph.mean(), 1.0 + 0.5 + 0.25, 1e-10);
+}
+
+TEST(PhaseType, CoxianValidation) {
+  EXPECT_THROW(PhaseType::coxian({1.0}, {0.5}), ModelError);          // last exit != 1
+  EXPECT_THROW(PhaseType::coxian({1.0, 2.0}, {1.5, 1.0}), ModelError);  // prob > 1
+  EXPECT_THROW(PhaseType::coxian({1.0}, {}), ModelError);
+}
+
+TEST(PhaseType, CoxianWithImmediateExitIsExponential) {
+  const PhaseType ph = PhaseType::coxian({3.0}, {1.0});
+  for (double t : {0.5, 2.0}) {
+    EXPECT_NEAR(ph.cdf(t), 1.0 - std::exp(-3.0 * t), 1e-7);
+  }
+}
+
+TEST(PhaseType, CoxianMeanMatchesManualComputation) {
+  // Phase 1 rate 2, exit prob 0.5; phase 2 rate 1, exit prob 1.
+  // mean = 1/2 + 0.5 * 1 = 1.0
+  const PhaseType ph = PhaseType::coxian({2.0, 1.0}, {0.5, 1.0});
+  EXPECT_NEAR(ph.mean(), 1.0, 1e-10);
+}
+
+TEST(PhaseType, CdfIsMonotoneAndBounded) {
+  const PhaseType ph = PhaseType::coxian({4.0, 2.0, 1.0}, {0.3, 0.2, 1.0});
+  double prev = -1.0;
+  for (double t : {0.0, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0}) {
+    const double p = ph.cdf(t);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_NEAR(ph.cdf(1000.0), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ph.cdf(-1.0), 0.0);
+}
+
+TEST(PhaseType, ErlangHasLowerVarianceThanExponential) {
+  // Sanity via CDF shape: at the common mean, Erlang(4) is more
+  // concentrated, so its CDF below the mean grows more slowly early on.
+  const PhaseType exp1 = PhaseType::exponential(1.0);    // mean 1
+  const PhaseType erl4 = PhaseType::erlang(4, 4.0);      // mean 1
+  EXPECT_LT(erl4.cdf(0.2), exp1.cdf(0.2));
+  EXPECT_GT(erl4.cdf(2.5), exp1.cdf(2.5));
+}
+
+TEST(PhaseType, ToCtmcShape) {
+  const PhaseType ph = PhaseType::erlang(3, 2.0);
+  const Ctmc c = ph.to_ctmc();
+  EXPECT_EQ(c.num_states(), 4u);
+  EXPECT_EQ(c.initial(), 0u);
+  EXPECT_DOUBLE_EQ(c.exit_rate(3), 0.0);  // absorbing
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 2.0);
+}
+
+TEST(PhaseType, DeterministicApproxHasRequestedMean) {
+  const PhaseType ph = PhaseType::deterministic_approx(2.5, 32);
+  EXPECT_NEAR(ph.mean(), 2.5, 1e-9);
+  EXPECT_EQ(ph.num_phases(), 32u);
+  EXPECT_THROW(PhaseType::deterministic_approx(0.0), ModelError);
+  EXPECT_THROW(PhaseType::deterministic_approx(1.0, 0), ModelError);
+}
+
+TEST(PhaseType, DeterministicApproxSharpensWithPhases) {
+  // More phases: CDF closer to the unit step at the mean.
+  const PhaseType coarse = PhaseType::deterministic_approx(1.0, 2);
+  const PhaseType sharp = PhaseType::deterministic_approx(1.0, 64);
+  EXPECT_LT(sharp.cdf(0.5), coarse.cdf(0.5));
+  EXPECT_GT(sharp.cdf(1.5), coarse.cdf(1.5));
+}
+
+TEST(PhaseType, MaxExitRateOverPhases) {
+  const PhaseType ph = PhaseType::hypoexponential({1.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(ph.max_exit_rate(), 5.0);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "props/property.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+// ------------------------------------------------------------- parsing
+
+TEST(QueryParser, BoundedReachability) {
+  const Query q = parse_query("Pmax=? [ F<=100 \"unsafe\" ]");
+  EXPECT_EQ(q.kind, Query::Kind::ProbBounded);
+  EXPECT_EQ(q.objective, Objective::Maximize);
+  EXPECT_EQ(q.left, "true");
+  EXPECT_EQ(q.goal, "unsafe");
+  EXPECT_DOUBLE_EQ(q.t2, 100.0);
+}
+
+TEST(QueryParser, BoundedUntil) {
+  const Query q = parse_query("Pmin=? [ up U<=50 goal ]");
+  EXPECT_EQ(q.kind, Query::Kind::ProbBounded);
+  EXPECT_EQ(q.objective, Objective::Minimize);
+  EXPECT_EQ(q.left, "up");
+  EXPECT_EQ(q.goal, "goal");
+  EXPECT_DOUBLE_EQ(q.t2, 50.0);
+}
+
+TEST(QueryParser, UnboundedForms) {
+  EXPECT_EQ(parse_query("Pmax=? [ F goal ]").kind, Query::Kind::ProbUnbounded);
+  const Query u = parse_query("Pmin=? [ safe U goal ]");
+  EXPECT_EQ(u.kind, Query::Kind::ProbUnbounded);
+  EXPECT_EQ(u.left, "safe");
+}
+
+TEST(QueryParser, IntervalForm) {
+  const Query q = parse_query("P=? [ F[10,20.5] goal ]");
+  EXPECT_EQ(q.kind, Query::Kind::ProbInterval);
+  EXPECT_DOUBLE_EQ(q.t1, 10.0);
+  EXPECT_DOUBLE_EQ(q.t2, 20.5);
+}
+
+TEST(QueryParser, ExpectedTimeAndSteadyState) {
+  const Query t = parse_query("Tmin=? [ F goal ]");
+  EXPECT_EQ(t.kind, Query::Kind::ExpectedTime);
+  EXPECT_EQ(t.objective, Objective::Minimize);
+  const Query s = parse_query("S=? [ goal ]");
+  EXPECT_EQ(s.kind, Query::Kind::SteadyState);
+}
+
+TEST(QueryParser, Rejections) {
+  EXPECT_THROW(parse_query("Qmax=? [ F goal ]"), ParseError);
+  EXPECT_THROW(parse_query("Pmax=? [ F<=ten goal ]"), ParseError);
+  EXPECT_THROW(parse_query("Pmax=? [ F goal"), ParseError);
+  EXPECT_THROW(parse_query("Tmax=? [ up U goal ]"), ParseError);
+  EXPECT_THROW(parse_query("P=? [ up U[1,2] goal ]"), ParseError);
+  EXPECT_THROW(parse_query("Pmax=? [ \"unterminated ]"), ParseError);
+}
+
+// ---------------------------------------------------------- evaluation
+
+/// 0 --(choice: good 3/4 to goal, bad never)--> ..., uniform rate 4.
+Ctmdp choice_model() {
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "good");
+  b.add_rate(2, 3.0);
+  b.add_rate(1, 1.0);
+  b.begin_transition(0, "bad");
+  b.add_rate(1, 4.0);
+  b.begin_transition(1, "back");
+  b.add_rate(0, 4.0);
+  b.begin_transition(2, "stay");
+  b.add_rate(2, 4.0);
+  return b.build();
+}
+
+LabelSet choice_labels() {
+  LabelSet labels(3);
+  labels.define("goal", {false, false, true});
+  labels.define("start", {true, false, false});
+  return labels;
+}
+
+TEST(Evaluate, CtmdpBoundedMatchesDirectCall) {
+  const Ctmdp c = choice_model();
+  const LabelSet labels = choice_labels();
+  const auto via_query = check(c, labels, "Pmax=? [ F<=1 goal ]");
+  const auto direct = timed_reachability(c, labels.mask("goal"), 1.0);
+  EXPECT_NEAR(via_query.value, direct.values[0], 1e-12);
+}
+
+TEST(Evaluate, CtmdpUnboundedMaxIsOne) {
+  const Ctmdp c = choice_model();
+  const auto r = check(c, choice_labels(), "Pmax=? [ F goal ]");
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+  const auto rmin = check(c, choice_labels(), "Pmin=? [ F goal ]");
+  EXPECT_NEAR(rmin.value, 0.0, 1e-9);
+}
+
+TEST(Evaluate, CtmdpBoundedUntilRespectsLeftLabel) {
+  // start U<=t goal: leaving `start` (i.e. visiting state 1) loses.
+  const Ctmdp c = choice_model();
+  const auto constrained = check(c, choice_labels(), "Pmax=? [ start U<=1 goal ]");
+  const auto free_form = check(c, choice_labels(), "Pmax=? [ F<=1 goal ]");
+  EXPECT_LT(constrained.value, free_form.value);
+  EXPECT_GT(constrained.value, 0.0);
+}
+
+TEST(Evaluate, CtmdpExpectedTime) {
+  const Ctmdp c = choice_model();
+  const auto r = check(c, choice_labels(), "Tmin=? [ F goal ]");
+  // Best policy: "good" repeatedly; success chance 3/4 per jump, mean jump
+  // time 1/4 -> expected jumps 4/3 ... with returns through state 1.
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_GT(r.value, 0.0);
+  const auto rmax = check(c, choice_labels(), "Tmax=? [ F goal ]");
+  EXPECT_TRUE(std::isinf(rmax.value));  // "bad" forever avoids the goal
+}
+
+TEST(Evaluate, CtmdpRejectsCtmcOnlyQueries) {
+  const Ctmdp c = choice_model();
+  EXPECT_THROW(check(c, choice_labels(), "P=? [ F[1,2] goal ]"), ModelError);
+  EXPECT_THROW(check(c, choice_labels(), "S=? [ goal ]"), ModelError);
+}
+
+TEST(Evaluate, LabelErrors) {
+  const Ctmdp c = choice_model();
+  EXPECT_THROW(check(c, choice_labels(), "Pmax=? [ F<=1 nolabel ]"), ModelError);
+  LabelSet wrong(2);
+  EXPECT_THROW(check(c, wrong, "Pmax=? [ F<=1 goal ]"), ModelError);
+  LabelSet l(3);
+  EXPECT_THROW(l.define("true", {true, true, true}), ModelError);
+  EXPECT_THROW(l.define("goal", {true}), ModelError);
+}
+
+// --------------------------------------------------------- CTMC queries
+
+Ctmc two_state_chain(double lambda, double mu) {
+  CtmcBuilder b(2);
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.add_transition(0, lambda, 1);
+  b.add_transition(1, mu, 0);
+  return b.build();
+}
+
+TEST(Evaluate, CtmcBoundedReachability) {
+  const Ctmc c = two_state_chain(0.5, 0.0001);
+  LabelSet labels(2);
+  labels.define("down", {false, true});
+  const auto r = check(c, labels, "P=? [ F<=2 down ]");
+  EXPECT_NEAR(r.value, 1.0 - std::exp(-0.5 * 2.0), 1e-5);
+}
+
+TEST(Evaluate, CtmcIntervalQuery) {
+  const Ctmc c = two_state_chain(1.0, 0.5);
+  LabelSet labels(2);
+  labels.define("down", {false, true});
+  const auto point = check(c, labels, "P=? [ F[2,2] down ]");
+  const double expected = 1.0 / 1.5 * (1.0 - std::exp(-1.5 * 2.0));
+  EXPECT_NEAR(point.value, expected, 1e-6);
+}
+
+TEST(Evaluate, CtmcUnboundedAndExpectedTime) {
+  const Ctmc c = two_state_chain(0.25, 1.0);
+  LabelSet labels(2);
+  labels.define("down", {false, true});
+  EXPECT_NEAR(check(c, labels, "Pmax=? [ F down ]").value, 1.0, 1e-9);
+  EXPECT_NEAR(check(c, labels, "Tmax=? [ F down ]").value, 4.0, 1e-6);
+}
+
+TEST(Evaluate, CtmcSteadyState) {
+  const Ctmc c = two_state_chain(1.0, 3.0);
+  LabelSet labels(2);
+  labels.define("down", {false, true});
+  const auto r = check(c, labels, "S=? [ down ]");
+  EXPECT_NEAR(r.value, 0.25, 1e-8);
+}
+
+TEST(Evaluate, CtmcBoundedUntil) {
+  // Three states: 0 -> 1 -> 2; "left" excludes 1, so goal 2 is unreachable
+  // without leaving left.
+  CtmcBuilder b(3);
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.add_transition(0, 1.0, 1);
+  b.add_transition(1, 1.0, 2);
+  const Ctmc c = b.build();
+  LabelSet labels(3);
+  labels.define("left", {true, false, true});
+  labels.define("goal", {false, false, true});
+  EXPECT_DOUBLE_EQ(check(c, labels, "P=? [ left U<=10 goal ]").value, 0.0);
+  EXPECT_GT(check(c, labels, "P=? [ F<=10 goal ]").value, 0.9);
+}
+
+}  // namespace
+}  // namespace unicon

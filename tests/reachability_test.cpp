@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace unicon {
+namespace {
+
+/// Deterministic single-path model: 0 --rate--> 1 (goal self-loops at the
+/// same rate to stay uniform).
+Ctmdp single_path(double rate) {
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.begin_transition(0, "go");
+  b.add_rate(1, rate);
+  b.begin_transition(1, "stay");
+  b.add_rate(1, rate);
+  return b.build();
+}
+
+/// State 0 chooses between a direct route to the goal (rate mass split
+/// toward goal 2) and a detour; uniform rate 4.
+Ctmdp choice_model() {
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "good");  // hits the goal with prob 3/4 per step
+  b.add_rate(2, 3.0);
+  b.add_rate(1, 1.0);
+  b.begin_transition(0, "bad");  // never hits the goal directly
+  b.add_rate(1, 4.0);
+  b.begin_transition(1, "back");
+  b.add_rate(0, 4.0);
+  b.begin_transition(2, "stay");
+  b.add_rate(2, 4.0);
+  return b.build();
+}
+
+TEST(TimedReachability, ExponentialSingleStep) {
+  const Ctmdp c = single_path(0.5);
+  const std::vector<bool> goal{false, true};
+  for (double t : {0.5, 2.0, 8.0}) {
+    const auto r = timed_reachability(c, goal, t, {.epsilon = 1e-9});
+    EXPECT_NEAR(r.values[0], 1.0 - std::exp(-0.5 * t), 1e-7) << t;
+    EXPECT_DOUBLE_EQ(r.values[1], 1.0);
+  }
+}
+
+TEST(TimedReachability, NonUniformModelRejected) {
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.begin_transition(0, "a");
+  b.add_rate(1, 1.0);
+  b.begin_transition(1, "b");
+  b.add_rate(0, 7.0);
+  EXPECT_THROW(timed_reachability(b.build(), {false, true}, 1.0), UniformityError);
+}
+
+TEST(TimedReachability, InputValidation) {
+  const Ctmdp c = single_path(1.0);
+  EXPECT_THROW(timed_reachability(c, {true}, 1.0), ModelError);
+  EXPECT_THROW(timed_reachability(c, {false, true}, -2.0), ModelError);
+}
+
+TEST(TimedReachability, MaxPicksTheBetterTransition) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-9;
+  options.extract_scheduler = true;
+  const auto max_r = timed_reachability(c, goal, 1.0, options);
+  options.objective = Objective::Minimize;
+  const auto min_r = timed_reachability(c, goal, 1.0, options);
+  EXPECT_GT(max_r.values[0], min_r.values[0] + 0.1);
+  // The min scheduler can avoid the goal entirely via "bad".
+  EXPECT_NEAR(min_r.values[0], 0.0, 1e-9);
+  // The max scheduler's first decision in state 0 is transition 0 ("good").
+  EXPECT_EQ(max_r.initial_decision[0], 0u);
+  EXPECT_EQ(min_r.initial_decision[0], 1u);
+  EXPECT_EQ(max_r.initial_decision[2], kNoTransition);  // goal state
+}
+
+TEST(TimedReachability, MaxEqualsCtmcForDeterministicModels) {
+  const Ctmdp c = single_path(2.0);
+  const Ctmc chain = testutil::ctmc_from_deterministic_ctmdp(c);
+  const std::vector<bool> goal{false, true};
+  for (double t : {0.3, 1.0, 4.0}) {
+    const auto mdp = timed_reachability(c, goal, t, {.epsilon = 1e-9});
+    const auto ctmc = timed_reachability(chain, goal, t, TransientOptions{1e-9});
+    EXPECT_NEAR(mdp.values[0], ctmc.probabilities[0], 1e-7);
+  }
+}
+
+TEST(TimedReachability, GoalStatesReportOne) {
+  const Ctmdp c = single_path(1.0);
+  const auto r = timed_reachability(c, {true, false}, 0.5);
+  EXPECT_DOUBLE_EQ(r.values[0], 1.0);
+}
+
+TEST(TimedReachability, TimeZeroOnlyGoalStatesCount) {
+  const Ctmdp c = choice_model();
+  const auto r = timed_reachability(c, {false, false, true}, 0.0);
+  EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 1.0);
+  EXPECT_EQ(r.iterations_planned, 0u);
+}
+
+TEST(TimedReachability, MonotoneInTime) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  double prev = -1.0;
+  for (double t : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const double p = timed_reachability(c, goal, t).values[0];
+    EXPECT_GE(p + 1e-9, prev);
+    prev = p;
+  }
+}
+
+TEST(TimedReachability, IterationCountsReported) {
+  const Ctmdp c = single_path(2.0);
+  const auto r = timed_reachability(c, {false, true}, 10.0, {.epsilon = 1e-6});
+  EXPECT_EQ(r.iterations_planned, r.iterations_executed);
+  EXPECT_GT(r.iterations_planned, 20u);  // lambda = 20
+  EXPECT_DOUBLE_EQ(r.uniform_rate, 2.0);
+  EXPECT_DOUBLE_EQ(r.lambda, 20.0);
+}
+
+TEST(TimedReachability, EarlyTerminationMatchesFullRun) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-7;
+  const auto full = timed_reachability(c, goal, 50.0, options);
+  options.early_termination = true;
+  const auto early = timed_reachability(c, goal, 50.0, options);
+  EXPECT_LE(early.iterations_executed, full.iterations_executed);
+  EXPECT_NEAR(full.values[0], early.values[0], 1e-6);
+  EXPECT_NEAR(full.values[1], early.values[1], 1e-6);
+}
+
+TEST(TimedReachability, FullDecisionTableRecorded) {
+  const Ctmdp c = choice_model();
+  TimedReachabilityOptions options;
+  options.extract_scheduler = true;
+  const auto r = timed_reachability(c, {false, false, true}, 1.0, options);
+  ASSERT_EQ(r.decisions.size(), r.iterations_planned);
+  // Decisions at the final step equal the reported initial decision.
+  EXPECT_EQ(r.decisions.front(), r.initial_decision);
+}
+
+TEST(TimedReachability, TransitionlessStateHasValueZero) {
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "go");
+  b.add_rate(1, 1.0);
+  // state 1: no transitions (absorbing, non-goal); state 2 goal.
+  const Ctmdp c = b.build();
+  const auto r = timed_reachability(c, {false, false, true}, 5.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+}
+
+// ------------------------------------------------- constrained (until)
+
+TEST(UntilReachability, AvoidBlocksIndirectRoute) {
+  // 0 can reach goal 2 only through 1; forbidding 1 pins the value to 0.
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "step");
+  b.add_rate(1, 2.0);
+  b.begin_transition(1, "step");
+  b.add_rate(2, 2.0);
+  b.begin_transition(2, "stay");
+  b.add_rate(2, 2.0);
+  const Ctmdp c = b.build();
+  const std::vector<bool> goal{false, false, true};
+
+  TimedReachabilityOptions options;
+  const double unconstrained = timed_reachability(c, goal, 5.0, options).values[0];
+  EXPECT_GT(unconstrained, 0.5);
+
+  options.avoid = {false, true, false};
+  const auto constrained = timed_reachability(c, goal, 5.0, options);
+  EXPECT_DOUBLE_EQ(constrained.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(constrained.values[1], 0.0);
+  EXPECT_DOUBLE_EQ(constrained.values[2], 1.0);
+}
+
+TEST(UntilReachability, GoalWinsOverAvoid) {
+  const Ctmdp c = single_path(1.0);
+  TimedReachabilityOptions options;
+  options.avoid = {false, true};
+  const auto r = timed_reachability(c, {false, true}, 2.0, options);
+  EXPECT_DOUBLE_EQ(r.values[1], 1.0);
+  EXPECT_GT(r.values[0], 0.5);
+}
+
+TEST(UntilReachability, AvoidSteersTheOptimalScheduler) {
+  // With the direct route forbidden, the max scheduler must take "bad",
+  // which never reaches the goal.
+  const Ctmdp c = choice_model();
+  TimedReachabilityOptions options;
+  options.avoid = {false, false, false};
+  const std::vector<bool> goal{false, false, true};
+  const double free_route = timed_reachability(c, goal, 1.0, options).values[0];
+  options.avoid = {false, true, false};  // forbid the detour state 1
+  const double blocked = timed_reachability(c, goal, 1.0, options).values[0];
+  // Forbidding state 1 removes the recycle path; the "good" transition's
+  // goal mass remains available, so the value drops but stays positive.
+  EXPECT_LT(blocked, free_route);
+  EXPECT_GT(blocked, 0.0);
+}
+
+TEST(UntilReachability, SizeMismatchThrows) {
+  const Ctmdp c = single_path(1.0);
+  TimedReachabilityOptions options;
+  options.avoid = {true};
+  EXPECT_THROW(timed_reachability(c, {false, true}, 1.0, options), ModelError);
+}
+
+// ------------------------------------------------- scheduler evaluation
+
+TEST(EvaluateScheduler, MatchesInducedCtmc) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  for (std::uint64_t pick : {0u, 1u}) {
+    const std::vector<std::uint64_t> choice{pick, 2, 3};
+    const auto eval = evaluate_scheduler(c, goal, 2.0, choice, {.epsilon = 1e-9});
+    const Ctmc induced = testutil::induced_ctmc(c, choice);
+    const auto ctmc = timed_reachability(induced, goal, 2.0, TransientOptions{1e-9});
+    EXPECT_NEAR(eval.values[0], ctmc.probabilities[0], 1e-7) << "pick=" << pick;
+  }
+}
+
+TEST(EvaluateScheduler, BadChoiceThrows) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  EXPECT_THROW(evaluate_scheduler(c, goal, 1.0, {5, 2, 3}), ModelError);
+  EXPECT_THROW(evaluate_scheduler(c, goal, 1.0, {0}), ModelError);
+}
+
+class SchedulerDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerDominance, OptimumDominatesRandomStationarySchedulers) {
+  // sup over all schedulers >= any stationary scheduler >= inf.
+  Rng rng(GetParam());
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  const double t = 0.7;
+  const double sup = timed_reachability(c, goal, t).values[0];
+  const double inf =
+      timed_reachability(c, goal, t, {.objective = Objective::Minimize}).values[0];
+  std::vector<std::uint64_t> choice{rng.next_below(2), 2, 3};
+  const double fixed = evaluate_scheduler(c, goal, t, choice).values[0];
+  EXPECT_LE(fixed, sup + 1e-9);
+  EXPECT_GE(fixed, inf - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDominance, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(TimedReachability, PrecisionScalesWithEpsilon) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  const double exact =
+      timed_reachability(c, goal, 2.0, {.epsilon = 1e-12}).values[0];
+  for (double eps : {1e-3, 1e-6, 1e-9}) {
+    const double approx = timed_reachability(c, goal, 2.0, {.epsilon = eps}).values[0];
+    EXPECT_NEAR(approx, exact, eps) << eps;
+  }
+}
+
+TEST(TimedReachability, SameActionDifferentRateFunctions) {
+  // The "mild variation" of Def. 1: two transitions with the SAME action
+  // but different rate functions are distinct scheduler choices.
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "a");
+  b.add_rate(2, 2.0);  // straight to the goal
+  b.begin_transition(0, "a");
+  b.add_rate(1, 2.0);  // away from it
+  b.begin_transition(1, "a");
+  b.add_rate(1, 2.0);
+  b.begin_transition(2, "a");
+  b.add_rate(2, 2.0);
+  const Ctmdp c = b.build();
+  const std::vector<bool> goal{false, false, true};
+  const double best = timed_reachability(c, goal, 1.0).values[0];
+  const double worst =
+      timed_reachability(c, goal, 1.0, {.objective = Objective::Minimize}).values[0];
+  EXPECT_GT(best, 0.5);
+  EXPECT_DOUBLE_EQ(worst, 0.0);
+}
+
+// ------------------------------------------------- step-bounded variant
+
+TEST(StepBounded, ZeroStepsIsGoalIndicator) {
+  const Ctmdp c = choice_model();
+  const auto v = step_bounded_reachability(c, {false, false, true}, 0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(StepBounded, OneStepIsBestSingleJumpProbability) {
+  const Ctmdp c = choice_model();
+  const auto v = step_bounded_reachability(c, {false, false, true}, 1);
+  EXPECT_NEAR(v[0], 0.75, 1e-12);  // "good": 3 of 4 rate mass to the goal
+  const auto w =
+      step_bounded_reachability(c, {false, false, true}, 1, Objective::Minimize);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);  // "bad" avoids it
+}
+
+TEST(StepBounded, MonotoneInSteps) {
+  const Ctmdp c = choice_model();
+  double prev = -1.0;
+  for (std::uint64_t k : {0u, 1u, 2u, 5u, 20u}) {
+    const double p = step_bounded_reachability(c, {false, false, true}, k)[0];
+    EXPECT_GE(p + 1e-12, prev);
+    prev = p;
+  }
+}
+
+TEST(StepBounded, ConvergesToUnboundedReachability) {
+  const Ctmdp c = choice_model();
+  const double p = step_bounded_reachability(c, {false, false, true}, 500)[0];
+  EXPECT_NEAR(p, 1.0, 1e-9);  // max scheduler eventually reaches the goal
+}
+
+}  // namespace
+}  // namespace unicon

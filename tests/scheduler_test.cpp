@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "ctmdp/scheduler.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+Ctmdp choice_model() {
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "good");
+  b.add_rate(2, 3.0);
+  b.add_rate(1, 1.0);
+  b.begin_transition(0, "bad");
+  b.add_rate(1, 4.0);
+  b.begin_transition(1, "back");
+  b.add_rate(0, 4.0);
+  b.begin_transition(2, "stay");
+  b.add_rate(2, 4.0);
+  return b.build();
+}
+
+TEST(StationaryScheduler, FirstTransitionDefaults) {
+  const Ctmdp c = choice_model();
+  const auto s = StationaryScheduler::first_transition(c);
+  EXPECT_EQ(s.choice(0), 0u);
+  EXPECT_EQ(s.choice(1), 2u);
+  EXPECT_NO_THROW(s.validate(c));
+}
+
+TEST(StationaryScheduler, ValidateCatchesBadChoices) {
+  const Ctmdp c = choice_model();
+  StationaryScheduler s({5, 2, 3});
+  EXPECT_THROW(s.validate(c), ModelError);
+  StationaryScheduler wrong_size({0});
+  EXPECT_THROW(wrong_size.validate(c), ModelError);
+}
+
+TEST(StationaryScheduler, InducedCtmcMatchesEvaluation) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  for (std::uint64_t pick : {0u, 1u}) {
+    StationaryScheduler s({pick, 2, 3});
+    const Ctmc induced = s.induced_ctmc(c);
+    const auto via_ctmc = timed_reachability(induced, goal, 1.5, TransientOptions{1e-9});
+    const auto via_eval = evaluate_scheduler(c, goal, 1.5, s.choices(), {.epsilon = 1e-9});
+    EXPECT_NEAR(via_ctmc.probabilities[0], via_eval.values[0], 1e-8) << pick;
+  }
+}
+
+TEST(StationaryScheduler, FromInitialDecisionsPicksTheOptimum) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.extract_scheduler = true;
+  const auto result = timed_reachability(c, goal, 1.0, options);
+  const auto s = StationaryScheduler::from_initial_decisions(c, result);
+  EXPECT_EQ(s.choice(0), 0u);  // "good"
+  // Goal state falls back to its first transition.
+  EXPECT_EQ(s.choice(2), 3u);
+}
+
+TEST(StationaryScheduler, FromInitialDecisionsRequiresExtraction) {
+  const Ctmdp c = choice_model();
+  const auto result = timed_reachability(c, {false, false, true}, 1.0);
+  EXPECT_THROW(StationaryScheduler::from_initial_decisions(c, result), ModelError);
+}
+
+TEST(CountdownScheduler, ReplaysDecisionTable) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.extract_scheduler = true;
+  const auto result = timed_reachability(c, goal, 1.0, options);
+  ASSERT_FALSE(result.decisions.empty());
+  const auto s = CountdownScheduler::from_result(result);
+  EXPECT_EQ(s.num_steps(), result.iterations_planned);
+  EXPECT_EQ(s.choice(1, 0), result.initial_decision[0]);
+  // Steps beyond the table clamp to the last row.
+  EXPECT_NO_THROW(s.choice(s.num_steps() + 100, 0));
+  EXPECT_THROW(s.choice(0, 0), ModelError);
+}
+
+TEST(CountdownScheduler, RequiresDecisionTable) {
+  const Ctmdp c = choice_model();
+  const auto result = timed_reachability(c, {false, false, true}, 1.0);
+  EXPECT_THROW(CountdownScheduler::from_result(result), ModelError);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmdp/reachability.hpp"
+#include "ctmdp/simulate.hpp"
+#include "support/errors.hpp"
+
+namespace unicon {
+namespace {
+
+Ctmdp chain_model() {
+  // 0 -> 1 -> 2 (goal), all exit rates 2.0; state 0 also has a slow branch.
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  b.begin_transition(0, "fast");
+  b.add_rate(1, 2.0);
+  b.begin_transition(0, "slow");
+  b.add_rate(0, 1.5);
+  b.add_rate(1, 0.5);
+  b.begin_transition(1, "go");
+  b.add_rate(2, 2.0);
+  b.begin_transition(2, "stay");
+  b.add_rate(2, 2.0);
+  return b.build();
+}
+
+TEST(Simulate, ValidatesInputs) {
+  const Ctmdp c = chain_model();
+  EXPECT_THROW(simulate_reachability(c, {true}, 1.0, {0, 2, 3}), ModelError);
+  EXPECT_THROW(simulate_reachability(c, {false, false, true}, 1.0, {0}), ModelError);
+  EXPECT_THROW(simulate_reachability(c, {false, false, true}, 1.0, {9, 2, 3}), ModelError);
+}
+
+TEST(Simulate, DeterministicSeedsReproduce) {
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{false, false, true};
+  const std::vector<std::uint64_t> choice{0, 2, 3};
+  SimulationOptions options;
+  options.num_runs = 2000;
+  const auto a = simulate_reachability(c, goal, 1.5, choice, options);
+  const auto b = simulate_reachability(c, goal, 1.5, choice, options);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+class SimulateVsAnalytic : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SimulateVsAnalytic, EstimateWithinConfidenceBand) {
+  const auto [pick, t] = GetParam();
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{false, false, true};
+  const std::vector<std::uint64_t> choice{static_cast<std::uint64_t>(pick), 2, 3};
+
+  const double analytic = evaluate_scheduler(c, goal, t, choice, {.epsilon = 1e-9}).values[0];
+
+  SimulationOptions options;
+  options.num_runs = 40000;
+  options.seed = 12345 + static_cast<std::uint64_t>(pick);
+  const auto sim = simulate_reachability(c, goal, t, choice, options);
+
+  // 1.96-sigma half width plus slack; failures here indicate a genuine
+  // semantics mismatch, not noise.
+  EXPECT_NEAR(sim.estimate, analytic, sim.half_width + 0.01)
+      << "pick=" << pick << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SimulateVsAnalytic,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0.25, 1.0, 3.0)));
+
+TEST(Simulate, GoalAtStartCountsImmediately) {
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{true, false, false};
+  const auto r = simulate_reachability(c, goal, 0.0, {0, 2, 3});
+  EXPECT_DOUBLE_EQ(r.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(r.half_width, 0.0);
+}
+
+TEST(Simulate, ZeroTimeNonGoalNeverHits) {
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{false, false, true};
+  const auto r = simulate_reachability(c, goal, 0.0, {0, 2, 3});
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(Simulate, AbsorbingNonGoalTerminatesRuns) {
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.begin_transition(0, "go");
+  b.add_rate(1, 1.0);
+  // State 1 has no transitions.
+  const Ctmdp c = b.build();
+  const auto r = simulate_reachability(c, {false, false}, 100.0, {0, 0});
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace unicon

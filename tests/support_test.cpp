@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "support/errors.hpp"
+#include "support/fox_glynn.hpp"
+#include "support/numerics.hpp"
+#include "support/rng.hpp"
+#include "support/sparse.hpp"
+#include "support/symbols.hpp"
+
+namespace unicon {
+namespace {
+
+// ---------------------------------------------------------------- symbols
+
+TEST(ActionTable, TauIsPreInterned) {
+  ActionTable t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.name(kTau), "tau");
+  EXPECT_EQ(t.id("tau"), kTau);
+}
+
+TEST(ActionTable, InternIsIdempotent) {
+  ActionTable t;
+  const Action a = t.intern("fail");
+  EXPECT_EQ(t.intern("fail"), a);
+  EXPECT_EQ(t.name(a), "fail");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ActionTable, DistinctNamesGetDistinctIds) {
+  ActionTable t;
+  EXPECT_NE(t.intern("a"), t.intern("b"));
+}
+
+TEST(ActionTable, UnknownNameThrows) {
+  ActionTable t;
+  EXPECT_THROW(t.id("nope"), ModelError);
+  EXPECT_FALSE(t.contains("nope"));
+}
+
+TEST(ActionTable, OutOfRangeIdThrows) {
+  ActionTable t;
+  EXPECT_THROW(t.name(99), ModelError);
+}
+
+TEST(WordTable, SingleActionWord) {
+  ActionTable actions;
+  WordTable words;
+  const Action a = actions.intern("go");
+  const WordId w = words.intern_single(a);
+  ASSERT_EQ(words.actions(w).size(), 1u);
+  EXPECT_EQ(words.actions(w)[0], a);
+  EXPECT_EQ(words.str(w, actions), "go");
+}
+
+TEST(WordTable, InternIsIdempotent) {
+  WordTable words;
+  const std::vector<Action> w1{1, 2, 3};
+  const std::vector<Action> w2{1, 2};
+  EXPECT_EQ(words.intern(w1), words.intern(w1));
+  EXPECT_NE(words.intern(w1), words.intern(w2));
+  EXPECT_EQ(words.size(), 2u);
+}
+
+TEST(WordTable, EmptyWordRejected) {
+  WordTable words;
+  EXPECT_THROW(words.intern({}), ModelError);
+}
+
+TEST(WordTable, StrJoinsWithDots) {
+  ActionTable actions;
+  WordTable words;
+  const std::vector<Action> w{actions.intern("r_wsL"), actions.intern("g_bb")};
+  EXPECT_EQ(words.str(words.intern(w), actions), "r_wsL.g_bb");
+}
+
+// ----------------------------------------------------------------- sparse
+
+TEST(CsrBuilder, BuildsSortedRows) {
+  CsrBuilder b(3);
+  b.add(1, 2, 0.5);
+  b.add(1, 0, 0.25);
+  b.add(0, 1, 1.0);
+  const CsrMatrix m = b.finish();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.entries(), 3u);
+  ASSERT_EQ(m.row(1).size(), 2u);
+  EXPECT_EQ(m.row(1)[0].col, 0u);
+  EXPECT_EQ(m.row(1)[1].col, 2u);
+  EXPECT_TRUE(m.row(2).empty());
+}
+
+TEST(CsrBuilder, MergesDuplicateCoordinates) {
+  CsrBuilder b(2);
+  b.add(0, 1, 0.5);
+  b.add(0, 1, 0.25);
+  const CsrMatrix m = b.finish();
+  ASSERT_EQ(m.row(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(0)[0].value, 0.75);
+}
+
+TEST(CsrBuilder, GrowsRowsOnDemand) {
+  CsrBuilder b;
+  b.add(5, 0, 1.0);
+  const CsrMatrix m = b.finish();
+  EXPECT_EQ(m.rows(), 6u);
+}
+
+TEST(CsrMatrix, RowSum) {
+  CsrBuilder b(1);
+  b.add(0, 0, 1.5);
+  b.add(0, 3, 2.5);
+  EXPECT_DOUBLE_EQ(b.finish().row_sum(0), 4.0);
+}
+
+TEST(CsrMatrix, MultiplyMatchesManual) {
+  CsrBuilder b(2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 0.5);
+  const CsrMatrix m = b.finish();
+  const std::vector<double> x{1.0, 3.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+TEST(CsrMatrix, TransposedMultiplyMatchesManual) {
+  CsrBuilder b(2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 0.5);
+  const CsrMatrix m = b.finish();
+  const std::vector<double> x{1.0, 3.0};
+  std::vector<double> y(2);
+  m.multiply_transposed(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);  // 2*1 + 0.5*3
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  CsrBuilder b;
+  const CsrMatrix m = b.finish();
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.entries(), 0u);
+}
+
+// -------------------------------------------------------------- fox-glynn
+
+TEST(PoissonPmf, MatchesDirectFormulaSmall) {
+  EXPECT_NEAR(poisson_pmf(0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(1, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(2, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(PoissonWindow, ZeroLambdaIsDegenerate) {
+  const auto w = PoissonWindow::compute(0.0, 1e-6);
+  EXPECT_EQ(w.left(), 0u);
+  EXPECT_EQ(w.right(), 0u);
+  EXPECT_DOUBLE_EQ(w.psi(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.psi(1), 0.0);
+}
+
+TEST(PoissonWindow, InvalidArgumentsThrow) {
+  EXPECT_THROW(PoissonWindow::compute(-1.0, 1e-6), ModelError);
+  EXPECT_THROW(PoissonWindow::compute(1.0, 0.0), ModelError);
+  EXPECT_THROW(PoissonWindow::compute(1.0, 1.0), ModelError);
+}
+
+TEST(PoissonWindow, ZeroOutsideWindow) {
+  const auto w = PoissonWindow::compute(100.0, 1e-6);
+  EXPECT_GT(w.left(), 0u);
+  EXPECT_DOUBLE_EQ(w.psi(w.left() - 1), 0.0);
+  EXPECT_DOUBLE_EQ(w.psi(w.right() + 1), 0.0);
+  EXPECT_GT(w.psi(100), 0.0);
+}
+
+TEST(PoissonWindow, TailMassDecreases) {
+  const auto w = PoissonWindow::compute(50.0, 1e-8);
+  EXPECT_NEAR(w.tail_mass(0), w.total_mass(), 1e-15);
+  EXPECT_GT(w.tail_mass(40), w.tail_mass(60));
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.right() + 1), 0.0);
+}
+
+class PoissonWindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonWindowSweep, MassIsWithinEpsilon) {
+  const double lambda = GetParam();
+  const double epsilon = 1e-6;
+  const auto w = PoissonWindow::compute(lambda, epsilon);
+  EXPECT_GE(w.total_mass(), 1.0 - epsilon);
+  EXPECT_LE(w.total_mass(), 1.0 + 1e-9);
+}
+
+TEST_P(PoissonWindowSweep, WeightsMatchReferencePmf) {
+  const double lambda = GetParam();
+  const auto w = PoissonWindow::compute(lambda, 1e-6);
+  // Compare a handful of points against the lgamma-based reference.
+  const std::uint64_t mid = (w.left() + w.right()) / 2;
+  for (std::uint64_t i : {w.left(), mid, w.right()}) {
+    const double ref = poisson_pmf(i, lambda);
+    EXPECT_NEAR(w.psi(i), ref, 1e-9 + 1e-6 * ref) << "lambda=" << lambda << " i=" << i;
+  }
+}
+
+TEST_P(PoissonWindowSweep, WindowBracketsTheMode) {
+  const double lambda = GetParam();
+  const auto w = PoissonWindow::compute(lambda, 1e-6);
+  const auto mode = static_cast<std::uint64_t>(lambda);
+  EXPECT_LE(w.left(), mode);
+  EXPECT_GE(w.right(), mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonWindowSweep,
+                         ::testing::Values(1e-3, 0.1, 1.0, 5.0, 25.0, 205.0, 1000.0, 10000.0,
+                                           77000.0));
+
+TEST(PoissonWindow, HugeLambdaStaysAccurateAndNarrow) {
+  // lambda = 1e6: the window is O(sqrt(lambda) * sqrt(log 1/eps)) wide and
+  // the weights still match the reference pmf.
+  const double lambda = 1e6;
+  const auto w = PoissonWindow::compute(lambda, 1e-6);
+  EXPECT_LT(w.right() - w.left(), 20000u);
+  EXPECT_GE(w.total_mass(), 1.0 - 1e-6);
+  const auto mode = static_cast<std::uint64_t>(lambda);
+  EXPECT_NEAR(w.psi(mode), poisson_pmf(mode, lambda), 1e-12);
+}
+
+TEST(PoissonWindow, RightGrowsWithLambda) {
+  const auto w1 = PoissonWindow::compute(10.0, 1e-6);
+  const auto w2 = PoissonWindow::compute(1000.0, 1e-6);
+  EXPECT_LT(w1.right(), w2.right());
+}
+
+TEST(PoissonWindow, TighterEpsilonWidensWindow) {
+  const auto loose = PoissonWindow::compute(100.0, 1e-4);
+  const auto tight = PoissonWindow::compute(100.0, 1e-12);
+  EXPECT_LE(tight.left(), loose.left());
+  EXPECT_GE(tight.right(), loose.right());
+}
+
+// --------------------------------------------------------------- numerics
+
+TEST(KahanSum, CompensatesSmallAddends) {
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 10000000; ++i) sum.add(1e-16);
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(Numerics, MaxAbsDiff) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(Numerics, Clamp01) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(1.1), 1.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+  EXPECT_THROW(rng.next_below(0), ModelError);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(4);
+  const std::vector<double> weights{1.0, 3.0};
+  int counts[2] = {0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_discrete(weights)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+  EXPECT_THROW(rng.next_discrete({}), ModelError);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,111 @@
+#include "test_util.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/errors.hpp"
+
+namespace unicon::testutil {
+
+Imc random_uniform_imc(Rng& rng, const RandomImcConfig& config) {
+  const std::size_t n = std::max<std::size_t>(config.num_states, 2);
+  ImcBuilder b;
+  const Action visible_a = b.intern("a");
+  const Action visible_b = b.intern("b");
+  for (std::size_t s = 0; s < n; ++s) b.add_state("s" + std::to_string(s));
+  b.set_initial(0);
+
+  // Decide kinds: last state is Markov so interactive chains terminate.
+  std::vector<bool> interactive(n, false);
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    interactive[s] = rng.next_double() < config.interactive_bias;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (interactive[s]) {
+      // Interactive transitions lead strictly forward (no Zeno cycles).
+      const unsigned fanout =
+          config.deterministic ? 1u : 1u + static_cast<unsigned>(rng.next_below(config.max_fanout));
+      bool has_tau = false;
+      for (unsigned i = 0; i < fanout; ++i) {
+        const StateId to = static_cast<StateId>(s + 1 + rng.next_below(n - s - 1));
+        const Action a = rng.next_double() < config.tau_bias
+                             ? kTau
+                             : (rng.next_double() < 0.5 ? visible_a : visible_b);
+        has_tau = has_tau || a == kTau;
+        b.add_interactive(static_cast<StateId>(s), a, to);
+      }
+      // A visible-only interactive state is *stable* (Def. 4) and must
+      // carry exit rate E to keep the model uniform — the same device the
+      // elapse operator uses for its idle/done states.
+      if (!has_tau) {
+        b.add_markov(static_cast<StateId>(s), config.uniform_rate, static_cast<StateId>(s));
+      }
+    } else {
+      // Markov state: random targets anywhere, rates normalized to the
+      // uniform rate.
+      const unsigned fanout = 1u + static_cast<unsigned>(rng.next_below(config.max_fanout));
+      std::vector<double> weights(fanout);
+      double total = 0.0;
+      for (double& w : weights) {
+        w = 0.1 + rng.next_double();
+        total += w;
+      }
+      for (unsigned i = 0; i < fanout; ++i) {
+        const StateId to = static_cast<StateId>(rng.next_below(n));
+        b.add_markov(static_cast<StateId>(s), config.uniform_rate * weights[i] / total, to);
+      }
+    }
+  }
+
+  // Connectivity: give every state an incoming edge from a smaller state by
+  // adding Markov mass is impossible without breaking uniformity, so
+  // instead wire unreachable states via an extra interactive successor of
+  // state 0 when it is interactive, or accept the reachable restriction.
+  Imc built = b.build().reachable();
+  return built;
+}
+
+std::vector<bool> random_goal(Rng& rng, std::size_t num_states, double density) {
+  std::vector<bool> goal(num_states, false);
+  bool any = false;
+  for (std::size_t s = 1; s < num_states; ++s) {
+    if (rng.next_double() < density) {
+      goal[s] = true;
+      any = true;
+    }
+  }
+  if (!any && num_states > 1) goal[num_states - 1] = true;
+  return goal;
+}
+
+Ctmc ctmc_from_deterministic_ctmdp(const Ctmdp& model) {
+  CtmcBuilder b(model.num_states());
+  b.ensure_states(model.num_states());
+  b.set_initial(model.initial());
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    const auto [first, last] = model.transition_range(s);
+    if (last - first > 1) {
+      throw ModelError("ctmc_from_deterministic_ctmdp: state has a choice");
+    }
+    if (first == last) continue;
+    for (const SparseEntry& e : model.rates(first)) b.add_transition(s, e.value, e.col);
+  }
+  return b.build();
+}
+
+Ctmc induced_ctmc(const Ctmdp& model, const std::vector<std::uint64_t>& choice) {
+  CtmcBuilder b(model.num_states());
+  b.ensure_states(model.num_states());
+  b.set_initial(model.initial());
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    const auto [first, last] = model.transition_range(s);
+    if (first == last) continue;
+    const std::uint64_t tr = choice[s];
+    if (tr < first || tr >= last) throw ModelError("induced_ctmc: bad choice");
+    for (const SparseEntry& e : model.rates(tr)) b.add_transition(s, e.value, e.col);
+  }
+  return b.build();
+}
+
+}  // namespace unicon::testutil

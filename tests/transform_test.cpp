@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/transform.hpp"
+#include "ctmc/transient.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace unicon {
+namespace {
+
+// ------------------------------------------------------------ step (1)
+
+TEST(MakeAlternating, CutsMarkovTransitionsOfHybridStates) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_interactive(0, "a", 1);
+  b.add_markov(0, 3.0, 2);  // urgency: cut
+  b.add_markov(1, 1.0, 2);
+  const Imc m = make_alternating(b.build());
+  EXPECT_FALSE(m.has_markov(0));
+  EXPECT_TRUE(m.has_markov(1));
+  EXPECT_EQ(m.num_markov_transitions(), 1u);
+  for (StateId s = 0; s < m.num_states(); ++s) EXPECT_NE(m.kind(s), StateKind::Hybrid);
+}
+
+TEST(MakeAlternating, PureModelsUntouched) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 0);
+  const Imc before = b.build();
+  const Imc after = make_alternating(before);
+  EXPECT_EQ(after.num_markov_transitions(), before.num_markov_transitions());
+  EXPECT_EQ(after.num_interactive_transitions(), before.num_interactive_transitions());
+}
+
+// ------------------------------------------------------------ step (2)
+
+TEST(MakeMarkovAlternating, SplitsMarkovToMarkovEdges) {
+  // 0 (Markov) --1.0--> 1 (Markov) --2.0--> 2 (interactive).
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_markov(1, 2.0, 2);
+  b.add_interactive(2, kTau, 0);
+  const Imc m = make_markov_alternating(b.build());
+  // One fresh state (0,1) with a tau to 1.
+  EXPECT_EQ(m.num_states(), 4u);
+  const StateId fresh = 3;
+  EXPECT_TRUE(m.has_interactive(fresh));
+  EXPECT_DOUBLE_EQ(m.rate(0, fresh), 1.0);
+  EXPECT_DOUBLE_EQ(m.rate(0, 1), 0.0);
+  // Every Markov transition now ends in an interactive state.
+  for (const MarkovTransition& t : m.markov_transitions()) {
+    EXPECT_TRUE(m.has_interactive(t.to));
+  }
+}
+
+TEST(MakeMarkovAlternating, ParallelEdgesShareOneFreshState) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_markov(0, 2.0, 1);
+  b.add_markov(1, 1.0, 0);
+  const Imc m = make_markov_alternating(b.build());
+  // Fresh states (0,1) and (1,0): 2 + 2 = 4.
+  EXPECT_EQ(m.num_states(), 4u);
+}
+
+TEST(MakeMarkovAlternating, SelfLoopsAreSplitToo) {
+  // A Markov self-loop is a Markov->Markov edge and gains a pair state —
+  // this is how uniformization self-loops thread through the pipeline.
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 0);
+  const Imc m = make_markov_alternating(b.build());
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_DOUBLE_EQ(m.rate(0, 2), 1.0);  // via pair state (0,0)
+}
+
+TEST(MakeMarkovAlternating, HybridInputRejected) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_interactive(0, "a", 1);
+  b.add_markov(0, 1.0, 1);
+  EXPECT_THROW(make_markov_alternating(b.build()), ModelError);
+}
+
+// --------------------------------------------- step (3) and the CTMDP
+
+TEST(Transform, WordCompression) {
+  // Markov 0 --> interactive chain 1 -a-> 2 -b-> 3 (Markov).
+  ImcBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, "a", 2);
+  b.add_interactive(2, "b", 3);
+  b.add_markov(3, 1.0, 1);
+  const auto result = transform_to_ctmdp(b.build());
+  const Ctmdp& c = result.ctmdp;
+  // States: fresh initial (for the Markov initial state) and 1.
+  EXPECT_EQ(c.num_states(), 2u);
+  bool found_ab = false;
+  for (std::uint64_t t = 0; t < c.num_transitions(); ++t) {
+    if (c.words().str(c.label(t), c.actions()) == "a.b") found_ab = true;
+  }
+  EXPECT_TRUE(found_ab);
+}
+
+TEST(Transform, TauOnlyPathsYieldTauWord) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 2.0, 1);
+  b.add_interactive(1, kTau, 2);
+  b.add_markov(2, 2.0, 1);
+  const auto result = transform_to_ctmdp(b.build());
+  const Ctmdp& c = result.ctmdp;
+  for (std::uint64_t t = 0; t < c.num_transitions(); ++t) {
+    EXPECT_EQ(c.words().str(c.label(t), c.actions()), "tau");
+  }
+}
+
+TEST(Transform, BranchingChoicesBecomeSeparateTransitions) {
+  // An interactive state with two distinct zero-time resolutions gives the
+  // CTMDP state two transitions (the scheduler's choice).
+  ImcBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, "a", 2);
+  b.add_interactive(1, "b", 3);
+  b.add_markov(2, 1.0, 1);
+  b.add_markov(3, 4.0, 4);
+  b.add_interactive(4, kTau, 1);
+  const auto result = transform_to_ctmdp(b.build());
+  const Ctmdp& c = result.ctmdp;
+  const StateId s1 = 1;  // interactive state 1 keeps its role as a CTMDP state
+  bool found_two = false;
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    if (c.num_transitions_of(s) == 2) found_two = true;
+  }
+  EXPECT_TRUE(found_two);
+  (void)s1;
+}
+
+TEST(Transform, DuplicateWordsToSameMarkovStateAreDeduplicated) {
+  // Two tau paths from the same entry to the same Markov state carry the
+  // same rate function; only one transition is emitted.
+  ImcBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 2);
+  b.add_interactive(1, kTau, 3);
+  b.add_interactive(2, kTau, 4);
+  b.add_interactive(3, kTau, 4);
+  b.add_markov(4, 1.0, 1);
+  const auto result = transform_to_ctmdp(b.build());
+  EXPECT_EQ(result.stats.words_deduplicated, 1u);
+  EXPECT_EQ(result.ctmdp.num_transitions(), 2u);  // fresh-initial tau + entry
+}
+
+TEST(Transform, ZenoCycleDetected) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 2);
+  b.add_interactive(2, kTau, 1);
+  EXPECT_THROW(transform_to_ctmdp(b.build()), ZenoError);
+}
+
+TEST(Transform, ZeroTimeDeadlockDetected) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, "a", 2);  // state 2 is absorbing
+  EXPECT_THROW(transform_to_ctmdp(b.build()), ModelError);
+}
+
+TEST(Transform, AbsorbingInitialRejected) {
+  ImcBuilder b;
+  b.add_state();
+  EXPECT_THROW(transform_to_ctmdp(b.build()), ModelError);
+}
+
+TEST(Transform, MarkovInitialGetsFreshPreInitial) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 0);
+  const auto result = transform_to_ctmdp(b.build());
+  const Ctmdp& c = result.ctmdp;
+  EXPECT_EQ(c.num_transitions_of(c.initial()), 1u);
+  EXPECT_EQ(result.origin_of[c.initial()], 0u);
+}
+
+TEST(Transform, StatsCountStrictlyAlternatingSizes) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, "a", 2);
+  b.add_markov(2, 1.0, 1);
+  const auto result = transform_to_ctmdp(b.build());
+  EXPECT_EQ(result.stats.interactive_states, result.ctmdp.num_states());
+  EXPECT_EQ(result.stats.interactive_transitions, result.ctmdp.num_transitions());
+  EXPECT_EQ(result.stats.markov_states, 2u);
+  EXPECT_GT(result.stats.memory_bytes, 0u);
+  EXPECT_GE(result.stats.seconds, 0.0);
+}
+
+// ----------------------------------------------------- goal transfer
+
+TEST(Transform, GoalTransferExistentialAndUniversal) {
+  // From entry 1 the scheduler may go to goal Markov state 3 or non-goal 4.
+  ImcBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, "a", 3);
+  b.add_interactive(1, "b", 4);
+  b.add_markov(3, 1.0, 1);
+  b.add_markov(4, 1.0, 1);
+  const std::vector<bool> goal{false, false, false, true, false};
+  const auto result = transform_to_ctmdp(b.build(), &goal);
+  ASSERT_EQ(result.goal.size(), result.ctmdp.num_states());
+  // Find the CTMDP state for original state 1.
+  StateId one = kNoState;
+  for (StateId s = 0; s < result.ctmdp.num_states(); ++s) {
+    if (result.origin_of[s] == 1) one = s;
+  }
+  ASSERT_NE(one, kNoState);
+  EXPECT_TRUE(result.goal[one]);            // can zero-reach the goal
+  EXPECT_FALSE(result.goal_universal[one]);  // but is not forced to
+}
+
+TEST(Transform, GoalOnInteractiveEntryState) {
+  ImcBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 1.0, 1);
+  b.add_interactive(1, kTau, 2);
+  b.add_markov(2, 1.0, 1);
+  const std::vector<bool> goal{false, true, false};
+  const auto result = transform_to_ctmdp(b.build(), &goal);
+  StateId one = kNoState;
+  for (StateId s = 0; s < result.ctmdp.num_states(); ++s) {
+    if (result.origin_of[s] == 1) one = s;
+  }
+  ASSERT_NE(one, kNoState);
+  EXPECT_TRUE(result.goal[one]);
+  EXPECT_TRUE(result.goal_universal[one]);
+}
+
+TEST(Transform, GoalSizeMismatchThrows) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_markov(0, 1.0, 0);
+  const Imc m = b.build();
+  const std::vector<bool> goal{true, false};
+  EXPECT_THROW(transform_to_ctmdp(m, &goal), ModelError);
+}
+
+// --------------------------- Theorem 1 style cross-checks (properties)
+
+class TransformCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformCrossCheck, DeterministicUimcMatchesCtmcAnalysis) {
+  // For a closed uIMC without any scheduler choice, the transformed CTMDP
+  // is deterministic and timed reachability must equal plain CTMC
+  // analysis of the induced chain (Theorem 1 collapses to an equality).
+  Rng rng(GetParam());
+  testutil::RandomImcConfig config;
+  config.num_states = 15;
+  config.deterministic = true;
+  config.uniform_rate = 2.0;
+  const Imc m = testutil::random_uniform_imc(rng, config);
+  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+
+  const auto transformed = transform_to_ctmdp(m, &goal);
+  const Ctmc chain = testutil::ctmc_from_deterministic_ctmdp(transformed.ctmdp);
+
+  for (double t : {0.4, 1.5, 6.0}) {
+    TimedReachabilityOptions options;
+    options.epsilon = 1e-9;
+    const auto via_mdp = timed_reachability(transformed.ctmdp, transformed.goal, t, options);
+    const auto via_ctmc = timed_reachability(chain, transformed.goal, t, TransientOptions{1e-9});
+    EXPECT_NEAR(via_mdp.values[transformed.ctmdp.initial()],
+                via_ctmc.probabilities[chain.initial()], 1e-6)
+        << "t=" << t;
+  }
+}
+
+TEST_P(TransformCrossCheck, SupIsAtLeastInf) {
+  Rng rng(GetParam() + 300);
+  testutil::RandomImcConfig config;
+  config.num_states = 14;
+  const Imc m = testutil::random_uniform_imc(rng, config);
+  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  UimcAnalysisOptions options;
+  const double sup = analyze_timed_reachability(m, goal, 2.0, options).value;
+  options.reachability.objective = Objective::Minimize;
+  const double inf = analyze_timed_reachability(m, goal, 2.0, options).value;
+  EXPECT_GE(sup + 1e-9, inf);
+}
+
+TEST_P(TransformCrossCheck, TransformedModelIsUniform) {
+  Rng rng(GetParam() + 600);
+  const Imc m = testutil::random_uniform_imc(rng);
+  const auto result = transform_to_ctmdp(m);
+  EXPECT_TRUE(result.ctmdp.is_uniform(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformCrossCheck, ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace unicon

@@ -1,0 +1,117 @@
+// unicon_check — command-line timed reachability for serialized models.
+//
+// Usage:
+//   unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E]
+//                [--early] [--scheduler]
+//   unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]
+//
+// The model formats are those written by the io library (see io/tra.hpp);
+// goal.lab lists goal states, one "state goal" line each.  Prints the
+// optimal probability at the initial state plus solver statistics.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "io/tra.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace unicon;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E] "
+               "[--early] [--scheduler]\n"
+               "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]\n");
+  std::exit(2);
+}
+
+std::vector<bool> load_goal(const std::string& path, std::size_t num_states) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open goal file: " + path);
+  return io::read_goal(in, num_states);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) usage();
+  const std::string kind = argv[1];
+  const std::string model_path = argv[2];
+  const std::string goal_path = argv[3];
+  const double t = std::strtod(argv[4], nullptr);
+
+  bool minimize = false, early = false, scheduler = false;
+  double eps = 1e-6;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min") == 0) {
+      minimize = true;
+    } else if (std::strcmp(argv[i], "--early") == 0) {
+      early = true;
+    } else if (std::strcmp(argv[i], "--scheduler") == 0) {
+      scheduler = true;
+    } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
+      eps = std::strtod(argv[++i], nullptr);
+    } else {
+      usage();
+    }
+  }
+
+  try {
+    if (kind == "ctmdp") {
+      const Ctmdp model = io::load_ctmdp(model_path);
+      const std::vector<bool> goal = load_goal(goal_path, model.num_states());
+      TimedReachabilityOptions options;
+      options.epsilon = eps;
+      options.objective = minimize ? Objective::Minimize : Objective::Maximize;
+      options.early_termination = early;
+      options.extract_scheduler = scheduler;
+      Stopwatch timer;
+      const auto result = timed_reachability(model, goal, t, options);
+      std::printf("model: %zu states, %zu transitions, uniform rate %.6f\n", model.num_states(),
+                  model.num_transitions(), result.uniform_rate);
+      std::printf("%s P(reach goal within %g) = %.10f\n", minimize ? "inf" : "sup", t,
+                  result.values[model.initial()]);
+      std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
+                  static_cast<unsigned long long>(result.iterations_planned),
+                  static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
+      if (scheduler) {
+        std::printf("optimal first decisions (states with a real choice):\n");
+        for (StateId s = 0; s < model.num_states(); ++s) {
+          if (model.num_transitions_of(s) < 2) continue;
+          const auto choice = result.initial_decision[s];
+          if (choice == kNoTransition) continue;
+          std::printf("  %u: %s\n", s,
+                      model.words().str(model.label(choice), model.actions()).c_str());
+        }
+      }
+    } else if (kind == "ctmc") {
+      const Ctmc model = io::load_ctmc(model_path);
+      const std::vector<bool> goal = load_goal(goal_path, model.num_states());
+      TransientOptions options;
+      options.epsilon = eps;
+      options.early_termination = early;
+      Stopwatch timer;
+      const auto result = timed_reachability(model, goal, t, options);
+      std::printf("model: %zu states, %zu transitions, uniformized at %.6f\n", model.num_states(),
+                  model.num_transitions(), result.uniform_rate);
+      std::printf("P(reach goal within %g) = %.10f\n", t,
+                  result.probabilities[model.initial()]);
+      std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
+                  static_cast<unsigned long long>(result.iterations),
+                  static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
+    } else {
+      usage();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
