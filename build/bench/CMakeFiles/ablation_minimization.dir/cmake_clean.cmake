@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minimization.dir/ablation_minimization.cpp.o"
+  "CMakeFiles/ablation_minimization.dir/ablation_minimization.cpp.o.d"
+  "ablation_minimization"
+  "ablation_minimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

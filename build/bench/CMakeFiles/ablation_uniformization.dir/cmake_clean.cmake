@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uniformization.dir/ablation_uniformization.cpp.o"
+  "CMakeFiles/ablation_uniformization.dir/ablation_uniformization.cpp.o.d"
+  "ablation_uniformization"
+  "ablation_uniformization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uniformization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

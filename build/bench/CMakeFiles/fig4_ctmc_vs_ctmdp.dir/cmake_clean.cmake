@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ctmc_vs_ctmdp.dir/fig4_ctmc_vs_ctmdp.cpp.o"
+  "CMakeFiles/fig4_ctmc_vs_ctmdp.dir/fig4_ctmc_vs_ctmdp.cpp.o.d"
+  "fig4_ctmc_vs_ctmdp"
+  "fig4_ctmc_vs_ctmdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ctmc_vs_ctmdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

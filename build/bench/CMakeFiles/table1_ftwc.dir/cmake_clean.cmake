@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ftwc.dir/table1_ftwc.cpp.o"
+  "CMakeFiles/table1_ftwc.dir/table1_ftwc.cpp.o.d"
+  "table1_ftwc"
+  "table1_ftwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ftwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctmc_vs_ctmdp.dir/ctmc_vs_ctmdp.cpp.o"
+  "CMakeFiles/ctmc_vs_ctmdp.dir/ctmc_vs_ctmdp.cpp.o.d"
+  "ctmc_vs_ctmdp"
+  "ctmc_vs_ctmdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctmc_vs_ctmdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

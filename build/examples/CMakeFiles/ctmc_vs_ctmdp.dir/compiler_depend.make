@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctmc_vs_ctmdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erlang_job_shop.dir/erlang_job_shop.cpp.o"
+  "CMakeFiles/erlang_job_shop.dir/erlang_job_shop.cpp.o.d"
+  "erlang_job_shop"
+  "erlang_job_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erlang_job_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftwc_analysis.dir/ftwc_analysis.cpp.o"
+  "CMakeFiles/ftwc_analysis.dir/ftwc_analysis.cpp.o.d"
+  "ftwc_analysis"
+  "ftwc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftwc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

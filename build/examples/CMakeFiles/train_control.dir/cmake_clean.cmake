@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_control.dir/train_control.cpp.o"
+  "CMakeFiles/train_control.dir/train_control.cpp.o.d"
+  "train_control"
+  "train_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

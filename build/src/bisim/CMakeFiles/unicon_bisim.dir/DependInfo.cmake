@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisim/bisimulation.cpp" "src/bisim/CMakeFiles/unicon_bisim.dir/bisimulation.cpp.o" "gcc" "src/bisim/CMakeFiles/unicon_bisim.dir/bisimulation.cpp.o.d"
+  "/root/repo/src/bisim/partition.cpp" "src/bisim/CMakeFiles/unicon_bisim.dir/partition.cpp.o" "gcc" "src/bisim/CMakeFiles/unicon_bisim.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imc/CMakeFiles/unicon_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/unicon_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/unicon_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/unicon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_bisim.dir/bisimulation.cpp.o"
+  "CMakeFiles/unicon_bisim.dir/bisimulation.cpp.o.d"
+  "CMakeFiles/unicon_bisim.dir/partition.cpp.o"
+  "CMakeFiles/unicon_bisim.dir/partition.cpp.o.d"
+  "libunicon_bisim.a"
+  "libunicon_bisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_bisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

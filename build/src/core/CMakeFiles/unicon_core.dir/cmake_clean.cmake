@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_core.dir/analysis.cpp.o"
+  "CMakeFiles/unicon_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/unicon_core.dir/time_constraint.cpp.o"
+  "CMakeFiles/unicon_core.dir/time_constraint.cpp.o.d"
+  "CMakeFiles/unicon_core.dir/transform.cpp.o"
+  "CMakeFiles/unicon_core.dir/transform.cpp.o.d"
+  "libunicon_core.a"
+  "libunicon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/ctmc.cpp" "src/ctmc/CMakeFiles/unicon_ctmc.dir/ctmc.cpp.o" "gcc" "src/ctmc/CMakeFiles/unicon_ctmc.dir/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/phase_type.cpp" "src/ctmc/CMakeFiles/unicon_ctmc.dir/phase_type.cpp.o" "gcc" "src/ctmc/CMakeFiles/unicon_ctmc.dir/phase_type.cpp.o.d"
+  "/root/repo/src/ctmc/steady_state.cpp" "src/ctmc/CMakeFiles/unicon_ctmc.dir/steady_state.cpp.o" "gcc" "src/ctmc/CMakeFiles/unicon_ctmc.dir/steady_state.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/ctmc/CMakeFiles/unicon_ctmc.dir/transient.cpp.o" "gcc" "src/ctmc/CMakeFiles/unicon_ctmc.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/unicon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_ctmc.dir/ctmc.cpp.o"
+  "CMakeFiles/unicon_ctmc.dir/ctmc.cpp.o.d"
+  "CMakeFiles/unicon_ctmc.dir/phase_type.cpp.o"
+  "CMakeFiles/unicon_ctmc.dir/phase_type.cpp.o.d"
+  "CMakeFiles/unicon_ctmc.dir/steady_state.cpp.o"
+  "CMakeFiles/unicon_ctmc.dir/steady_state.cpp.o.d"
+  "CMakeFiles/unicon_ctmc.dir/transient.cpp.o"
+  "CMakeFiles/unicon_ctmc.dir/transient.cpp.o.d"
+  "libunicon_ctmc.a"
+  "libunicon_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmdp/ctmdp.cpp" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/ctmdp.cpp.o" "gcc" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/ctmdp.cpp.o.d"
+  "/root/repo/src/ctmdp/reachability.cpp" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/reachability.cpp.o" "gcc" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/reachability.cpp.o.d"
+  "/root/repo/src/ctmdp/scheduler.cpp" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/scheduler.cpp.o" "gcc" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ctmdp/simulate.cpp" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/simulate.cpp.o" "gcc" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/simulate.cpp.o.d"
+  "/root/repo/src/ctmdp/unbounded.cpp" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/unbounded.cpp.o" "gcc" "src/ctmdp/CMakeFiles/unicon_ctmdp.dir/unbounded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/unicon_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/unicon_ctmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

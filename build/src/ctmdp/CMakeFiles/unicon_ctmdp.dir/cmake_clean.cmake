@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_ctmdp.dir/ctmdp.cpp.o"
+  "CMakeFiles/unicon_ctmdp.dir/ctmdp.cpp.o.d"
+  "CMakeFiles/unicon_ctmdp.dir/reachability.cpp.o"
+  "CMakeFiles/unicon_ctmdp.dir/reachability.cpp.o.d"
+  "CMakeFiles/unicon_ctmdp.dir/scheduler.cpp.o"
+  "CMakeFiles/unicon_ctmdp.dir/scheduler.cpp.o.d"
+  "CMakeFiles/unicon_ctmdp.dir/simulate.cpp.o"
+  "CMakeFiles/unicon_ctmdp.dir/simulate.cpp.o.d"
+  "CMakeFiles/unicon_ctmdp.dir/unbounded.cpp.o"
+  "CMakeFiles/unicon_ctmdp.dir/unbounded.cpp.o.d"
+  "libunicon_ctmdp.a"
+  "libunicon_ctmdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_ctmdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

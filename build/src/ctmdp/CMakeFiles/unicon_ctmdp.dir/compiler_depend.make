@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unicon_ctmdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for unicon_ctmdp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_ftwc.dir/components.cpp.o"
+  "CMakeFiles/unicon_ftwc.dir/components.cpp.o.d"
+  "CMakeFiles/unicon_ftwc.dir/compositional.cpp.o"
+  "CMakeFiles/unicon_ftwc.dir/compositional.cpp.o.d"
+  "CMakeFiles/unicon_ftwc.dir/ctmc_variant.cpp.o"
+  "CMakeFiles/unicon_ftwc.dir/ctmc_variant.cpp.o.d"
+  "CMakeFiles/unicon_ftwc.dir/direct.cpp.o"
+  "CMakeFiles/unicon_ftwc.dir/direct.cpp.o.d"
+  "CMakeFiles/unicon_ftwc.dir/parameters.cpp.o"
+  "CMakeFiles/unicon_ftwc.dir/parameters.cpp.o.d"
+  "libunicon_ftwc.a"
+  "libunicon_ftwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_ftwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunicon_ftwc.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unicon_ftwc.
+# This may be replaced when dependencies are built.

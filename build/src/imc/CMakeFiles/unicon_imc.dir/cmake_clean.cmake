@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_imc.dir/compose.cpp.o"
+  "CMakeFiles/unicon_imc.dir/compose.cpp.o.d"
+  "CMakeFiles/unicon_imc.dir/elapse.cpp.o"
+  "CMakeFiles/unicon_imc.dir/elapse.cpp.o.d"
+  "CMakeFiles/unicon_imc.dir/imc.cpp.o"
+  "CMakeFiles/unicon_imc.dir/imc.cpp.o.d"
+  "libunicon_imc.a"
+  "libunicon_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_io.dir/dot.cpp.o"
+  "CMakeFiles/unicon_io.dir/dot.cpp.o.d"
+  "CMakeFiles/unicon_io.dir/tra.cpp.o"
+  "CMakeFiles/unicon_io.dir/tra.cpp.o.d"
+  "libunicon_io.a"
+  "libunicon_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

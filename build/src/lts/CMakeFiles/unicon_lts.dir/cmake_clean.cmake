@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_lts.dir/lts.cpp.o"
+  "CMakeFiles/unicon_lts.dir/lts.cpp.o.d"
+  "libunicon_lts.a"
+  "libunicon_lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_props.dir/property.cpp.o"
+  "CMakeFiles/unicon_props.dir/property.cpp.o.d"
+  "libunicon_props.a"
+  "libunicon_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/fox_glynn.cpp" "src/support/CMakeFiles/unicon_support.dir/fox_glynn.cpp.o" "gcc" "src/support/CMakeFiles/unicon_support.dir/fox_glynn.cpp.o.d"
+  "/root/repo/src/support/numerics.cpp" "src/support/CMakeFiles/unicon_support.dir/numerics.cpp.o" "gcc" "src/support/CMakeFiles/unicon_support.dir/numerics.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/unicon_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/unicon_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/sparse.cpp" "src/support/CMakeFiles/unicon_support.dir/sparse.cpp.o" "gcc" "src/support/CMakeFiles/unicon_support.dir/sparse.cpp.o.d"
+  "/root/repo/src/support/symbols.cpp" "src/support/CMakeFiles/unicon_support.dir/symbols.cpp.o" "gcc" "src/support/CMakeFiles/unicon_support.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_support.dir/fox_glynn.cpp.o"
+  "CMakeFiles/unicon_support.dir/fox_glynn.cpp.o.d"
+  "CMakeFiles/unicon_support.dir/numerics.cpp.o"
+  "CMakeFiles/unicon_support.dir/numerics.cpp.o.d"
+  "CMakeFiles/unicon_support.dir/rng.cpp.o"
+  "CMakeFiles/unicon_support.dir/rng.cpp.o.d"
+  "CMakeFiles/unicon_support.dir/sparse.cpp.o"
+  "CMakeFiles/unicon_support.dir/sparse.cpp.o.d"
+  "CMakeFiles/unicon_support.dir/symbols.cpp.o"
+  "CMakeFiles/unicon_support.dir/symbols.cpp.o.d"
+  "libunicon_support.a"
+  "libunicon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

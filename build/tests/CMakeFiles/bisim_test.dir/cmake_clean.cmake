@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisim_test.dir/bisim_test.cpp.o"
+  "CMakeFiles/bisim_test.dir/bisim_test.cpp.o.d"
+  "bisim_test"
+  "bisim_test.pdb"
+  "bisim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctmdp_test.dir/ctmdp_test.cpp.o"
+  "CMakeFiles/ctmdp_test.dir/ctmdp_test.cpp.o.d"
+  "ctmdp_test"
+  "ctmdp_test.pdb"
+  "ctmdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctmdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

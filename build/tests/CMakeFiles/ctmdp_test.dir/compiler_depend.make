@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctmdp_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elapse_test.dir/elapse_test.cpp.o"
+  "CMakeFiles/elapse_test.dir/elapse_test.cpp.o.d"
+  "elapse_test"
+  "elapse_test.pdb"
+  "elapse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elapse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftwc_test.dir/ftwc_test.cpp.o"
+  "CMakeFiles/ftwc_test.dir/ftwc_test.cpp.o.d"
+  "ftwc_test"
+  "ftwc_test.pdb"
+  "ftwc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_test.dir/props_test.cpp.o"
+  "CMakeFiles/props_test.dir/props_test.cpp.o.d"
+  "props_test"
+  "props_test.pdb"
+  "props_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform_test.cpp" "tests/CMakeFiles/transform_test.dir/transform_test.cpp.o" "gcc" "tests/CMakeFiles/transform_test.dir/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/unicon_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/unicon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/unicon_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmdp/CMakeFiles/unicon_ctmdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisim/CMakeFiles/unicon_bisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/imc/CMakeFiles/unicon_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/unicon_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/unicon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbounded_test.dir/unbounded_test.cpp.o"
+  "CMakeFiles/unbounded_test.dir/unbounded_test.cpp.o.d"
+  "unbounded_test"
+  "unbounded_test.pdb"
+  "unbounded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_testutil.dir/test_util.cpp.o"
+  "CMakeFiles/unicon_testutil.dir/test_util.cpp.o.d"
+  "libunicon_testutil.a"
+  "libunicon_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lts_test[1]_include.cmake")
+include("/root/repo/build/tests/ctmc_test[1]_include.cmake")
+include("/root/repo/build/tests/phase_type_test[1]_include.cmake")
+include("/root/repo/build/tests/imc_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/elapse_test[1]_include.cmake")
+include("/root/repo/build/tests/bisim_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/ctmdp_test[1]_include.cmake")
+include("/root/repo/build/tests/reachability_test[1]_include.cmake")
+include("/root/repo/build/tests/unbounded_test[1]_include.cmake")
+include("/root/repo/build/tests/steady_state_test[1]_include.cmake")
+include("/root/repo/build/tests/props_test[1]_include.cmake")
+include("/root/repo/build/tests/simulate_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/ftwc_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

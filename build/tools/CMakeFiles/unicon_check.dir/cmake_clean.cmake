@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicon_check.dir/unicon_check.cpp.o"
+  "CMakeFiles/unicon_check.dir/unicon_check.cpp.o.d"
+  "unicon_check"
+  "unicon_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicon_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
