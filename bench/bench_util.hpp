@@ -1,9 +1,11 @@
 // Shared helpers for the benchmark harnesses.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace unicon::bench {
 
@@ -12,6 +14,57 @@ inline bool full_sweep() {
   const char* env = std::getenv("FTWC_FULL");
   return env != nullptr && env[0] == '1';
 }
+
+/// One timed Algorithm-1 (or uniformization) solve for the perf trajectory.
+struct ReachabilityRecord {
+  std::string bench;       // harness + case label, e.g. "table1_ftwc/N=64/t=100"
+  std::size_t states = 0;  // CTMDP/CTMC states swept per iteration
+  std::uint64_t k = 0;     // value-iteration steps (Poisson right bound)
+  double seconds = 0.0;    // wall-clock solve time
+  unsigned threads = 0;    // resolved worker count for the sweep
+};
+
+/// Collects ReachabilityRecords and writes them as a JSON array on write()
+/// (or destruction) to BENCH_reachability.json in the working directory;
+/// override the path with the BENCH_JSON environment variable.  Format:
+///   [{"bench": "...", "states": 123, "k": 456, "seconds": 0.789,
+///     "threads": 4}, ...]
+class ReachabilityJson {
+ public:
+  explicit ReachabilityJson(std::string default_path = "BENCH_reachability.json") {
+    const char* env = std::getenv("BENCH_JSON");
+    path_ = env != nullptr && env[0] != '\0' ? env : std::move(default_path);
+  }
+  ~ReachabilityJson() { write(); }
+
+  void record(ReachabilityRecord r) { records_.push_back(std::move(r)); }
+
+  void write() {
+    if (records_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const ReachabilityRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"states\": %zu, \"k\": %llu, "
+                   "\"seconds\": %.6f, \"threads\": %u}%s\n",
+                   r.bench.c_str(), r.states, static_cast<unsigned long long>(r.k), r.seconds,
+                   r.threads, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu reachability records to %s\n", records_.size(), path_.c_str());
+    records_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<ReachabilityRecord> records_;
+};
 
 inline std::string human_bytes(std::size_t bytes) {
   char buffer[32];

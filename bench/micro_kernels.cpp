@@ -4,12 +4,15 @@
 // uIMC -> uCTMDP transformation.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/transform.hpp"
 #include "ctmc/transient.hpp"
 #include "ctmdp/reachability.hpp"
 #include "ftwc/ctmc_variant.hpp"
 #include "ftwc/direct.hpp"
 #include "support/fox_glynn.hpp"
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
 
 using namespace unicon;
 
@@ -56,13 +59,19 @@ void BM_Algorithm1(benchmark::State& state) {
   params.n = static_cast<unsigned>(state.range(0));
   const auto built = ftwc::build_direct(params);
   const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  TimedReachabilityOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        timed_reachability(transformed.ctmdp, transformed.goal, 100.0));
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0, options));
   }
   state.counters["states"] = static_cast<double>(transformed.ctmdp.num_states());
+  state.counters["threads"] = static_cast<double>(resolve_threads(options.threads));
 }
-BENCHMARK(BM_Algorithm1)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Algorithm1)
+    ->ArgsProduct({{2, 8, 16}, {1, 0}})  // threads: 1 = serial, 0 = hardware_concurrency
+    ->ArgNames({"N", "threads"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CtmcTransient(benchmark::State& state) {
   ftwc::Parameters params;
@@ -74,6 +83,34 @@ void BM_CtmcTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_CtmcTransient)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
+/// One explicitly timed Algorithm-1 solve per thread count for the
+/// BENCH_reachability.json perf trajectory (google-benchmark keeps its
+/// timings to itself, so the JSON records come from a dedicated run).
+void emit_reachability_json() {
+  bench::ReachabilityJson json;
+  ftwc::Parameters params;
+  params.n = 16;
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  for (unsigned threads : {1u, 0u}) {
+    TimedReachabilityOptions options;
+    options.threads = threads;
+    Stopwatch timer;
+    const auto r = timed_reachability(transformed.ctmdp, transformed.goal, 100.0, options);
+    json.record({threads == 1 ? "micro_kernels/algorithm1/N=16/serial"
+                              : "micro_kernels/algorithm1/N=16/parallel",
+                 transformed.ctmdp.num_states(), r.iterations_planned, timer.seconds(),
+                 resolve_threads(threads)});
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_reachability_json();
+  return 0;
+}

@@ -9,12 +9,16 @@
 //
 // Defaults keep the run short; FTWC_FULL=1 enables the full paper sweep
 // (N up to 128 and the 30 000 h column for every N).
+#include <cmath>
 #include <cstdio>
 #include <vector>
+
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/analysis.hpp"
 #include "ftwc/direct.hpp"
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 using namespace unicon;
@@ -37,6 +41,8 @@ struct Row {
 
 int main() {
   const bool full = bench::full_sweep();
+  bench::ReachabilityJson json;
+  const unsigned auto_threads = resolve_threads(0);
   std::vector<unsigned> ns{1, 2, 4, 8, 16, 32, 64};
   if (full) ns.push_back(128);
   const unsigned long_horizon_cap = full ? 128 : 16;
@@ -87,6 +93,9 @@ int main() {
       row.run_100 = timer.seconds();
       row.iter_100 = r.iterations_planned;
       row.p_100 = r.values[transformed.ctmdp.initial()];
+      json.record({"table1_ftwc/N=" + std::to_string(n) + "/t=100",
+                   transformed.ctmdp.num_states(), r.iterations_planned, row.run_100,
+                   auto_threads});
     }
     if (n <= long_horizon_cap) {
       Stopwatch timer;
@@ -94,6 +103,9 @@ int main() {
       row.run_30000 = timer.seconds();
       row.iter_30000 = r.iterations_planned;
       row.p_30000 = r.values[transformed.ctmdp.initial()];
+      json.record({"table1_ftwc/N=" + std::to_string(n) + "/t=30000",
+                   transformed.ctmdp.num_states(), r.iterations_planned, row.run_30000,
+                   auto_threads});
     }
 
     std::printf("%4u %9zu %9zu %9zu %9zu %10s %8.2f %9.2f ", row.n, row.inter_states,
@@ -109,6 +121,46 @@ int main() {
                   static_cast<unsigned long long>(row.iter_100), "-", row.p_100, "-", row.rate);
     }
     std::fflush(stdout);
+  }
+
+  // Serial-vs-parallel sweep on the largest instance of the run: the
+  // perf-trajectory record behind the parallel Algorithm-1 hot path.
+  {
+    const unsigned n = ns.back();
+    ftwc::Parameters params;
+    params.n = n;
+    const auto built = ftwc::build_direct(params);
+    const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+    const std::string label = "table1_ftwc/largest/N=" + std::to_string(n) + "/t=100";
+
+    TimedReachabilityOptions serial;
+    serial.threads = 1;
+    Stopwatch serial_timer;
+    const auto serial_r = timed_reachability(transformed.ctmdp, transformed.goal, 100.0, serial);
+    const double serial_s = serial_timer.seconds();
+    json.record({label + "/serial", transformed.ctmdp.num_states(),
+                 serial_r.iterations_planned, serial_s, 1});
+
+    TimedReachabilityOptions parallel;
+    parallel.threads = 0;  // hardware_concurrency
+    Stopwatch parallel_timer;
+    const auto parallel_r =
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0, parallel);
+    const double parallel_s = parallel_timer.seconds();
+    json.record({label + "/parallel", transformed.ctmdp.num_states(),
+                 parallel_r.iterations_planned, parallel_s, auto_threads});
+
+    double max_diff = 0.0;
+    for (std::size_t s = 0; s < serial_r.values.size(); ++s) {
+      const double d = std::abs(serial_r.values[s] - parallel_r.values[s]);
+      if (d > max_diff) max_diff = d;
+    }
+    std::printf("\nParallel sweep, largest instance (N=%u, %zu states, k=%llu):\n", n,
+                transformed.ctmdp.num_states(),
+                static_cast<unsigned long long>(serial_r.iterations_planned));
+    std::printf("  threads=1: %.2f s   threads=%u: %.2f s   speedup: %.2fx   max |diff|: %.2e\n",
+                serial_s, auto_threads, parallel_s,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0, max_diff);
   }
 
   std::printf(

@@ -6,46 +6,94 @@
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
+#include "support/parallel.hpp"
 
 namespace unicon {
 
 namespace {
 
-/// Uniformized jump matrix: P = R / E with the residual mass on the
-/// diagonal.  Diagonal entries are kept implicitly as (1 - rowsum/E).
-struct JumpMatrix {
-  const CsrMatrix* rates;
-  double e;
+/// Flat kernel of the uniformized jump matrix P = R / E with the residual
+/// mass kept implicitly on the diagonal.  The branching probabilities are
+/// divided out once and stored twice: row-major (outgoing edges, for the
+/// backward/value gather y = P x) and column-major (incoming edges ordered
+/// by source, for the forward/distribution gather y = x P).  Storing the
+/// transpose turns the forward step's scatter into a race-free gather, so
+/// both directions parallelize row-wise; the source-ordered incoming rows
+/// keep the accumulation order of the historical serial scatter, so results
+/// are bit-identical to it.
+struct JumpKernel {
   std::vector<double> self_residual;  // per state: 1 - exit/E (excl. explicit self-loops)
+  std::vector<std::uint64_t> out_first;  // per state: first outgoing prob/col index
+  std::vector<double> out_prob;
+  std::vector<std::uint32_t> out_col;  // target states
+  std::vector<std::uint64_t> in_first;  // per state: first incoming prob/col index
+  std::vector<double> in_prob;
+  std::vector<std::uint32_t> in_col;  // source states
 
-  explicit JumpMatrix(const Ctmc& chain, double rate) : rates(&chain.rate_matrix()), e(rate) {
+  JumpKernel(const Ctmc& chain, double rate) {
+    const CsrMatrix& rates = chain.rate_matrix();
     const std::size_t n = chain.num_states();
+    const std::size_t m = rates.entries();
     self_residual.resize(n);
     for (StateId s = 0; s < n; ++s) {
-      self_residual[s] = 1.0 - chain.exit_rate(s) / e;
+      self_residual[s] = 1.0 - chain.exit_rate(s) / rate;
       if (self_residual[s] < 0.0) self_residual[s] = 0.0;
     }
-  }
 
-  // y = x P (forward / distribution step)
-  void step_forward(const std::vector<double>& x, std::vector<double>& y) const {
-    const std::size_t n = self_residual.size();
-    for (std::size_t s = 0; s < n; ++s) y[s] = x[s] * self_residual[s];
-    for (std::size_t s = 0; s < n; ++s) {
-      const double xs = x[s];
-      if (xs == 0.0) continue;
-      for (const SparseEntry& t : rates->row(s)) y[t.col] += xs * (t.value / e);
+    out_first.resize(n + 1);
+    out_prob.reserve(m);
+    out_col.reserve(m);
+    std::vector<std::uint64_t> in_count(n + 1, 0);
+    out_first[0] = 0;
+    for (StateId s = 0; s < n; ++s) {
+      for (const SparseEntry& t : rates.row(s)) {
+        out_prob.push_back(t.value / rate);
+        out_col.push_back(t.col);
+        ++in_count[t.col + 1];
+      }
+      out_first[s + 1] = out_prob.size();
+    }
+
+    in_first.assign(n + 1, 0);
+    for (StateId s = 0; s < n; ++s) in_first[s + 1] = in_first[s] + in_count[s + 1];
+    in_prob.resize(m);
+    in_col.resize(m);
+    std::vector<std::uint64_t> cursor(in_first.begin(), in_first.end() - 1);
+    for (StateId s = 0; s < n; ++s) {
+      for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+        const std::uint64_t slot = cursor[out_col[j]]++;
+        in_prob[slot] = out_prob[j];
+        in_col[slot] = s;
+      }
     }
   }
 
-  // y = P x (backward / value step)
-  void step_backward(const std::vector<double>& x, std::vector<double>& y) const {
-    const std::size_t n = self_residual.size();
-    for (std::size_t s = 0; s < n; ++s) {
-      double acc = self_residual[s] * x[s];
-      for (const SparseEntry& t : rates->row(s)) acc += (t.value / e) * x[t.col];
-      y[s] = acc;
-    }
+  // y = x P (forward / distribution step): gather over incoming edges.
+  void step_forward(const std::vector<double>& x, std::vector<double>& y,
+                    WorkerPool& pool) const {
+    pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        double acc = x[s] * self_residual[s];
+        for (std::uint64_t j = in_first[s]; j < in_first[s + 1]; ++j) {
+          acc += x[in_col[j]] * in_prob[j];
+        }
+        y[s] = acc;
+      }
+    });
+  }
+
+  // y = P x (backward / value step): gather over outgoing edges.
+  void step_backward(const std::vector<double>& x, std::vector<double>& y,
+                     WorkerPool& pool) const {
+    pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        double acc = self_residual[s] * x[s];
+        for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+          acc += out_prob[j] * x[out_col[j]];
+        }
+        y[s] = acc;
+      }
+    });
   }
 };
 
@@ -67,7 +115,8 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   const std::size_t n = chain.num_states();
   const double e = pick_rate(chain, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
-  const JumpMatrix p(chain, e);
+  const JumpKernel p(chain, e);
+  WorkerPool pool = make_worker_pool(options.threads, n);
 
   std::vector<double> cur(n, 0.0);
   std::vector<double> next(n, 0.0);
@@ -81,7 +130,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_forward(cur, next);
+    p.step_forward(cur, next, pool);
     ++executed;
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
@@ -114,7 +163,8 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   const std::size_t n = absorbing.num_states();
   const double e = pick_rate(absorbing, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
-  const JumpMatrix p(absorbing, e);
+  const JumpKernel p(absorbing, e);
+  WorkerPool pool = make_worker_pool(options.threads, n);
 
   // v_i(s) = probability to sit in B after i jumps of the absorbing chain.
   std::vector<double> cur(n, 0.0);
@@ -129,7 +179,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next);
+    p.step_backward(cur, next, pool);
     ++executed;
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
@@ -160,7 +210,8 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   const std::size_t n = chain.num_states();
   const double e = pick_rate(chain, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t1, options.epsilon);
-  const JumpMatrix p(chain, e);
+  const JumpKernel p(chain, e);
+  WorkerPool pool = make_worker_pool(options.threads, n);
 
   std::vector<double> cur = std::move(phase_a.probabilities);
   std::vector<double> next(n, 0.0);
@@ -173,7 +224,7 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next);
+    p.step_backward(cur, next, pool);
     ++executed;
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {

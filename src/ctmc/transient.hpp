@@ -25,6 +25,12 @@ struct TransientOptions {
   /// chains up to the requested precision; a large win for long horizons.
   bool early_termination = false;
   double early_termination_delta = 1e-12;
+  /// Worker threads for the per-iteration matrix sweeps.  0 picks
+  /// hardware_concurrency, 1 is the serial path (no threads spawned).
+  /// Results are bit-identical for every thread count: both sweep
+  /// directions are gathers over precomputed rows with a fixed
+  /// accumulation order per state.
+  unsigned threads = 0;
 };
 
 struct TransientResult {

@@ -31,6 +31,8 @@ class Ctmdp {
 
   std::size_t num_states() const { return state_row_.empty() ? 0 : state_row_.size() - 1; }
   std::size_t num_transitions() const { return labels_.size(); }
+  /// Total number of sparse (target, rate) entries over all transitions.
+  std::size_t num_rate_entries() const { return entries_.size(); }
   StateId initial() const { return initial_; }
 
   const ActionTable& actions() const { return *actions_; }

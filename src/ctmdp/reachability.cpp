@@ -6,31 +6,58 @@
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
+#include "support/parallel.hpp"
 
 namespace unicon {
 
 namespace {
 
-/// Precomputed discrete branching structure shared by the solvers:
-/// probability entries Pr_R(s, s') = R(s') / E_R and per-transition goal
-/// mass Pr_R(s, B).
-struct DiscreteModel {
-  std::vector<double> prob;     // parallel to Ctmdp entry storage
-  std::vector<double> goal_pr;  // per transition
+/// Flat, precomputed discrete kernel of the uniform CTMDP: the branching
+/// probabilities Pr_R(s, s') = R(s') / E_R fused with their target columns,
+/// per-transition entry ranges, per-state transition ranges, and the
+/// per-transition goal mass Pr_R(s, B).  Built once per solve; the sweeps
+/// then run on plain index arithmetic instead of re-deriving span offsets
+/// from the model's entry storage each iteration (which also dereferenced
+/// `rates(0)` as a base pointer — out of range on a model without
+/// transitions).
+struct DiscreteKernel {
+  std::vector<std::uint64_t> state_first;  // per state: first transition index
+  std::vector<std::uint64_t> entry_first;  // per transition: first prob/col index
+  std::vector<double> prob;                // fused branching probabilities
+  std::vector<std::uint32_t> col;          // fused target states
+  std::vector<double> goal_pr;             // per transition
 
-  DiscreteModel(const Ctmdp& model, const std::vector<bool>& goal) {
-    prob.reserve(model.num_transitions());
-    goal_pr.assign(model.num_transitions(), 0.0);
-    for (std::uint64_t t = 0; t < model.num_transitions(); ++t) {
+  DiscreteKernel(const Ctmdp& model, const std::vector<bool>& goal) {
+    const std::size_t n = model.num_states();
+    const std::size_t m = model.num_transitions();
+    state_first.resize(n + 1);
+    entry_first.resize(m + 1);
+    prob.reserve(model.num_rate_entries());
+    col.reserve(model.num_rate_entries());
+    goal_pr.assign(m, 0.0);
+    state_first[0] = 0;
+    for (StateId s = 0; s < n; ++s) state_first[s + 1] = model.transition_range(s).second;
+    for (std::uint64_t t = 0; t < m; ++t) {
+      entry_first[t] = prob.size();
       const double e = model.exit_rate(t);
       double g = 0.0;
       for (const SparseEntry& entry : model.rates(t)) {
         const double p = entry.value / e;
         prob.push_back(p);
+        col.push_back(entry.col);
         if (goal[entry.col]) g += p;
       }
       goal_pr[t] = g;
     }
+    entry_first[m] = prob.size();
+  }
+
+  /// psi-weighted one-step value of transition @p tr against values @p q.
+  double transition_value(std::uint64_t tr, double w, const double* q) const {
+    double acc = w * goal_pr[tr];
+    const std::uint64_t last = entry_first[tr + 1];
+    for (std::uint64_t j = entry_first[tr]; j < last; ++j) acc += prob[j] * q[col[j]];
+    return acc;
   }
 };
 
@@ -70,7 +97,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
     return !options.avoid.empty() && options.avoid[s] && !goal[s];
   };
 
-  const DiscreteModel discrete(model, goal);
+  const DiscreteKernel kernel(model, goal);
 
   const bool record_all_decisions =
       options.extract_scheduler &&
@@ -85,39 +112,42 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   std::vector<double> q_cur(n, 0.0);
   std::vector<std::uint64_t> decision(options.extract_scheduler ? n : 0, kNoTransition);
 
+  WorkerPool pool = make_worker_pool(options.threads, n);
+  std::vector<WorkerPool::Slot> delta_slot(pool.size());
+
   std::uint64_t executed = 0;
   for (std::uint64_t i = k; i >= 1; --i) {
     const double w = psi.psi(i);
-    double delta = 0.0;
-    for (StateId s = 0; s < n; ++s) {
-      if (goal[s]) {
-        q_cur[s] = w + q_next[s];
-        if (options.extract_scheduler) decision[s] = kNoTransition;
-      } else if (avoided(s)) {
-        q_cur[s] = 0.0;
-        if (options.extract_scheduler) decision[s] = kNoTransition;
-      } else {
-        const auto [first, last] = model.transition_range(s);
-        double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
-        std::uint64_t best_t = kNoTransition;
-        for (std::uint64_t tr = first; tr < last; ++tr) {
-          double acc = w * discrete.goal_pr[tr];
-          const auto rates = model.rates(tr);
-          const std::size_t base = static_cast<std::size_t>(
-              rates.data() - model.rates(0).data());
-          for (std::size_t j = 0; j < rates.size(); ++j) {
-            acc += discrete.prob[base + j] * q_next[rates[j].col];
+    pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
+      const double* q = q_next.data();
+      double local_delta = 0.0;
+      for (StateId s = begin; s < end; ++s) {
+        if (goal[s]) {
+          q_cur[s] = w + q[s];
+          if (options.extract_scheduler) decision[s] = kNoTransition;
+        } else if (avoided(s)) {
+          q_cur[s] = 0.0;
+          if (options.extract_scheduler) decision[s] = kNoTransition;
+        } else {
+          const std::uint64_t first = kernel.state_first[s];
+          const std::uint64_t last = kernel.state_first[s + 1];
+          double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+          std::uint64_t best_t = kNoTransition;
+          for (std::uint64_t tr = first; tr < last; ++tr) {
+            const double acc = kernel.transition_value(tr, w, q);
+            if (maximize ? acc > best : acc < best) {
+              best = acc;
+              best_t = tr;
+            }
           }
-          if (maximize ? acc > best : acc < best) {
-            best = acc;
-            best_t = tr;
-          }
+          local_delta = std::max(local_delta, std::fabs(best - q[s]));
+          q_cur[s] = best;
+          if (options.extract_scheduler) decision[s] = best_t;
         }
-        delta = std::max(delta, std::fabs(best - q_next[s]));
-        q_cur[s] = best;
-        if (options.extract_scheduler) decision[s] = best_t;
       }
-    }
+      delta_slot[worker].value = local_delta;
+    });
+    const double delta = WorkerPool::reduce_max(delta_slot);
     q_cur.swap(q_next);  // q_next now holds q_i for the next round
     ++executed;
 
@@ -173,34 +203,36 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
   const std::uint64_t k = psi.right();
   result.iterations_planned = k;
 
-  const DiscreteModel discrete(model, goal);
+  const DiscreteKernel kernel(model, goal);
 
   std::vector<double> q_next(n, 0.0);
   std::vector<double> q_cur(n, 0.0);
+
+  WorkerPool pool = make_worker_pool(options.threads, n);
+  std::vector<WorkerPool::Slot> delta_slot(pool.size());
+
   std::uint64_t executed = 0;
   for (std::uint64_t i = k; i >= 1; --i) {
     const double w = psi.psi(i);
-    double delta = 0.0;
-    for (StateId s = 0; s < n; ++s) {
-      if (goal[s]) {
-        q_cur[s] = w + q_next[s];
-        continue;
+    pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
+      const double* q = q_next.data();
+      double local_delta = 0.0;
+      for (StateId s = begin; s < end; ++s) {
+        if (goal[s]) {
+          q_cur[s] = w + q[s];
+          continue;
+        }
+        if (kernel.state_first[s] == kernel.state_first[s + 1]) {
+          q_cur[s] = 0.0;
+          continue;
+        }
+        const double acc = kernel.transition_value(choice[s], w, q);
+        local_delta = std::max(local_delta, std::fabs(acc - q[s]));
+        q_cur[s] = acc;
       }
-      const auto [first, last] = model.transition_range(s);
-      if (first == last) {
-        q_cur[s] = 0.0;
-        continue;
-      }
-      const std::uint64_t tr = choice[s];
-      double acc = w * discrete.goal_pr[tr];
-      const auto rates = model.rates(tr);
-      const std::size_t base = static_cast<std::size_t>(rates.data() - model.rates(0).data());
-      for (std::size_t j = 0; j < rates.size(); ++j) {
-        acc += discrete.prob[base + j] * q_next[rates[j].col];
-      }
-      delta = std::max(delta, std::fabs(acc - q_next[s]));
-      q_cur[s] = acc;
-    }
+      delta_slot[worker].value = local_delta;
+    });
+    const double delta = WorkerPool::reduce_max(delta_slot);
     q_cur.swap(q_next);
     ++executed;
     if (options.early_termination && i > 1 && (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) &&
@@ -217,35 +249,36 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 }
 
 std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
-                                              std::uint64_t steps, Objective objective) {
+                                              std::uint64_t steps, Objective objective,
+                                              unsigned threads) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
   const bool maximize = objective == Objective::Maximize;
-  const DiscreteModel discrete(model, goal);
+  const DiscreteKernel kernel(model, goal);
 
   std::vector<double> v(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (StateId s = 0; s < n; ++s) v[s] = goal[s] ? 1.0 : 0.0;
 
+  WorkerPool pool = make_worker_pool(threads, n);
   for (std::uint64_t step = 0; step < steps; ++step) {
-    for (StateId s = 0; s < n; ++s) {
-      if (goal[s]) {
-        next[s] = 1.0;
-        continue;
-      }
-      const auto [first, last] = model.transition_range(s);
-      double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
-      for (std::uint64_t tr = first; tr < last; ++tr) {
-        double acc = 0.0;
-        const auto rates = model.rates(tr);
-        const std::size_t base = static_cast<std::size_t>(rates.data() - model.rates(0).data());
-        for (std::size_t j = 0; j < rates.size(); ++j) {
-          acc += discrete.prob[base + j] * v[rates[j].col];
+    pool.run(n, [&](unsigned, std::size_t begin, std::size_t end) {
+      const double* q = v.data();
+      for (StateId s = begin; s < end; ++s) {
+        if (goal[s]) {
+          next[s] = 1.0;
+          continue;
         }
-        best = maximize ? std::max(best, acc) : std::min(best, acc);
+        const std::uint64_t first = kernel.state_first[s];
+        const std::uint64_t last = kernel.state_first[s + 1];
+        double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+        for (std::uint64_t tr = first; tr < last; ++tr) {
+          const double acc = kernel.transition_value(tr, 0.0, q);
+          best = maximize ? std::max(best, acc) : std::min(best, acc);
+        }
+        next[s] = best;
       }
-      next[s] = best;
-    }
+    });
     v.swap(next);
   }
   return v;

@@ -48,6 +48,12 @@ struct TimedReachabilityOptions {
   /// max_decision_entries.
   bool extract_scheduler = false;
   std::uint64_t max_decision_entries = 1u << 24;
+  /// Worker threads for the per-iteration state sweep.  0 picks
+  /// hardware_concurrency, 1 is the serial path (no threads spawned).  The
+  /// sweep partitions states into contiguous per-worker slices, so results
+  /// — including the early-termination delta, a max-reduction over
+  /// disjoint slices — are bit-identical for every thread count.
+  unsigned threads = 0;
 };
 
 struct TimedReachabilityResult {
@@ -87,9 +93,11 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 
 /// Discrete step-bounded reachability: optimal probability to reach B
 /// within at most @p steps jumps (no timing).  Used by unit tests as an
-/// independently checkable special case.
+/// independently checkable special case.  @p threads as in
+/// TimedReachabilityOptions (0 = hardware_concurrency, 1 = serial).
 std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
                                               std::uint64_t steps,
-                                              Objective objective = Objective::Maximize);
+                                              Objective objective = Objective::Maximize,
+                                              unsigned threads = 0);
 
 }  // namespace unicon

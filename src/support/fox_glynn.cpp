@@ -26,7 +26,7 @@ PoissonWindow PoissonWindow::compute(double lambda, double epsilon) {
     w.left_ = w.right_ = 0;
     w.weights_ = {1.0};
     w.total_mass_ = 1.0;
-    w.suffix_mass_ = {1.0};
+    w.suffix_mass_ = {1.0, 0.0};  // invariant: size weights + 1
     return w;
   }
 
@@ -79,7 +79,15 @@ PoissonWindow PoissonWindow::compute(double lambda, double epsilon) {
 }
 
 double PoissonWindow::tail_mass(std::uint64_t n) const {
-  if (n <= left_) return suffix_mass_.empty() ? 0.0 : suffix_mass_[0];
+  // Window-restricted semantics, consistent with total_mass(): psi() is
+  // zero outside [left, right], so for n <= left the whole window mass is
+  // the tail — the true Poisson mass of [n, left) was truncated away by
+  // construction (bounded by epsilon) and is deliberately NOT resurrected
+  // here; callers that normalize by total_mass() stay exact.  tail_mass(0)
+  // == total_mass() always holds, including for the degenerate lambda == 0
+  // window (a default-constructed window has no mass at all).
+  if (suffix_mass_.empty()) return 0.0;
+  if (n <= left_) return total_mass_;
   if (n > right_) return 0.0;
   return suffix_mass_[n - left_];
 }

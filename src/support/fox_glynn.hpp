@@ -45,9 +45,12 @@ class PoissonWindow {
   /// Mass inside the window (>= 1 - epsilon).
   double total_mass() const { return total_mass_; }
 
-  /// Tail mass sum_{i >= n} psi(i) restricted to the window.  Useful for
-  /// deciding when the remaining weights cannot influence a result beyond
-  /// the requested precision.
+  /// Tail mass sum_{i >= n} psi(i) restricted to the window: psi() is zero
+  /// outside [left, right], so tail_mass(n) == total_mass() for every
+  /// n <= left (the true Poisson mass of [n, left) was truncated away, with
+  /// error bounded by epsilon) and 0 for n > right.  Consistent with
+  /// total_mass() by construction; useful for deciding when the remaining
+  /// weights cannot influence a result beyond the requested precision.
   double tail_mass(std::uint64_t n) const;
 
   const std::vector<double>& weights() const { return weights_; }

@@ -309,5 +309,63 @@ TEST(TimedReachability, IterationCountEqualsPoissonRightBound) {
   EXPECT_DOUBLE_EQ(r.uniform_rate, 1.0);
 }
 
+// ------------------------------------------------- parallel sweeps
+
+/// A ring with a shortcut, enough states for several worker slices.
+Ctmc ring_chain(std::size_t n) {
+  CtmcBuilder b(n);
+  b.ensure_states(n);
+  b.set_initial(0);
+  for (std::size_t s = 0; s < n; ++s) {
+    b.add_transition(s, 1.0 + 0.1 * static_cast<double>(s % 3), (s + 1) % n);
+    if (s % 5 == 0) b.add_transition(s, 0.5, (s + 7) % n);
+  }
+  return b.build();
+}
+
+TEST(Transient, ParallelMatchesSerial) {
+  const Ctmc c = ring_chain(97);
+  TransientOptions serial;
+  serial.threads = 1;
+  TransientOptions parallel;
+  parallel.threads = 4;
+  const auto a = transient_distribution(c, 3.0, serial);
+  const auto b = transient_distribution(c, 3.0, parallel);
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t s = 0; s < a.probabilities.size(); ++s) {
+    EXPECT_NEAR(a.probabilities[s], b.probabilities[s], 1e-12) << s;
+  }
+}
+
+TEST(TimedReachability, ParallelMatchesSerialOnCtmc) {
+  const Ctmc c = ring_chain(61);
+  std::vector<bool> goal(61, false);
+  goal[42] = true;
+  TransientOptions serial;
+  serial.threads = 1;
+  TransientOptions parallel;
+  parallel.threads = 4;
+  const auto a = timed_reachability(c, goal, 5.0, serial);
+  const auto b = timed_reachability(c, goal, 5.0, parallel);
+  for (std::size_t s = 0; s < a.probabilities.size(); ++s) {
+    EXPECT_NEAR(a.probabilities[s], b.probabilities[s], 1e-12) << s;
+  }
+}
+
+TEST(IntervalReachability, ParallelMatchesSerialOnCtmc) {
+  const Ctmc c = ring_chain(45);
+  std::vector<bool> goal(45, false);
+  goal[10] = goal[30] = true;
+  TransientOptions serial;
+  serial.threads = 1;
+  TransientOptions parallel;
+  parallel.threads = 3;
+  const auto a = interval_reachability(c, goal, 1.0, 4.0, serial);
+  const auto b = interval_reachability(c, goal, 1.0, 4.0, parallel);
+  for (std::size_t s = 0; s < a.probabilities.size(); ++s) {
+    EXPECT_NEAR(a.probabilities[s], b.probabilities[s], 1e-12) << s;
+  }
+}
+
 }  // namespace
 }  // namespace unicon

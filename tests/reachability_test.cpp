@@ -144,6 +144,24 @@ TEST(TimedReachability, EarlyTerminationMatchesFullRun) {
   EXPECT_NEAR(full.values[1], early.values[1], 1e-6);
 }
 
+TEST(TimedReachability, EarlyTerminationAgreesWithinDelta) {
+  // With a tight convergence delta the early-terminated run agrees with the
+  // full run far below the truncation precision: the residual error is the
+  // remaining Poisson mass times the converged delta.
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-9;
+  const auto full = timed_reachability(c, goal, 80.0, options);
+  options.early_termination = true;
+  options.early_termination_delta = 1e-12;
+  const auto early = timed_reachability(c, goal, 80.0, options);
+  EXPECT_LT(early.iterations_executed, full.iterations_executed);
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_NEAR(full.values[s], early.values[s], 1e-9) << s;
+  }
+}
+
 TEST(TimedReachability, FullDecisionTableRecorded) {
   const Ctmdp c = choice_model();
   TimedReachabilityOptions options;
@@ -298,6 +316,135 @@ TEST(TimedReachability, SameActionDifferentRateFunctions) {
       timed_reachability(c, goal, 1.0, {.objective = Objective::Minimize}).values[0];
   EXPECT_GT(best, 0.5);
   EXPECT_DOUBLE_EQ(worst, 0.0);
+}
+
+TEST(EvaluateScheduler, ExtractedSchedulerRoundTrip) {
+  // The optimal decision in choice_model is time-independent, so evaluating
+  // the extracted initial decision as a stationary scheduler reproduces the
+  // maximal value within the truncation precision.
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-9;
+  options.extract_scheduler = true;
+  for (double t : {0.4, 1.0, 3.0}) {
+    const auto opt = timed_reachability(c, goal, t, options);
+    const auto eval = evaluate_scheduler(c, goal, t, opt.initial_decision, options);
+    for (StateId s = 0; s < c.num_states(); ++s) {
+      EXPECT_NEAR(eval.values[s], opt.values[s], 1e-7) << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+// ------------------------------------------------- edge-case models
+
+TEST(TimedReachability, ZeroTransitionModelDoesNotCrash) {
+  // A CTMDP without any transition used to derive a base pointer from
+  // rates(0), one past the entry storage.  Uniform rate 0 means lambda 0.
+  CtmdpBuilder b;
+  b.ensure_states(3);
+  b.set_initial(0);
+  const Ctmdp c = b.build();
+  const std::vector<bool> goal{false, true, false};
+
+  const auto r = timed_reachability(c, goal, 5.0);
+  EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 1.0);
+  EXPECT_EQ(r.iterations_planned, 0u);
+
+  const auto v = step_bounded_reachability(c, goal, 7);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+
+  const auto eval = evaluate_scheduler(c, goal, 5.0, {kNoTransition, kNoTransition, kNoTransition});
+  EXPECT_DOUBLE_EQ(eval.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(eval.values[1], 1.0);
+}
+
+TEST(TimedReachability, SingleStateModelsDoNotCrash) {
+  for (bool is_goal : {false, true}) {
+    CtmdpBuilder b;
+    b.ensure_states(1);
+    b.set_initial(0);
+    const Ctmdp c = b.build();
+    const auto r = timed_reachability(c, {is_goal}, 2.0);
+    EXPECT_DOUBLE_EQ(r.values[0], is_goal ? 1.0 : 0.0);
+    EXPECT_DOUBLE_EQ(step_bounded_reachability(c, {is_goal}, 3)[0], is_goal ? 1.0 : 0.0);
+  }
+  // Single state with a self-loop: never reaches a (nonexistent) goal.
+  CtmdpBuilder b;
+  b.ensure_states(1);
+  b.begin_transition(0, "loop");
+  b.add_rate(0, 1.5);
+  const auto r = timed_reachability(b.build(), {false}, 2.0);
+  EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+}
+
+// ------------------------------------------------- parallel sweeps
+
+TEST(TimedReachability, ParallelMatchesSerial) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  for (double t : {0.5, 2.0, 20.0}) {
+    TimedReachabilityOptions serial;
+    serial.epsilon = 1e-9;
+    serial.threads = 1;
+    serial.extract_scheduler = true;
+    TimedReachabilityOptions parallel = serial;
+    parallel.threads = 4;
+    const auto a = timed_reachability(c, goal, t, serial);
+    const auto b = timed_reachability(c, goal, t, parallel);
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (StateId s = 0; s < c.num_states(); ++s) {
+      EXPECT_NEAR(a.values[s], b.values[s], 1e-12) << "t=" << t << " s=" << s;
+    }
+    EXPECT_EQ(a.initial_decision, b.initial_decision);
+    EXPECT_EQ(a.iterations_executed, b.iterations_executed);
+  }
+}
+
+TEST(TimedReachability, ParallelMatchesSerialWithEarlyTermination) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  TimedReachabilityOptions serial;
+  serial.epsilon = 1e-7;
+  serial.early_termination = true;
+  serial.threads = 1;
+  TimedReachabilityOptions parallel = serial;
+  parallel.threads = 3;
+  const auto a = timed_reachability(c, goal, 50.0, serial);
+  const auto b = timed_reachability(c, goal, 50.0, parallel);
+  // The delta is a max-reduction over disjoint slices, so the parallel run
+  // terminates on exactly the same iteration with identical values.
+  EXPECT_EQ(a.iterations_executed, b.iterations_executed);
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_DOUBLE_EQ(a.values[s], b.values[s]) << s;
+  }
+}
+
+TEST(EvaluateScheduler, ParallelMatchesSerial) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  const std::vector<std::uint64_t> choice{0, 2, 3};
+  TimedReachabilityOptions serial;
+  serial.threads = 1;
+  TimedReachabilityOptions parallel;
+  parallel.threads = 4;
+  const auto a = evaluate_scheduler(c, goal, 2.0, choice, serial);
+  const auto b = evaluate_scheduler(c, goal, 2.0, choice, parallel);
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_NEAR(a.values[s], b.values[s], 1e-12) << s;
+  }
+}
+
+TEST(StepBounded, ParallelMatchesSerial) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  const auto a = step_bounded_reachability(c, goal, 25, Objective::Maximize, 1);
+  const auto b = step_bounded_reachability(c, goal, 25, Objective::Maximize, 4);
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_NEAR(a[s], b[s], 1e-12) << s;
+  }
 }
 
 // ------------------------------------------------- step-bounded variant

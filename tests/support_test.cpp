@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/sparse.hpp"
 #include "support/symbols.hpp"
@@ -186,6 +189,29 @@ TEST(PoissonWindow, TailMassDecreases) {
   EXPECT_DOUBLE_EQ(w.tail_mass(w.right() + 1), 0.0);
 }
 
+TEST(PoissonWindow, TailMassBoundaryValues) {
+  // Window-restricted semantics: everything at or below the left truncation
+  // point sees the full window mass (exactly total_mass(), not a re-summed
+  // approximation of it), everything beyond the right point sees zero.
+  const auto w = PoissonWindow::compute(100.0, 1e-6);
+  ASSERT_GT(w.left(), 0u);
+  EXPECT_DOUBLE_EQ(w.tail_mass(0), w.total_mass());
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.left() - 1), w.total_mass());
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.left()), w.total_mass());
+  EXPECT_GT(w.tail_mass(w.left() + 1), 0.0);
+  EXPECT_LT(w.tail_mass(w.left() + 1), w.total_mass());
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.right()), w.psi(w.right()));
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.right() + 1), 0.0);
+}
+
+TEST(PoissonWindow, TailMassDegenerateWindow) {
+  // lambda == 0: the window is the single point {0} with mass 1.
+  const auto w = PoissonWindow::compute(0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(w.tail_mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.left()), 1.0);
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.right() + 1), 0.0);
+}
+
 class PoissonWindowSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(PoissonWindowSweep, MassIsWithinEpsilon) {
@@ -241,6 +267,55 @@ TEST(PoissonWindow, TighterEpsilonWidensWindow) {
   const auto tight = PoissonWindow::compute(100.0, 1e-12);
   EXPECT_LE(tight.left(), loose.left());
   EXPECT_GE(tight.right(), loose.right());
+}
+
+// --------------------------------------------------------------- parallel
+
+TEST(WorkerPool, SerialPoolRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.run(hits.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(worker, 0u);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPool, ChunksPartitionTheRange) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(1023);
+  for (int round = 0; round < 3; ++round) {  // pool survives repeated sweeps
+    pool.run(hits.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
+}
+
+TEST(WorkerPool, MoreWorkersThanRows) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run(hits.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.run(0, [&](unsigned, std::size_t begin, std::size_t end) { EXPECT_EQ(begin, end); });
+}
+
+TEST(WorkerPool, ReduceMaxOverSlots) {
+  std::vector<WorkerPool::Slot> slots(3);
+  slots[0].value = 0.25;
+  slots[1].value = 2.0;
+  slots[2].value = 1.0;
+  EXPECT_DOUBLE_EQ(WorkerPool::reduce_max(slots), 2.0);
+  EXPECT_DOUBLE_EQ(WorkerPool::reduce_max({}), 0.0);
+}
+
+TEST(ResolveThreads, ZeroPicksHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(6), 6u);
 }
 
 // --------------------------------------------------------------- numerics
