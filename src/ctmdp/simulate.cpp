@@ -3,8 +3,38 @@
 #include <cmath>
 
 #include "support/errors.hpp"
+#include "support/parallel.hpp"
 
 namespace unicon {
+
+namespace {
+
+/// One trajectory under the stationary scheduler; true iff the goal set is
+/// reached within the time bound.
+bool simulate_run(const Ctmdp& model, const std::vector<bool>& goal, double t,
+                  const std::vector<std::uint64_t>& choice, std::uint64_t max_jumps, Rng& rng,
+                  std::vector<double>& weights) {
+  StateId s = model.initial();
+  double clock = 0.0;
+  for (std::uint64_t jump = 0; jump < max_jumps; ++jump) {
+    if (goal[s]) return true;
+    const auto [first, last] = model.transition_range(s);
+    if (first == last) return false;  // absorbing non-goal state
+    const std::uint64_t tr = choice[s];
+    if (tr < first || tr >= last) {
+      throw ModelError("simulate_reachability: scheduler choice out of range");
+    }
+    clock += rng.next_exponential(model.exit_rate(tr));
+    if (clock > t) return false;
+    const auto rates = model.rates(tr);
+    weights.resize(rates.size());
+    for (std::size_t j = 0; j < rates.size(); ++j) weights[j] = rates[j].value;
+    s = rates[rng.next_discrete(weights)].col;
+  }
+  return false;
+}
+
+}  // namespace
 
 SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<bool>& goal,
                                        double t, const std::vector<std::uint64_t>& choice,
@@ -16,32 +46,31 @@ SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<boo
     throw ModelError("simulate_reachability: choice vector size mismatch");
   }
 
-  Rng rng(options.seed);
-  std::uint64_t hits = 0;
-  std::vector<double> weights;
-
-  for (std::uint64_t run = 0; run < options.num_runs; ++run) {
-    StateId s = model.initial();
-    double clock = 0.0;
-    for (std::uint64_t jump = 0; jump < options.max_jumps; ++jump) {
-      if (goal[s]) {
-        ++hits;
-        break;
+  // Each run is an independent replication with its own derived-seed
+  // generator, so the hit count — and hence the estimate — does not depend
+  // on how runs are partitioned across workers.
+  WorkerPool pool = make_worker_pool(options.threads, options.num_runs);
+  std::vector<std::uint64_t> worker_hits(pool.size(), 0);
+  std::vector<std::exception_ptr> errors(pool.size());
+  pool.run(options.num_runs, [&](unsigned worker, std::size_t begin, std::size_t end) {
+    try {
+      std::uint64_t hits = 0;
+      std::vector<double> weights;
+      for (std::size_t run = begin; run < end; ++run) {
+        Rng rng(derive_seed(options.seed, run));
+        if (simulate_run(model, goal, t, choice, options.max_jumps, rng, weights)) ++hits;
       }
-      const auto [first, last] = model.transition_range(s);
-      if (first == last) break;  // absorbing non-goal state
-      const std::uint64_t tr = choice[s];
-      if (tr < first || tr >= last) {
-        throw ModelError("simulate_reachability: scheduler choice out of range");
-      }
-      clock += rng.next_exponential(model.exit_rate(tr));
-      if (clock > t) break;
-      const auto rates = model.rates(tr);
-      weights.resize(rates.size());
-      for (std::size_t j = 0; j < rates.size(); ++j) weights[j] = rates[j].value;
-      s = rates[rng.next_discrete(weights)].col;
+      worker_hits[worker] = hits;
+    } catch (...) {
+      errors[worker] = std::current_exception();
     }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
+
+  std::uint64_t hits = 0;
+  for (const std::uint64_t h : worker_hits) hits += h;
 
   SimulationResult result;
   result.num_runs = options.num_runs;

@@ -21,6 +21,11 @@ struct SimulationOptions {
   std::uint64_t seed = 42;
   /// Safety cap on jumps per run (guards against pathological models).
   std::uint64_t max_jumps = 1u << 22;
+  /// Worker threads for the run loop.  0 picks hardware_concurrency, 1 is
+  /// the serial path.  Every run r draws from its own generator seeded with
+  /// derive_seed(seed, r), so the estimate is a pure function of (seed,
+  /// num_runs) — bit-identical for every thread count.
+  unsigned threads = 1;
 };
 
 struct SimulationResult {

@@ -57,6 +57,14 @@ double Rng::next_exponential(double rate) {
   return -std::log(u) / rate;
 }
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Two dependent splitmix64 passes: the first whitens the (seed, stream)
+  // pair, the second decorrelates neighbouring streams.
+  std::uint64_t x = seed;
+  std::uint64_t mixed = splitmix64(x) ^ (stream * 0xda942042e4dd58b5ull);
+  return splitmix64(mixed);
+}
+
 std::size_t Rng::next_discrete(std::span<const double> weights) {
   if (weights.empty()) throw ModelError("Rng::next_discrete: empty weights");
   double total = 0.0;

@@ -34,4 +34,10 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives an independent stream seed from a base seed: Rng(derive_seed(s, i))
+/// for i = 0, 1, ... yields decorrelated generators.  Used to give every
+/// simulation run its own generator, which makes parallel simulation results
+/// independent of how runs are partitioned across threads.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace unicon

@@ -1,0 +1,164 @@
+// Tests for the differential verification subsystem itself: the oracles
+// must agree with hand-computable facts, a clean corpus must pass, and —
+// the mutation gate — every deliberately injected solver bug must be
+// caught by at least one differential check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/transform.hpp"
+#include "ctmdp/reachability.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "testing/differential.hpp"
+#include "testing/generate.hpp"
+#include "testing/oracle.hpp"
+
+namespace unicon {
+namespace {
+
+using testing::DifferentialConfig;
+using testing::DifferentialReport;
+using testing::Mutation;
+using testing::audit_uniformity;
+using testing::bruteforce_transform;
+using testing::check_transform;
+using testing::dense_from_ctmdp;
+using testing::naive_timed_reachability;
+using testing::random_composed_uimc;
+using testing::random_goal;
+using testing::random_uniform_ctmdp;
+using testing::random_uniform_imc;
+using testing::run_differential;
+
+DifferentialConfig small_corpus() {
+  DifferentialConfig config;
+  config.base_seed = 7000;
+  config.num_seeds = 4;
+  config.mc_runs = 2000;
+  config.shrink = false;
+  return config;
+}
+
+TEST(Oracle, NaiveValueIterationMatchesClosedForm) {
+  // Two-state chain 0 --E--> 1(goal): P(reach within t) = 1 - e^{-E t}.
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.begin_transition(0, "go");
+  b.add_rate(1, 2.0);
+  b.begin_transition(1, "stay");
+  b.add_rate(1, 2.0);
+  const Ctmdp model = b.build();
+  const auto dense = dense_from_ctmdp(model);
+  const auto values = naive_timed_reachability(dense, {false, true}, 0.7, 1e-13);
+  EXPECT_NEAR(values[0], 1.0 - std::exp(-2.0 * 0.7), 1e-10);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+}
+
+TEST(Oracle, BruteforceTransformMatchesLibraryOnRandomModels) {
+  Rng rng(515);
+  for (int i = 0; i < 20; ++i) {
+    const Imc m = random_uniform_imc(rng);
+    const std::vector<bool> goal = random_goal(rng, m.num_states());
+    const TransformResult tr = transform_to_ctmdp(m, &goal);
+    const auto brute = bruteforce_transform(m, goal);
+    EXPECT_EQ(brute.model.num_states, tr.ctmdp.num_states()) << "model #" << i;
+    EXPECT_EQ(check_transform(m, goal, tr), std::nullopt) << "model #" << i;
+  }
+}
+
+TEST(Oracle, BruteforceTransformRejectsZenoCycle) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_interactive(0, kTau, 1);
+  b.add_interactive(1, kTau, 0);  // interactive cycle
+  b.add_markov(2, 1.0, 2);
+  b.add_interactive(1, kTau, 2);
+  const Imc m = b.build();
+  EXPECT_THROW(bruteforce_transform(m, {false, false, true}), ZenoError);
+  EXPECT_THROW(transform_to_ctmdp(m), ZenoError);
+}
+
+TEST(Oracle, AuditAcceptsConstructedUniformity) {
+  Rng rng(616);
+  const auto composed = random_composed_uimc(rng);
+  const auto audit = audit_uniformity(composed.system, UniformityView::Closed, 1e-6);
+  EXPECT_TRUE(audit.uniform);
+  EXPECT_NEAR(audit.rate, composed.expected_rate, 1e-6);
+}
+
+TEST(Oracle, AuditFlagsBrokenUniformity) {
+  ImcBuilder b;
+  b.add_state();
+  b.add_state();
+  b.set_initial(0);
+  b.add_markov(0, 2.0, 1);
+  b.add_markov(1, 3.0, 0);  // different exit rate
+  const auto audit = audit_uniformity(b.build(), UniformityView::Closed, 1e-9);
+  EXPECT_FALSE(audit.uniform);
+  EXPECT_GT(audit.max_deviation, 0.4);
+}
+
+TEST(Fuzz, CleanCorpusPasses) {
+  const DifferentialReport report = run_differential(small_corpus());
+  EXPECT_EQ(report.seeds_run, 4u);
+  EXPECT_GT(report.checks_run, 50u);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << "seed " << failure.seed << " [" << failure.scenario
+                  << "]: " << failure.message;
+  }
+}
+
+class FuzzMutations : public ::testing::TestWithParam<Mutation> {};
+
+TEST_P(FuzzMutations, InjectedBugIsCaught) {
+  DifferentialConfig config = small_corpus();
+  config.mutation = GetParam();
+  const DifferentialReport report = run_differential(config);
+  EXPECT_FALSE(report.ok()) << "mutation " << testing::mutation_name(GetParam())
+                            << " survived the differential checks";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FuzzMutations,
+                         ::testing::Values(Mutation::PerturbValue, Mutation::SwapObjective,
+                                           Mutation::CoarsePoisson, Mutation::StaleGoal));
+
+TEST(Fuzz, ShrinkReducesFailingSeedAndWritesArtifacts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "unicon_fuzz_test_artifacts";
+  std::filesystem::remove_all(dir);
+
+  DifferentialConfig config = small_corpus();
+  config.num_seeds = 1;
+  config.mutation = Mutation::PerturbValue;  // guaranteed failure on every seed
+  config.shrink = true;
+  config.artifact_dir = dir.string();
+  const DifferentialReport report = run_differential(config);
+  ASSERT_FALSE(report.ok());
+  const auto& failure = report.failures.front();
+  // PerturbValue fails at every size, so the shrinker must reach the
+  // smallest level of the config ladder.
+  EXPECT_GE(failure.level, 1);
+  ASSERT_FALSE(failure.artifacts.empty());
+  for (const auto& path : failure.artifacts) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fuzz, SeedReplayIsDeterministic) {
+  DifferentialConfig config = small_corpus();
+  std::uint64_t checks_a = 0, checks_b = 0;
+  const auto a = testing::run_seed(config.base_seed, config, 0, checks_a);
+  const auto b = testing::run_seed(config.base_seed, config, 0, checks_b);
+  EXPECT_EQ(checks_a, checks_b);
+  EXPECT_EQ(a.has_value(), b.has_value());
+}
+
+}  // namespace
+}  // namespace unicon

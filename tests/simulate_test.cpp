@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "ctmdp/reachability.hpp"
 #include "ctmdp/simulate.hpp"
@@ -68,6 +71,49 @@ TEST_P(SimulateVsAnalytic, EstimateWithinConfidenceBand) {
 INSTANTIATE_TEST_SUITE_P(Grid, SimulateVsAnalytic,
                          ::testing::Combine(::testing::Values(0, 1),
                                             ::testing::Values(0.25, 1.0, 3.0)));
+
+TEST(Simulate, ThreadCountDoesNotChangeTheEstimate) {
+  // Every run has its own derived-seed generator, so the estimate is a pure
+  // function of (seed, num_runs): bit-identical for every thread count.
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{false, false, true};
+  const std::vector<std::uint64_t> choice{1, 2, 3};
+  SimulationOptions options;
+  options.num_runs = 5000;
+  options.seed = 99;
+  options.threads = 1;
+  const auto baseline = simulate_reachability(c, goal, 1.5, choice, options);
+  for (const unsigned threads : {2u, 3u, 8u, 0u}) {
+    options.threads = threads;
+    const auto r = simulate_reachability(c, goal, 1.5, choice, options);
+    EXPECT_DOUBLE_EQ(r.estimate, baseline.estimate) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.half_width, baseline.half_width) << "threads=" << threads;
+  }
+}
+
+TEST(Simulate, DistinctSeedsDistinctButWithinConfidenceBand) {
+  const Ctmdp c = chain_model();
+  const std::vector<bool> goal{false, false, true};
+  const std::vector<std::uint64_t> choice{0, 2, 3};
+  const double t = 1.0;
+  const double analytic = evaluate_scheduler(c, goal, t, choice, {.epsilon = 1e-9}).values[0];
+
+  SimulationOptions options;
+  options.num_runs = 20000;
+  options.threads = 2;
+  std::vector<double> estimates;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    options.seed = seed;
+    const auto r = simulate_reachability(c, goal, t, choice, options);
+    // 99% band plus slack; a miss indicates a semantics bug, not noise.
+    EXPECT_NEAR(r.estimate, analytic, 2.5758 / 1.96 * r.half_width + 0.01) << "seed=" << seed;
+    estimates.push_back(r.estimate);
+  }
+  // Different seeds draw different trajectories: not all estimates collapse
+  // onto one value.
+  EXPECT_FALSE(std::all_of(estimates.begin(), estimates.end(),
+                           [&](double e) { return e == estimates.front(); }));
+}
 
 TEST(Simulate, GoalAtStartCountsImmediately) {
   const Ctmdp c = chain_model();

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "support/errors.hpp"
@@ -268,6 +271,106 @@ TEST(PoissonWindow, TighterEpsilonWidensWindow) {
   EXPECT_LE(tight.left(), loose.left());
   EXPECT_GE(tight.right(), loose.right());
 }
+
+// ---------------------------------------------- fox-glynn stress (extreme)
+
+namespace {
+
+/// Smallest k with cumulative Poisson mass >= 1 - eps, by compensated
+/// summation of the reference pmf.  poisson_pmf evaluates
+/// exp(-lambda + n log lambda - lgamma(n+1)); for lambda ~ 1e5+ the three
+/// O(1e6) terms cancel, leaving a relative error of order
+/// lambda*log(lambda)*ulp (~1e-9 at lambda = 2.5e5).  When eps is below
+/// that floor the cumulative sum can plateau short of 1 - eps, so stop
+/// once the pmf underflows past the mode instead of looping forever.
+std::uint64_t reference_truncation(double lambda, double eps) {
+  KahanSum cumulative;
+  for (std::uint64_t k = 0;; ++k) {
+    const double p = poisson_pmf(k, lambda);
+    cumulative.add(p);
+    if (cumulative.value() >= 1.0 - eps) return k;
+    if (p == 0.0 && static_cast<double>(k) > lambda) return k;  // fp plateau
+  }
+}
+
+/// Double-precision accuracy floor for Poisson masses at rate lambda: no
+/// eps below this is achievable, so assertions on 1 - eps targets must
+/// allow it.  Scales like the cancellation error described above.
+double poisson_fp_slack(double lambda) {
+  return 1e-12 + 4e-15 * lambda * std::max(1.0, std::log(std::max(lambda, 2.0)));
+}
+
+}  // namespace
+
+/// (lambda, epsilon) grid covering the regimes the paper's models hit:
+/// E*t < 1 (short horizons), moderate, and E*t >= 1e5 at eps <= 1e-12.
+class PoissonWindowStress : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PoissonWindowStress, WeightsAreNormalized) {
+  const auto [lambda, eps] = GetParam();
+  const auto w = PoissonWindow::compute(lambda, eps);
+  KahanSum sum;
+  for (const double weight : w.weights()) {
+    EXPECT_GE(weight, 0.0);
+    sum.add(weight);
+  }
+  const double slack = poisson_fp_slack(lambda);
+  EXPECT_NEAR(sum.value(), w.total_mass(), 1e-12);
+  EXPECT_GE(w.total_mass(), 1.0 - eps - slack);
+  EXPECT_LE(w.total_mass(), 1.0 + slack);
+}
+
+TEST_P(PoissonWindowStress, TailMassIsMonotoneNonIncreasing) {
+  const auto [lambda, eps] = GetParam();
+  const auto w = PoissonWindow::compute(lambda, eps);
+  // Sample the window densely enough to catch any inversion without
+  // quadratic cost at lambda = 2.5e5.
+  const std::uint64_t width = w.right() - w.left() + 1;
+  const std::uint64_t stride = std::max<std::uint64_t>(1, width / 512);
+  double previous = w.tail_mass(w.left());
+  for (std::uint64_t n = w.left(); n <= w.right(); n += stride) {
+    const double mass = w.tail_mass(n);
+    EXPECT_LE(mass, previous + 1e-15) << "lambda=" << lambda << " n=" << n;
+    previous = mass;
+  }
+  EXPECT_DOUBLE_EQ(w.tail_mass(w.right() + 1), 0.0);
+}
+
+TEST_P(PoissonWindowStress, TruncationPointMatchesReferenceBound) {
+  const auto [lambda, eps] = GetParam();
+  const auto w = PoissonWindow::compute(lambda, eps);
+  const double slack = poisson_fp_slack(lambda);
+  // Window mass >= 1 - eps forces cumulative(right) >= 1 - eps (modulo the
+  // fp floor), so right can never undercut the one-sided reference point.
+  EXPECT_GE(w.right(), reference_truncation(lambda, eps + slack));
+  if (w.total_mass() >= 1.0 - eps) {
+    // The target was reachable in double precision, so the outward scan
+    // stopped at the optimal point: within a few steps of the reference
+    // (a factor of 100 in eps moves the Gaussian-decay tail by O(1) steps).
+    EXPECT_LE(w.right(), reference_truncation(lambda, eps / 100.0) + 10);
+  }
+}
+
+TEST_P(PoissonWindowStress, WeightsMatchReferencePmfAtExtremes) {
+  const auto [lambda, eps] = GetParam();
+  const auto w = PoissonWindow::compute(lambda, eps);
+  const std::uint64_t mode = static_cast<std::uint64_t>(lambda);
+  for (const std::uint64_t n :
+       {w.left(), (w.left() + mode) / 2, mode, (mode + w.right()) / 2, w.right()}) {
+    if (n < w.left() || n > w.right()) continue;
+    // The window weights come from ratio recurrences off the mode while the
+    // reference evaluates lgamma at n; their errors are independent, so the
+    // comparison is only meaningful up to the fp floor.
+    const double ref = poisson_pmf(n, lambda);
+    EXPECT_NEAR(w.psi(n), ref, 1e-15 + 100.0 * poisson_fp_slack(lambda) * ref)
+        << "lambda=" << lambda << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, PoissonWindowStress,
+    ::testing::Combine(::testing::Values(0.05, 0.9, 4.5, 1e5, 2.5e5),
+                       ::testing::Values(1e-6, 1e-12, 1e-13)));
 
 // --------------------------------------------------------------- parallel
 

@@ -1,51 +1,18 @@
-// Shared helpers for the unicon test suite: random model generators and
-// cross-check utilities.
+// Shared helpers for the unicon test suite.  The implementations moved to
+// the library's testing subsystem (src/testing) so that the fuzz driver and
+// the unit tests share one set of generators and oracles; this header keeps
+// the historical unicon::testutil spelling alive for the tests.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "ctmc/ctmc.hpp"
-#include "ctmdp/ctmdp.hpp"
-#include "imc/imc.hpp"
-#include "support/rng.hpp"
+#include "testing/generate.hpp"
+#include "testing/oracle.hpp"
 
 namespace unicon::testutil {
 
-struct RandomImcConfig {
-  std::size_t num_states = 12;
-  double uniform_rate = 3.0;
-  /// Probability that a state is interactive (otherwise Markov).
-  double interactive_bias = 0.4;
-  /// Max outgoing transitions per state.
-  unsigned max_fanout = 3;
-  /// Emit only one interactive transition per interactive state, making the
-  /// scheduler trivial (used for Theorem-1 style cross checks).
-  bool deterministic = false;
-  /// Share of tau labels among interactive transitions (the rest draw from
-  /// a small visible alphabet).
-  double tau_bias = 0.5;
-};
-
-/// Generates a random *closed* uniform IMC that is reachable from state 0,
-/// free of interactive cycles (interactive transitions only lead to
-/// strictly larger state ids, the last state is Markov) and free of
-/// zero-time deadlocks.  Every stable state — Markov states and
-/// visible-only (hybrid) interactive states, which receive a Markov
-/// self-loop like the elapse operator's idle states — has exit rate exactly
-/// config.uniform_rate, so the model is uniform in both views.
-Imc random_uniform_imc(Rng& rng, const RandomImcConfig& config = {});
-
-/// Random goal mask with roughly the given density (at least one goal
-/// state, never the initial state).
-std::vector<bool> random_goal(Rng& rng, std::size_t num_states, double density = 0.25);
-
-/// Interprets a CTMDP in which every state has at most one transition as a
-/// CTMC (states without transitions become absorbing).  Throws if some
-/// state has two or more transitions.
-Ctmc ctmc_from_deterministic_ctmdp(const Ctmdp& model);
-
-/// Builds the CTMC induced by a stationary scheduler choice on a CTMDP.
-Ctmc induced_ctmc(const Ctmdp& model, const std::vector<std::uint64_t>& choice);
+using testing::RandomImcConfig;
+using testing::ctmc_from_deterministic_ctmdp;
+using testing::induced_ctmc;
+using testing::random_goal;
+using testing::random_uniform_imc;
 
 }  // namespace unicon::testutil

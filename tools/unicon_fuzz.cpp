@@ -1,0 +1,143 @@
+// unicon_fuzz — differential fuzzing driver for the analysis pipeline.
+//
+// Usage:
+//   unicon_fuzz [--seeds N] [--base-seed S] [--seed S] [--time T] [--eps E]
+//               [--tol D] [--mc-runs N] [--no-shrink] [--mutate NAME]
+//               [--out DIR] [--self-check] [-v]
+//
+// Per seed, five model families are generated and every optimized code path
+// is cross-checked against the independent oracles of src/testing (see
+// DESIGN.md, "Testing & differential verification").  Exit code 0 iff every
+// check of every seed passed.
+//
+//   --seed S       replay a single seed (equivalent to --base-seed S
+//                  --seeds 1); combine with --out to dump its models
+//   --mutate NAME  inject a deliberate solver bug (perturb-value,
+//                  swap-objective, coarse-poisson, stale-goal) — the run
+//                  must then FAIL, which --self-check automates
+//   --self-check   verify the driver catches every mutation on a small
+//                  corpus, then run the clean corpus
+//   --out DIR      write shrunk counterexample models (.imc/.ctmdp/.tra +
+//                  .lab + replay note) into DIR
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/stopwatch.hpp"
+#include "testing/differential.hpp"
+
+using namespace unicon;
+using namespace unicon::testing;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: unicon_fuzz [--seeds N] [--base-seed S] [--seed S] [--time T]\n"
+               "                   [--eps E] [--tol D] [--mc-runs N] [--no-shrink]\n"
+               "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
+               "stale-goal]\n"
+               "                   [--out DIR] [--self-check] [-v]\n");
+  std::exit(2);
+}
+
+int report_outcome(const DifferentialReport& report) {
+  std::printf("%llu seeds, %llu checks, %zu failures\n",
+              static_cast<unsigned long long>(report.seeds_run),
+              static_cast<unsigned long long>(report.checks_run), report.failures.size());
+  for (const Failure& f : report.failures) {
+    std::printf("FAIL seed %llu [%s, shrink level %d]: %s\n",
+                static_cast<unsigned long long>(f.seed), f.scenario.c_str(), f.level,
+                f.message.c_str());
+    for (const std::string& path : f.artifacts) std::printf("  artifact: %s\n", path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+/// Every mutation must be caught on a small corpus, and the clean run of the
+/// same corpus must pass — the mutation-testing acceptance gate.
+int self_check(DifferentialConfig config) {
+  config.num_seeds = 8;
+  config.shrink = false;
+  config.artifact_dir.clear();
+  for (const Mutation m : {Mutation::PerturbValue, Mutation::SwapObjective,
+                           Mutation::CoarsePoisson, Mutation::StaleGoal}) {
+    config.mutation = m;
+    const DifferentialReport report = run_differential(config);
+    if (report.ok()) {
+      std::printf("self-check FAILED: mutation %s not caught on %llu seeds\n", mutation_name(m),
+                  static_cast<unsigned long long>(config.num_seeds));
+      return 1;
+    }
+    std::printf("self-check: mutation %s caught (%zu failing seeds)\n", mutation_name(m),
+                report.failures.size());
+  }
+  config.mutation = Mutation::None;
+  const DifferentialReport clean = run_differential(config);
+  if (!clean.ok()) {
+    std::printf("self-check FAILED: clean corpus has failures\n");
+    return report_outcome(clean);
+  }
+  std::printf("self-check passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DifferentialConfig config;
+  bool verbose = false;
+  bool run_self_check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      config.num_seeds = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--base-seed") == 0) {
+      config.base_seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.base_seed = std::strtoull(value(), nullptr, 10);
+      config.num_seeds = 1;
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      config.time = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--eps") == 0) {
+      config.epsilon = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--tol") == 0) {
+      config.tolerance = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--mc-runs") == 0) {
+      config.mc_runs = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      config.shrink = false;
+    } else if (std::strcmp(argv[i], "--mutate") == 0) {
+      const auto mutation = parse_mutation(value());
+      if (!mutation) usage();
+      config.mutation = *mutation;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      config.artifact_dir = value();
+    } else if (std::strcmp(argv[i], "--self-check") == 0) {
+      run_self_check = true;
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      usage();
+    }
+  }
+
+  if (run_self_check) return self_check(config);
+
+  const LogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  Stopwatch timer;
+  const DifferentialReport report = run_differential(config, verbose ? log : LogFn{});
+  const int exit_code = report_outcome(report);
+  std::printf("%.1f s\n", timer.seconds());
+  if (config.mutation != Mutation::None) {
+    std::printf("note: mutation %s active — a failing run is the expected outcome\n",
+                mutation_name(config.mutation));
+  }
+  return exit_code;
+}
