@@ -1,0 +1,164 @@
+// Language frontend cost on the FTWC family: parse, semantic-check and
+// build (composition + exploration) seconds versus explored state count.
+//
+// The harness synthesizes the ftwc.uni model text in memory for a growing
+// total number of workstations W (split across the two sub-clusters) and
+// times each frontend stage separately.  Unlike the programmatic
+// build_compositional, the language build explores the full product
+// without intermediate minimization, so the state count grows quickly;
+// the default sweep stops at W = 5 and FTWC_FULL=1 extends it to the
+// paper-family W = 8 (multi-million-state exploration).  Results land in
+// BENCH_lang.json:
+//   [{"bench": "lang_frontend/W=3", "states": ..., "parse_seconds": ...,
+//     "check_seconds": ..., "build_seconds": ...}, ...]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lang/build.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace unicon;
+
+namespace {
+
+void append_unit(std::string& out, const std::string& name, const std::string& cls) {
+  out += "component " + name + " {\n";
+  out += "  states o, d, ir, rp;\n  initial o;\n";
+  out += "  label " + name + "_up: o, rp;\n";
+  out += "  fail: o -> d;\n";
+  out += "  g_" + cls + ": d -> ir;\n";
+  out += "  repair: ir -> rp;\n";
+  out += "  r_" + cls + ": rp -> o;\n";
+  out += "}\n";
+}
+
+void append_timed_let(std::string& out, const std::string& name, const std::string& cls,
+                      const std::string& fail_timing, const std::string& repair_timing) {
+  out += "let " + name + "_t = hide {fail, repair} in\n";
+  out += "  (" + name + " |[fail, g_" + cls + ", repair, r_" + cls + "]|\n";
+  out += "   (elapse(fail, r_" + cls + ", " + fail_timing + ", running) ||| elapse(repair, g_" +
+         cls + ", " + repair_timing + ")));\n";
+}
+
+/// The ftwc.uni model with @p workstations total workstations, alternately
+/// assigned to the left and right sub-cluster classes.
+std::string ftwc_source(unsigned workstations) {
+  std::string out = "model ftwc_bench;\n";
+  std::vector<std::string> units, classes;
+  for (unsigned i = 0; i < workstations; ++i) {
+    units.push_back("ws" + std::to_string(i + 1));
+    classes.push_back(i % 2 == 0 ? "wsL" : "wsR");
+    append_unit(out, units.back(), classes.back());
+  }
+  append_unit(out, "swL", "swL");
+  append_unit(out, "swR", "swR");
+  append_unit(out, "bb", "bb");
+
+  out += "component repair_unit {\n  states idle, b_wsL, b_wsR, b_swL, b_swR, b_bb;\n"
+         "  initial idle;\n";
+  for (const char* cls : {"wsL", "wsR", "swL", "swR", "bb"}) {
+    out += std::string("  g_") + cls + ": idle -> b_" + cls + ";\n";
+    out += std::string("  r_") + cls + ": b_" + cls + " -> idle;\n";
+  }
+  out += "}\n";
+
+  out += "timing ws_fail = exponential(0.002);\ntiming ws_repair = exponential(2);\n"
+         "timing sw_fail = exponential(0.00025);\ntiming sw_repair = exponential(0.25);\n"
+         "timing bb_fail = exponential(0.0002);\ntiming bb_repair = exponential(0.125);\n";
+
+  for (unsigned i = 0; i < workstations; ++i) {
+    append_timed_let(out, units[i], classes[i], "ws_fail", "ws_repair");
+  }
+  append_timed_let(out, "swL", "swL", "sw_fail", "sw_repair");
+  append_timed_let(out, "swR", "swR", "sw_fail", "sw_repair");
+  append_timed_let(out, "bb", "bb", "bb_fail", "bb_repair");
+
+  out += "system = (";
+  for (const std::string& u : units) out += u + "_t ||| ";
+  out += "swL_t ||| swR_t ||| bb_t)\n"
+         "  |[g_wsL, r_wsL, g_wsR, r_wsR, g_swL, r_swL, g_swR, r_swR, g_bb, r_bb]|\n"
+         "  repair_unit;\n";
+
+  out += "prop all_up =";
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    out += (i == 0 ? " " : " & ") + units[i] + "_up";
+  }
+  out += ";\nprop goal = !all_up;\n";
+  return out;
+}
+
+struct Record {
+  unsigned workstations = 0;
+  std::size_t states = 0;
+  double parse_seconds = 0.0;
+  double check_seconds = 0.0;
+  double build_seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const unsigned max_w = bench::full_sweep() ? 8 : 5;
+  std::vector<Record> records;
+
+  std::printf("%4s  %10s  %12s  %12s  %12s\n", "W", "states", "parse s", "check s", "build s");
+  for (unsigned w = 1; w <= max_w; ++w) {
+    const std::string source = ftwc_source(w);
+
+    Record r;
+    r.workstations = w;
+    Stopwatch parse_timer;
+    lang::Model ast = lang::parse_model(source, "ftwc_bench.uni");
+    r.parse_seconds = parse_timer.seconds();
+
+    Stopwatch check_timer;
+    const std::vector<lang::Diagnostic> diags = lang::check_model(ast);
+    r.check_seconds = check_timer.seconds();
+    if (!diags.empty()) {
+      std::fprintf(stderr, "unexpected diagnostic: %s\n",
+                   diags.front().str("ftwc_bench.uni").c_str());
+      return 1;
+    }
+
+    lang::BuildOptions options;
+    options.max_states = 5000000;
+    Stopwatch build_timer;
+    try {
+      const lang::BuiltModel built = lang::build_model(ast, options);
+      r.build_seconds = build_timer.seconds();
+      r.states = built.system.num_states();
+    } catch (const ModelError& e) {
+      std::printf("%4u  exploration aborted (%s) — stopping the sweep here\n", w, e.what());
+      break;
+    }
+
+    std::printf("%4u  %10zu  %12.4f  %12.4f  %12.4f\n", w, r.states, r.parse_seconds,
+                r.check_seconds, r.build_seconds);
+    records.push_back(r);
+  }
+
+  std::FILE* f = std::fopen("BENCH_lang.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_lang.json\n");
+    return 0;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"lang_frontend/W=%u\", \"states\": %zu, "
+                 "\"parse_seconds\": %.6f, \"check_seconds\": %.6f, "
+                 "\"build_seconds\": %.6f}%s\n",
+                 r.workstations, r.states, r.parse_seconds, r.check_seconds, r.build_seconds,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to BENCH_lang.json\n", records.size());
+  return 0;
+}

@@ -125,6 +125,7 @@ class ComposeExplorer {
 
   Imc run() {
     ImcBuilder builder(expr_.actions_);
+    if (options_.record_tuples != nullptr) options_.record_tuples->clear();
 
     std::vector<StateId> initial(expr_.leaves_.size());
     for (std::size_t i = 0; i < expr_.leaves_.size(); ++i) initial[i] = expr_.leaves_[i].initial();
@@ -138,6 +139,7 @@ class ComposeExplorer {
         throw ModelError("CompositionExpr::explore: state limit exceeded");
       }
       const StateId id = builder.add_state(options_.record_names ? name_of(tuple) : std::string());
+      if (options_.record_tuples != nullptr) options_.record_tuples->push_back(tuple);
       ids.emplace(tuple, id);
       frontier.push_back(tuple);
       return id;

@@ -33,6 +33,12 @@ struct ExploreOptions {
   bool record_names = false;
   /// Abort with ModelError when more product states than this are reached.
   std::size_t max_states = static_cast<std::size_t>(-1);
+  /// When non-null, receives the leaf-state tuple of every composite state,
+  /// indexed by composite StateId (leaves in left-to-right expression
+  /// order).  Cheaper and more robust than parsing record_names output;
+  /// used by the modeling-language frontend to transfer per-leaf atomic
+  /// propositions onto the product.
+  std::vector<std::vector<StateId>>* record_tuples = nullptr;
 };
 
 /// An immutable composition expression.  All leaves must share one

@@ -1,10 +1,12 @@
 #include "io/tra.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/errors.hpp"
 
@@ -156,21 +158,52 @@ Ctmdp read_ctmdp(std::istream& in) {
   return b.build();
 }
 
-void write_goal(std::ostream& out, const std::vector<bool>& goal) {
-  for (std::size_t s = 0; s < goal.size(); ++s) {
-    if (goal[s]) out << s << " goal\n";
+void write_labels(std::ostream& out, const LabelMasks& labels) {
+  std::size_t num_states = 0;
+  for (const auto& [name, mask] : labels) num_states = std::max(num_states, mask.size());
+  for (std::size_t s = 0; s < num_states; ++s) {
+    bool any = false;
+    for (const auto& [name, mask] : labels) {
+      if (s >= mask.size() || !mask[s]) continue;
+      out << (any ? " " : std::to_string(s) + " ") << name;
+      any = true;
+    }
+    if (any) out << "\n";
   }
 }
 
-std::vector<bool> read_goal(std::istream& in, std::size_t num_states) {
-  std::vector<bool> goal(num_states, false);
-  std::size_t s = 0;
-  std::string prop;
-  while (in >> s >> prop) {
-    if (s >= num_states) throw ParseError("goal state out of range");
-    if (prop == "goal") goal[s] = true;
+LabelMasks read_labels(std::istream& in, std::size_t num_states) {
+  LabelMasks labels;
+  std::unordered_map<std::string, std::size_t> index;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::size_t s = 0;
+    if (!(fields >> s)) {
+      std::string probe;
+      if (std::istringstream(line) >> probe) throw ParseError("bad label line: " + line);
+      continue;  // blank line
+    }
+    if (s >= num_states) throw ParseError("label state out of range: " + std::to_string(s));
+    std::string prop;
+    while (fields >> prop) {
+      const auto [it, inserted] = index.emplace(prop, labels.size());
+      if (inserted) labels.emplace_back(prop, std::vector<bool>(num_states, false));
+      labels[it->second].second[s] = true;
+    }
   }
-  return goal;
+  return labels;
+}
+
+void write_goal(std::ostream& out, const std::vector<bool>& goal) {
+  write_labels(out, {{"goal", goal}});
+}
+
+std::vector<bool> read_goal(std::istream& in, std::size_t num_states) {
+  for (auto& [name, mask] : read_labels(in, num_states)) {
+    if (name == "goal") return std::move(mask);
+  }
+  return std::vector<bool>(num_states, false);
 }
 
 namespace {

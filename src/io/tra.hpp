@@ -6,12 +6,14 @@
 // CTMDP (.ctmdp):  header as above plus a transition block per line:
 //                  "from label k  to1 rate1 ... tok ratek"
 //                  where label is the '.'-separated action word.
-// Labels (.lab):   "s prop1 prop2 ..." — here used for the goal mask with
-//                  the single proposition "goal".
+// Labels (.lab):   one "s prop1 prop2 ..." line per labeled state; arbitrary
+//                  named atomic propositions (the analysis CLI's goal mask is
+//                  the proposition "goal").
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
@@ -32,6 +34,21 @@ Imc read_imc(std::istream& in);
 void write_ctmdp(std::ostream& out, const Ctmdp& model);
 Ctmdp read_ctmdp(std::istream& in);
 
+/// Named atomic propositions as (name, per-state mask) pairs; the order is
+/// the declaration / first-seen order.  All masks share one state count.
+using LabelMasks = std::vector<std::pair<std::string, std::vector<bool>>>;
+
+/// Writes one "s prop1 prop2 ..." line per state carrying at least one
+/// proposition.  Proposition names must be whitespace-free.
+void write_labels(std::ostream& out, const LabelMasks& labels);
+
+/// Reads a .lab file; every proposition name encountered gets a mask.
+/// Throws ParseError on malformed lines or out-of-range states.
+LabelMasks read_labels(std::istream& in, std::size_t num_states);
+
+/// Thin wrappers for the single proposition "goal" (the CLI's default):
+/// write_goal emits only the goal mask, read_goal extracts it (all-false
+/// when the file does not mention "goal").
 void write_goal(std::ostream& out, const std::vector<bool>& goal);
 std::vector<bool> read_goal(std::istream& in, std::size_t num_states);
 

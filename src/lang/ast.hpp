@@ -1,0 +1,141 @@
+// Abstract syntax of the UNI modeling language.
+//
+// A model declares component IMCs (states, interactive and Markov
+// transitions, atomic propositions), named phase-type timings, named
+// composition fragments (let), exactly one system composition expression
+// over |[..]| / ||| / hide / elapse, and named boolean properties over the
+// components' atomic propositions.  See DESIGN.md Sec. 7 for the grammar.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/diagnostics.hpp"
+
+namespace unicon::lang {
+
+/// An identifier occurrence with its source position.
+struct Name {
+  std::string text;
+  SourceLoc loc;
+};
+
+struct InteractiveDecl {
+  Name action;  // "tau" names the internal action
+  Name from;
+  Name to;
+};
+
+struct MarkovDecl {
+  double rate = 0.0;
+  SourceLoc rate_loc;
+  Name from;
+  Name to;
+};
+
+/// "label p: s1, s2;" — atomic proposition p holds in the listed states.
+struct LabelDecl {
+  Name name;
+  std::vector<Name> states;
+};
+
+struct ComponentDecl {
+  Name name;
+  std::vector<Name> states;
+  Name initial;
+  bool has_initial = false;
+  std::vector<LabelDecl> labels;
+  std::vector<InteractiveDecl> interactive;
+  std::vector<MarkovDecl> markov;
+};
+
+/// "timing t = exponential(r) | erlang(k, r) | phases(r1, ..., rn);"
+/// phases(..) is the hypoexponential chain — the explicit uniform
+/// phase-type fed verbatim to the elapse operator.
+struct TimingDecl {
+  enum class Kind : std::uint8_t { Exponential, Erlang, Phases };
+
+  Name name;
+  Kind kind = Kind::Exponential;
+  double rate = 0.0;          // Exponential / Erlang
+  unsigned phases = 1;        // Erlang
+  std::vector<double> rates;  // Phases
+  SourceLoc params_loc;       // first numeric argument
+
+  double max_exit_rate() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Composition expressions, mapping 1:1 onto the CompositionExpr API.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Ref,       // component or let reference
+    Parallel,  // left |[sync]| right;  interleave == true for |||
+    Hide,      // hide {actions} in child
+    Elapse,    // elapse(fire, trigger, timing [, running] [, rate E])
+  };
+
+  Kind kind = Kind::Ref;
+  SourceLoc loc;
+
+  Name ref;  // Ref
+
+  ExprPtr left, right;      // Parallel
+  std::vector<Name> sync;   // Parallel
+  bool interleave = false;  // Parallel: written as |||
+
+  ExprPtr child;             // Hide
+  std::vector<Name> hidden;  // Hide
+
+  Name fire, trigger, timing;  // Elapse
+  bool running = false;        // Elapse
+  double uniform_rate = 0.0;   // Elapse (0 = maximal phase exit rate)
+  SourceLoc rate_loc;          // Elapse
+};
+
+struct PropExpr;
+using PropExprPtr = std::unique_ptr<PropExpr>;
+
+/// Boolean formulas over atomic propositions and previously defined props.
+struct PropExpr {
+  enum class Kind : std::uint8_t { Atom, Const, Not, And, Or };
+
+  Kind kind = Kind::Atom;
+  SourceLoc loc;
+  Name atom;            // Atom
+  bool value = false;   // Const
+  PropExprPtr a, b;     // Not (a), And/Or (a, b)
+};
+
+struct PropDecl {
+  Name name;
+  PropExprPtr expr;
+};
+
+struct SystemDecl {
+  ExprPtr expr;
+  SourceLoc loc;
+};
+
+struct LetDecl {
+  Name name;
+  ExprPtr expr;
+};
+
+struct Model {
+  std::string name;  // optional "model <ident>;" header ("" if absent)
+  std::vector<ComponentDecl> components;
+  std::vector<TimingDecl> timings;
+  std::vector<LetDecl> lets;
+  std::vector<PropDecl> props;
+  std::vector<SystemDecl> systems;  // sema enforces exactly one
+
+  const ComponentDecl* find_component(const std::string& n) const;
+  const TimingDecl* find_timing(const std::string& n) const;
+  const LetDecl* find_let(const std::string& n) const;
+};
+
+}  // namespace unicon::lang

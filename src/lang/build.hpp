@@ -1,0 +1,67 @@
+// Lowering of checked UNI models onto the analysis pipeline.
+//
+// build_model turns an AST that passed semantic analysis into the closed
+// uniform IMC of its system expression: components become IMC leaves,
+// elapse(..) nodes become El(Ph, fire, trigger) constraint IMCs, the
+// composition expression maps 1:1 onto CompositionExpr, and the reachable
+// product is explored under the closed-system urgency assumption.  Atomic
+// propositions declared on component states are transferred exactly onto
+// the product via the explorer's leaf-state tuples, and derived props are
+// evaluated pointwise.  The result feeds analyze_timed_reachability
+// (bisimulation minimization -> Sec. 4.1 transformation -> Algorithm 1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctmc/phase_type.hpp"
+#include "imc/imc.hpp"
+#include "lang/ast.hpp"
+
+namespace unicon::lang {
+
+struct BuildOptions {
+  /// Record human-readable "(s0,s1,...)" composite state names.
+  bool record_names = false;
+  /// Abort with ModelError when the product exceeds this many states.
+  std::size_t max_states = static_cast<std::size_t>(-1);
+  /// Explore under the closed-system urgency assumption (the analysis
+  /// pipeline requires it; disable only for inspection of open fragments).
+  bool urgent = true;
+};
+
+struct BuiltModel {
+  /// The explored (reachable) closed system IMC.
+  Imc system;
+  std::shared_ptr<ActionTable> actions;
+  /// Closed-view uniform rate; 0 for purely interactive models.
+  double uniform_rate = 0.0;
+  /// Labels first (declaration order across components), then props.
+  std::vector<std::string> prop_names;
+  std::vector<std::vector<bool>> prop_masks;
+  /// Number of composition leaves (components + elapse constraints).
+  std::size_t num_leaves = 0;
+
+  /// Mask of a label/prop by name; throws ModelError if unknown.
+  const std::vector<bool>& mask(const std::string& name) const;
+  bool has_prop(const std::string& name) const;
+};
+
+/// Lowers @p m (which must have passed check_model; behaviour on unchecked
+/// models is undefined) and explores its system.  Throws UniformityError
+/// if the explored system violates closed-view uniformity — a backstop;
+/// semantically checked models compose uniformly by construction.
+BuiltModel build_model(const Model& m, const BuildOptions& options = {});
+
+/// Stochastic branching bisimulation quotient of a built model.  The
+/// partition refines the proposition signature, so every label and prop
+/// transfers exactly onto the quotient; timed reachability values are
+/// preserved (Lemma 3 / Corollary 1: quotienting preserves uniformity).
+BuiltModel minimize_model(const BuiltModel& built);
+
+/// The phase-type distribution of a timing declaration.
+PhaseType timing_phase_type(const TimingDecl& t);
+
+}  // namespace unicon::lang

@@ -1,0 +1,22 @@
+#include "lang/diagnostics.hpp"
+
+namespace unicon::lang {
+
+const char* category_name(Diagnostic::Category c) {
+  switch (c) {
+    case Diagnostic::Category::Lex: return "lex error";
+    case Diagnostic::Category::Parse: return "parse error";
+    case Diagnostic::Category::Semantic: return "semantic error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::str(const std::string& file) const {
+  return file + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.col) + ": " +
+         category_name(category) + ": " + message;
+}
+
+LangError::LangError(Diagnostic diagnostic, const std::string& file)
+    : ParseError(diagnostic.str(file)), diagnostic_(std::move(diagnostic)) {}
+
+}  // namespace unicon::lang

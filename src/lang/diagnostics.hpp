@@ -1,0 +1,48 @@
+// Source locations and diagnostics of the UNI modeling language.
+//
+// Every diagnostic carries the 1-based line/column of the offending token
+// plus a category telling which pipeline stage rejected the input: Lex
+// (malformed characters/numbers), Parse (grammar violations) or Semantic
+// (well-formed but meaningless — undeclared names, tau in sync sets,
+// uniformity-by-construction violations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace unicon::lang {
+
+struct SourceLoc {
+  std::uint32_t line = 1;  // 1-based
+  std::uint32_t col = 1;   // 1-based, in characters
+};
+
+struct Diagnostic {
+  enum class Category : std::uint8_t { Lex, Parse, Semantic };
+
+  Category category = Category::Parse;
+  SourceLoc loc;
+  std::string message;
+
+  /// "file:line:col: category: message" (the file name is supplied by the
+  /// caller so that in-memory sources can use a placeholder).
+  std::string str(const std::string& file) const;
+};
+
+const char* category_name(Diagnostic::Category c);
+
+/// Thrown by the fail-fast entry points; carries the (first) diagnostic.
+class LangError : public ParseError {
+ public:
+  LangError(Diagnostic diagnostic, const std::string& file);
+
+  const Diagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+}  // namespace unicon::lang

@@ -1,0 +1,171 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace unicon::lang {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool ident_char(char c) { return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, const std::string& file) : src_(source), file_(file) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_trivia();
+      Token t = next();
+      const bool eof = t.kind == TokenKind::Eof;
+      tokens.push_back(std::move(t));
+      if (eof) return tokens;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(SourceLoc loc, std::string message) const {
+    throw LangError(Diagnostic{Diagnostic::Category::Lex, loc, std::move(message)}, file_);
+  }
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.col = 1;
+    } else {
+      ++loc_.col;
+    }
+    return c;
+  }
+
+  void skip_trivia() {
+    while (!done()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!done() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next() {
+    Token t;
+    t.loc = loc_;
+    if (done()) return t;  // Eof
+
+    const char c = peek();
+    if (ident_start(c)) {
+      t.kind = TokenKind::Ident;
+      while (!done() && ident_char(peek())) t.text.push_back(advance());
+      return t;
+    }
+    if (digit(c) || (c == '.' && digit(peek(1)))) {
+      t.kind = TokenKind::Number;
+      t.text.push_back(advance());
+      while (!done()) {
+        const char n = peek();
+        const bool sign_after_exp =
+            (n == '+' || n == '-') && (t.text.back() == 'e' || t.text.back() == 'E');
+        if (!ident_char(n) && n != '.' && !sign_after_exp) break;
+        t.text.push_back(advance());
+      }
+      const char* begin = t.text.data();
+      const char* end = begin + t.text.size();
+      const auto [rest, ec] = std::from_chars(begin, end, t.number);
+      if (ec != std::errc() || rest != end) fail(t.loc, "malformed number '" + t.text + "'");
+      return t;
+    }
+
+    advance();
+    switch (c) {
+      case '{': t.kind = TokenKind::LBrace; return t;
+      case '}': t.kind = TokenKind::RBrace; return t;
+      case '(': t.kind = TokenKind::LParen; return t;
+      case ')': t.kind = TokenKind::RParen; return t;
+      case ';': t.kind = TokenKind::Semi; return t;
+      case ',': t.kind = TokenKind::Comma; return t;
+      case ':': t.kind = TokenKind::Colon; return t;
+      case '=': t.kind = TokenKind::Equals; return t;
+      case '&': t.kind = TokenKind::Amp; return t;
+      case '!': t.kind = TokenKind::Bang; return t;
+      case '-':
+        if (peek() == '>') {
+          advance();
+          t.kind = TokenKind::Arrow;
+          return t;
+        }
+        fail(t.loc, "stray '-' (expected '->')");
+      case '|':
+        if (peek() == '|' && peek(1) == '|') {
+          advance();
+          advance();
+          t.kind = TokenKind::Interleave;
+          return t;
+        }
+        if (peek() == '[') {
+          advance();
+          t.kind = TokenKind::LSync;
+          return t;
+        }
+        t.kind = TokenKind::Pipe;
+        return t;
+      case ']':
+        if (peek() == '|') {
+          advance();
+          t.kind = TokenKind::RSync;
+          return t;
+        }
+        fail(t.loc, "stray ']' (expected ']|')");
+      default:
+        fail(t.loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  const std::string& file_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+const char* token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Semi: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Equals: return "'='";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::Interleave: return "'|||'";
+    case TokenKind::LSync: return "'|['";
+    case TokenKind::RSync: return "']|'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Eof: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source, const std::string& file) {
+  return Lexer(source, file).run();
+}
+
+}  // namespace unicon::lang

@@ -1,0 +1,52 @@
+// Lexer of the UNI modeling language.
+//
+// Produces a flat token stream with 1-based line/column positions.  The
+// lexer has no keyword table — keywords are ordinary identifiers that the
+// parser interprets contextually, so state or action names may reuse words
+// like "rate" without escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/diagnostics.hpp"
+
+namespace unicon::lang {
+
+enum class TokenKind : std::uint8_t {
+  Ident,       // [A-Za-z_][A-Za-z0-9_]*
+  Number,      // decimal literal with optional fraction / exponent
+  LBrace,      // {
+  RBrace,      // }
+  LParen,      // (
+  RParen,      // )
+  Semi,        // ;
+  Comma,       // ,
+  Colon,       // :
+  Equals,      // =
+  Arrow,       // ->
+  Interleave,  // |||
+  LSync,       // |[
+  RSync,       // ]|
+  Pipe,        // |
+  Amp,         // &
+  Bang,        // !
+  Eof,
+};
+
+const char* token_kind_name(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;     // identifier / number spelling
+  double number = 0.0;  // value for Number tokens
+  SourceLoc loc;
+};
+
+/// Tokenizes @p source.  Throws LangError (category Lex) on malformed
+/// input; the result always ends with an Eof token.  @p file is used only
+/// for error messages.
+std::vector<Token> tokenize(std::string_view source, const std::string& file = "<input>");
+
+}  // namespace unicon::lang

@@ -1,0 +1,395 @@
+#include "lang/parser.hpp"
+
+#include <utility>
+
+#include "lang/lexer.hpp"
+#include "lang/sema.hpp"
+
+namespace unicon::lang {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const std::string& file)
+      : tokens_(std::move(tokens)), file_(file) {}
+
+  Model run() {
+    Model m;
+    if (at_keyword("model")) {
+      advance();
+      m.name = expect(TokenKind::Ident, "model name").text;
+      expect(TokenKind::Semi, "';' after model header");
+    }
+    while (!at(TokenKind::Eof)) {
+      if (at_keyword("component")) {
+        m.components.push_back(parse_component());
+      } else if (at_keyword("timing")) {
+        m.timings.push_back(parse_timing());
+      } else if (at_keyword("let")) {
+        advance();
+        LetDecl let;
+        let.name = name_token(expect(TokenKind::Ident, "let name"));
+        expect(TokenKind::Equals, "'=' after let name");
+        let.expr = parse_expr();
+        expect(TokenKind::Semi, "';' after let definition");
+        m.lets.push_back(std::move(let));
+      } else if (at_keyword("system")) {
+        SystemDecl sys;
+        sys.loc = peek().loc;
+        advance();
+        expect(TokenKind::Equals, "'=' after 'system'");
+        sys.expr = parse_expr();
+        expect(TokenKind::Semi, "';' after system expression");
+        m.systems.push_back(std::move(sys));
+      } else if (at_keyword("prop")) {
+        advance();
+        PropDecl prop;
+        prop.name = name_token(expect(TokenKind::Ident, "property name"));
+        expect(TokenKind::Equals, "'=' after property name");
+        prop.expr = parse_prop_or();
+        expect(TokenKind::Semi, "';' after property definition");
+        m.props.push_back(std::move(prop));
+      } else {
+        fail("expected 'component', 'timing', 'let', 'system' or 'prop', got " + describe(peek()));
+      }
+    }
+    return m;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool at(TokenKind k) const { return peek().kind == k; }
+  bool at_keyword(std::string_view kw) const {
+    return peek().kind == TokenKind::Ident && peek().text == kw;
+  }
+  bool eat(TokenKind k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+
+  [[noreturn]] void fail(std::string message, SourceLoc loc) const {
+    throw LangError(Diagnostic{Diagnostic::Category::Parse, loc, std::move(message)}, file_);
+  }
+  [[noreturn]] void fail(std::string message) const { fail(std::move(message), peek().loc); }
+
+  static std::string describe(const Token& t) {
+    if (t.kind == TokenKind::Ident) return "'" + t.text + "'";
+    if (t.kind == TokenKind::Number) return "number '" + t.text + "'";
+    return token_kind_name(t.kind);
+  }
+
+  const Token& expect(TokenKind k, const std::string& what) {
+    if (!at(k)) fail("expected " + what + ", got " + describe(peek()));
+    return advance();
+  }
+
+  static Name name_token(const Token& t) { return Name{t.text, t.loc}; }
+
+  Name parse_name(const std::string& what) { return name_token(expect(TokenKind::Ident, what)); }
+
+  std::vector<Name> parse_name_list(const std::string& what) {
+    std::vector<Name> names;
+    names.push_back(parse_name(what));
+    while (eat(TokenKind::Comma)) names.push_back(parse_name(what));
+    return names;
+  }
+
+  double parse_number(const std::string& what, SourceLoc* loc = nullptr) {
+    const Token& t = expect(TokenKind::Number, what);
+    if (loc != nullptr) *loc = t.loc;
+    return t.number;
+  }
+
+  // --- components ---------------------------------------------------------
+
+  ComponentDecl parse_component() {
+    advance();  // "component"
+    ComponentDecl c;
+    c.name = parse_name("component name");
+    expect(TokenKind::LBrace, "'{' after component name");
+    while (!eat(TokenKind::RBrace)) {
+      if (at(TokenKind::Eof)) fail("unterminated component '" + c.name.text + "' (missing '}')");
+      if (at_keyword("states") && peek(1).kind == TokenKind::Ident) {
+        advance();
+        for (Name& s : parse_name_list("state name")) c.states.push_back(std::move(s));
+        expect(TokenKind::Semi, "';' after state list");
+      } else if (at_keyword("initial") && peek(1).kind == TokenKind::Ident) {
+        advance();
+        c.initial = parse_name("initial state");
+        c.has_initial = true;
+        expect(TokenKind::Semi, "';' after initial state");
+      } else if (at_keyword("label") && peek(1).kind == TokenKind::Ident) {
+        advance();
+        LabelDecl label;
+        label.name = parse_name("label name");
+        expect(TokenKind::Colon, "':' after label name");
+        label.states = parse_name_list("state name");
+        expect(TokenKind::Semi, "';' after label states");
+        c.labels.push_back(std::move(label));
+      } else if (at_keyword("rate") && peek(1).kind == TokenKind::Number) {
+        advance();
+        MarkovDecl t;
+        t.rate = parse_number("transition rate", &t.rate_loc);
+        expect(TokenKind::Colon, "':' after rate");
+        t.from = parse_name("source state");
+        expect(TokenKind::Arrow, "'->' in transition");
+        t.to = parse_name("target state");
+        expect(TokenKind::Semi, "';' after transition");
+        c.markov.push_back(std::move(t));
+      } else if (at(TokenKind::Ident)) {
+        InteractiveDecl t;
+        t.action = parse_name("action name");
+        expect(TokenKind::Colon, "':' after action name");
+        t.from = parse_name("source state");
+        expect(TokenKind::Arrow, "'->' in transition");
+        t.to = parse_name("target state");
+        expect(TokenKind::Semi, "';' after transition");
+        c.interactive.push_back(std::move(t));
+      } else {
+        fail("expected a component declaration, got " + describe(peek()));
+      }
+    }
+    return c;
+  }
+
+  // --- timings ------------------------------------------------------------
+
+  TimingDecl parse_timing() {
+    advance();  // "timing"
+    TimingDecl t;
+    t.name = parse_name("timing name");
+    expect(TokenKind::Equals, "'=' after timing name");
+    const Name kind = parse_name("distribution (exponential, erlang or phases)");
+    expect(TokenKind::LParen, "'(' after distribution name");
+    if (kind.text == "exponential") {
+      t.kind = TimingDecl::Kind::Exponential;
+      t.rate = parse_number("rate", &t.params_loc);
+    } else if (kind.text == "erlang") {
+      t.kind = TimingDecl::Kind::Erlang;
+      SourceLoc k_loc;
+      const double k = parse_number("phase count", &k_loc);
+      if (k < 1.0 || k != static_cast<double>(static_cast<unsigned>(k))) {
+        fail("erlang phase count must be a positive integer", k_loc);
+      }
+      t.phases = static_cast<unsigned>(k);
+      t.params_loc = k_loc;
+      expect(TokenKind::Comma, "',' between erlang parameters");
+      t.rate = parse_number("rate");
+    } else if (kind.text == "phases") {
+      t.kind = TimingDecl::Kind::Phases;
+      t.rates.push_back(parse_number("phase rate", &t.params_loc));
+      while (eat(TokenKind::Comma)) t.rates.push_back(parse_number("phase rate"));
+    } else {
+      fail("unknown distribution '" + kind.text + "' (expected exponential, erlang or phases)",
+           kind.loc);
+    }
+    expect(TokenKind::RParen, "')' after distribution parameters");
+    expect(TokenKind::Semi, "';' after timing definition");
+    return t;
+  }
+
+  // --- composition expressions -------------------------------------------
+
+  ExprPtr parse_expr() {
+    if (at_keyword("hide")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Hide;
+      e->loc = peek().loc;
+      advance();
+      expect(TokenKind::LBrace, "'{' after 'hide'");
+      if (!at(TokenKind::RBrace)) e->hidden = parse_name_list("action name");
+      expect(TokenKind::RBrace, "'}' after hidden actions");
+      if (!at_keyword("in")) fail("expected 'in' after hide set, got " + describe(peek()));
+      advance();
+      e->child = parse_expr();
+      return e;
+    }
+    return parse_parallel();
+  }
+
+  ExprPtr parse_parallel() {
+    ExprPtr left = parse_primary();
+    for (;;) {
+      if (at(TokenKind::Interleave) || at(TokenKind::LSync)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Parallel;
+        e->loc = peek().loc;
+        if (eat(TokenKind::Interleave)) {
+          e->interleave = true;
+        } else {
+          advance();  // |[
+          if (!at(TokenKind::RSync)) e->sync = parse_name_list("action name");
+          expect(TokenKind::RSync, "']|' after synchronization set");
+        }
+        e->left = std::move(left);
+        e->right = parse_primary();
+        left = std::move(e);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (eat(TokenKind::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(TokenKind::RParen, "')'");
+      return e;
+    }
+    if (at_keyword("elapse") && peek(1).kind == TokenKind::LParen) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Elapse;
+      e->loc = peek().loc;
+      advance();
+      advance();  // (
+      e->fire = parse_name("fire action");
+      expect(TokenKind::Comma, "',' after fire action");
+      e->trigger = parse_name("trigger action");
+      expect(TokenKind::Comma, "',' after trigger action");
+      e->timing = parse_name("timing name");
+      while (eat(TokenKind::Comma)) {
+        if (at_keyword("running")) {
+          advance();
+          e->running = true;
+        } else if (at_keyword("rate")) {
+          advance();
+          e->uniform_rate = parse_number("uniformization rate", &e->rate_loc);
+        } else {
+          fail("expected 'running' or 'rate' in elapse, got " + describe(peek()));
+        }
+      }
+      expect(TokenKind::RParen, "')' after elapse arguments");
+      return e;
+    }
+    if (at(TokenKind::Ident)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Ref;
+      e->ref = name_token(advance());
+      e->loc = e->ref.loc;
+      return e;
+    }
+    fail("expected a composition expression, got " + describe(peek()));
+  }
+
+  // --- property expressions ----------------------------------------------
+
+  PropExprPtr parse_prop_or() {
+    PropExprPtr left = parse_prop_and();
+    while (at(TokenKind::Pipe)) {
+      auto e = std::make_unique<PropExpr>();
+      e->kind = PropExpr::Kind::Or;
+      e->loc = peek().loc;
+      advance();
+      e->a = std::move(left);
+      e->b = parse_prop_and();
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  PropExprPtr parse_prop_and() {
+    PropExprPtr left = parse_prop_unary();
+    while (at(TokenKind::Amp)) {
+      auto e = std::make_unique<PropExpr>();
+      e->kind = PropExpr::Kind::And;
+      e->loc = peek().loc;
+      advance();
+      e->a = std::move(left);
+      e->b = parse_prop_unary();
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  PropExprPtr parse_prop_unary() {
+    if (at(TokenKind::Bang)) {
+      auto e = std::make_unique<PropExpr>();
+      e->kind = PropExpr::Kind::Not;
+      e->loc = peek().loc;
+      advance();
+      e->a = parse_prop_unary();
+      return e;
+    }
+    if (eat(TokenKind::LParen)) {
+      PropExprPtr e = parse_prop_or();
+      expect(TokenKind::RParen, "')'");
+      return e;
+    }
+    if (at(TokenKind::Ident)) {
+      auto e = std::make_unique<PropExpr>();
+      e->loc = peek().loc;
+      if (at_keyword("true") || at_keyword("false")) {
+        e->kind = PropExpr::Kind::Const;
+        e->value = at_keyword("true");
+        advance();
+      } else {
+        e->kind = PropExpr::Kind::Atom;
+        e->atom = name_token(advance());
+      }
+      return e;
+    }
+    fail("expected a property expression, got " + describe(peek()));
+  }
+
+  std::vector<Token> tokens_;
+  const std::string& file_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Model parse_model(std::string_view source, const std::string& file) {
+  return Parser(tokenize(source, file), file).run();
+}
+
+Model parse_and_check(std::string_view source, const std::string& file) {
+  Model m = parse_model(source, file);
+  const std::vector<Diagnostic> diagnostics = check_model(m);
+  if (!diagnostics.empty()) throw LangError(diagnostics.front(), file);
+  return m;
+}
+
+const ComponentDecl* Model::find_component(const std::string& n) const {
+  for (const ComponentDecl& c : components) {
+    if (c.name.text == n) return &c;
+  }
+  return nullptr;
+}
+
+const TimingDecl* Model::find_timing(const std::string& n) const {
+  for (const TimingDecl& t : timings) {
+    if (t.name.text == n) return &t;
+  }
+  return nullptr;
+}
+
+const LetDecl* Model::find_let(const std::string& n) const {
+  for (const LetDecl& l : lets) {
+    if (l.name.text == n) return &l;
+  }
+  return nullptr;
+}
+
+double TimingDecl::max_exit_rate() const {
+  switch (kind) {
+    case Kind::Exponential:
+    case Kind::Erlang:
+      return rate;
+    case Kind::Phases: {
+      double max = 0.0;
+      for (double r : rates) max = r > max ? r : max;
+      return max;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace unicon::lang

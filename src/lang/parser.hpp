@@ -1,0 +1,51 @@
+// Recursive-descent parser of the UNI modeling language.
+//
+// Grammar (EBNF; see DESIGN.md Sec. 7 for commentary):
+//
+//   model      := header? item*
+//   header     := "model" IDENT ";"
+//   item       := component | timing | letdef | system | prop
+//   component  := "component" IDENT "{" cdecl* "}"
+//   cdecl      := "states" IDENT ("," IDENT)* ";"
+//              |  "initial" IDENT ";"
+//              |  "label" IDENT ":" IDENT ("," IDENT)* ";"
+//              |  "rate" NUMBER ":" IDENT "->" IDENT ";"
+//              |  IDENT ":" IDENT "->" IDENT ";"
+//   timing     := "timing" IDENT "=" dist ";"
+//   dist       := "exponential" "(" NUMBER ")"
+//              |  "erlang" "(" NUMBER "," NUMBER ")"
+//              |  "phases" "(" NUMBER ("," NUMBER)* ")"
+//   letdef     := "let" IDENT "=" expr ";"
+//   system     := "system" "=" expr ";"
+//   expr       := "hide" "{" names? "}" "in" expr | par
+//   par        := primary (("|||" | "|[" names? "]|") primary)*
+//   primary    := "(" expr ")" | elapse | IDENT
+//   elapse     := "elapse" "(" IDENT "," IDENT "," IDENT
+//                 ("," ("running" | "rate" NUMBER))* ")"
+//   prop       := "prop" IDENT "=" pexpr ";"
+//   pexpr      := pterm ("|" pterm)*
+//   pterm      := punary ("&" punary)*
+//   punary     := "!" punary | "(" pexpr ")" | "true" | "false" | IDENT
+//   names      := IDENT ("," IDENT)*
+//
+// Keywords are contextual; parallel operators associate to the left.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace unicon::lang {
+
+/// Parses @p source into an AST.  Throws LangError (category Lex or Parse)
+/// on the first malformed token or grammar violation.  The result is
+/// syntactically well-formed but not yet semantically checked.
+Model parse_model(std::string_view source, const std::string& file = "<input>");
+
+/// parse_model followed by semantic analysis (sema.hpp); throws LangError
+/// with the first semantic diagnostic.  The returned model is safe to feed
+/// to build_model.
+Model parse_and_check(std::string_view source, const std::string& file = "<input>");
+
+}  // namespace unicon::lang

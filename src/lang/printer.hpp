@@ -1,0 +1,18 @@
+// Canonical pretty-printer for UNI models.
+//
+// print_model emits concrete syntax that parses back to an equivalent AST;
+// printing is idempotent (print(parse(print(m))) == print(m)), which is
+// the invariant the language fuzzer checks on round-trips.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace unicon::lang {
+
+std::string print_model(const Model& m);
+std::string print_expr(const Expr& e);
+std::string print_prop_expr(const PropExpr& e);
+
+}  // namespace unicon::lang

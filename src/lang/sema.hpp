@@ -1,0 +1,23 @@
+// Semantic analysis of UNI models.
+//
+// Rejects well-formed-but-meaningless models *before* any state space is
+// generated: undeclared states/actions/names, tau in synchronization sets,
+// malformed distributions — and, centrally, uniformity-by-construction
+// violations (a component whose Markov exit rates differ across states, or
+// an elapse whose uniformization rate is below the maximal phase exit
+// rate) so that every model that passes this check composes into a uniform
+// IMC by Lemmas 1 and 2 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace unicon::lang {
+
+/// Checks @p m, returning every diagnostic found (empty = semantically
+/// valid).  Diagnostics are ordered by declaration, not by severity; all
+/// have category Semantic.
+std::vector<Diagnostic> check_model(const Model& m);
+
+}  // namespace unicon::lang

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke-checks every shipped UNI model: runs `unicon_check model` for each
+# line of examples/models/SMOKE and compares the reported probability with
+# the checked-in expected value.  Fails on a nonzero exit, a missing
+# probability line, drift beyond the tolerance, or a model file with no
+# SMOKE coverage at all.
+#
+# Usage: tools/examples_smoke.sh <build-dir> [tolerance]
+set -u
+
+builddir=${1:?usage: tools/examples_smoke.sh <build-dir> [tolerance]}
+tol=${2:-1e-6}
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+models="$repo/examples/models"
+check="$builddir/tools/unicon_check"
+
+if [ ! -x "$check" ]; then
+  echo "examples_smoke: $check not found or not executable" >&2
+  exit 2
+fi
+
+fail=0
+
+# Every shipped model must be exercised by at least one SMOKE line; a new
+# .uni file without expectations should fail loudly, not get skipped.
+for f in "$models"/*.uni; do
+  base=$(basename "$f")
+  if ! grep -q "^$base " "$models/SMOKE"; then
+    echo "FAIL $base has no entry in examples/models/SMOKE" >&2
+    fail=1
+  fi
+done
+
+while read -r file t goal expected flags; do
+  case $file in '' | '#'*) continue ;; esac
+
+  # shellcheck disable=SC2086  # flags are intentionally word-split
+  out=$("$check" model "$models/$file" "$t" --goal "$goal" $flags 2>&1)
+  status=$?
+  prob=$(printf '%s\n' "$out" |
+    sed -n 's/^\(sup\|inf\) P(reach .* within .*) = \([0-9.eE+-]*\)$/\2/p')
+
+  label="$file t=$t goal=$goal${flags:+ $flags}"
+  if [ $status -ne 0 ] || [ -z "$prob" ]; then
+    echo "FAIL $label: exit=$status"
+    printf '%s\n' "$out" | sed 's/^/  | /'
+    fail=1
+    continue
+  fi
+
+  if awk -v a="$prob" -v b="$expected" -v tol="$tol" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= tol) }'; then
+    echo "ok   $label: $prob"
+  else
+    echo "FAIL $label: got $prob, want $expected (tolerance $tol)"
+    fail=1
+  fi
+done <"$models/SMOKE"
+
+exit $fail

@@ -1,22 +1,33 @@
-// unicon_check — command-line timed reachability for serialized models.
+// unicon_check — command-line timed reachability.
 //
 // Usage:
+//   unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E]
+//                [--early] [--no-minimize] [--export PREFIX]
 //   unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E]
 //                [--early] [--scheduler]
 //   unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]
 //
-// The model formats are those written by the io library (see io/tra.hpp);
-// goal.lab lists goal states, one "state goal" line each.  Prints the
-// optimal probability at the initial state plus solver statistics.
+// The "model" mode drives the whole uniform-by-construction pipeline from a
+// UNI source file: parse -> semantic check -> compose/elapse -> branching
+// bisimulation minimization -> Sec. 4.1 transformation -> Algorithm 1.  The
+// serialized-model modes consume the io library's formats (see io/tra.hpp);
+// goal.lab marks goal states with the proposition "goal".  All modes print
+// the optimal probability at the initial state plus solver statistics.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "core/analysis.hpp"
 #include "ctmc/transient.hpp"
 #include "ctmdp/reachability.hpp"
 #include "io/tra.hpp"
+#include "lang/build.hpp"
+#include "lang/diagnostics.hpp"
+#include "lang/parser.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 
@@ -26,10 +37,33 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E] "
+               "usage: unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E] "
+               "[--early] [--no-minimize] [--export PREFIX]\n"
+               "       unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E] "
                "[--early] [--scheduler]\n"
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]\n");
   std::exit(2);
+}
+
+/// Strict numeric argument parsing: the whole string must be a finite,
+/// non-negative number (strtod's silent 0.0 on garbage hid typos before).
+double parse_nonnegative(const char* arg, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || !std::isfinite(value) || value < 0.0) {
+    std::fprintf(stderr, "error: %s must be a non-negative number, got '%s'\n", what, arg);
+    std::exit(2);
+  }
+  return value;
+}
+
+double parse_positive(const char* arg, const char* what) {
+  const double value = parse_nonnegative(arg, what);
+  if (value == 0.0) {
+    std::fprintf(stderr, "error: %s must be positive, got '%s'\n", what, arg);
+    std::exit(2);
+  }
+  return value;
 }
 
 std::vector<bool> load_goal(const std::string& path, std::size_t num_states) {
@@ -38,14 +72,119 @@ std::vector<bool> load_goal(const std::string& path, std::size_t num_states) {
   return io::read_goal(in, num_states);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open model file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_model(const std::string& path, double t, const std::string& goal_name, bool minimize_flag,
+              bool minimize, double eps, bool early, const std::string& export_prefix) {
+  Stopwatch total;
+  lang::Model ast;
+  try {
+    ast = lang::parse_and_check(read_file(path), path);
+  } catch (const lang::LangError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  lang::BuiltModel built = lang::build_model(ast);
+  std::printf("system: %zu states, %zu interactive + %zu Markov transitions, "
+              "uniform rate %.6f (%zu leaves)\n",
+              built.system.num_states(), built.system.num_interactive_transitions(),
+              built.system.num_markov_transitions(), built.uniform_rate, built.num_leaves);
+  if (minimize) {
+    built = lang::minimize_model(built);
+    std::printf("minimized: %zu states, %zu interactive + %zu Markov transitions\n",
+                built.system.num_states(), built.system.num_interactive_transitions(),
+                built.system.num_markov_transitions());
+  }
+
+  if (!built.has_prop(goal_name)) {
+    std::string available;
+    for (const std::string& name : built.prop_names) {
+      if (!available.empty()) available += ", ";
+      available += name;
+    }
+    std::fprintf(stderr, "error: model has no proposition '%s' (available: %s)\n",
+                 goal_name.c_str(), available.empty() ? "none" : available.c_str());
+    return 1;
+  }
+
+  if (!export_prefix.empty()) {
+    std::ofstream imc_out(export_prefix + ".imc");
+    io::write_imc(imc_out, built.system);
+    io::LabelMasks labels;
+    for (std::size_t p = 0; p < built.prop_names.size(); ++p) {
+      labels.emplace_back(built.prop_names[p], built.prop_masks[p]);
+    }
+    std::ofstream lab_out(export_prefix + ".lab");
+    io::write_labels(lab_out, labels);
+    std::printf("exported %s.imc and %s.lab\n", export_prefix.c_str(), export_prefix.c_str());
+  }
+
+  UimcAnalysisOptions options;
+  options.reachability.epsilon = eps;
+  options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
+  options.reachability.early_termination = early;
+  const auto result = analyze_timed_reachability(built.system, built.mask(goal_name), t, options);
+  std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
+              result.transformed.ctmdp.num_transitions());
+  std::printf("%s P(reach %s within %g) = %.10f\n", minimize_flag ? "inf" : "sup",
+              goal_name.c_str(), t, result.value);
+  std::printf("iterations: %llu planned, %llu executed, %.3f s total\n",
+              static_cast<unsigned long long>(result.reachability.iterations_planned),
+              static_cast<unsigned long long>(result.reachability.iterations_executed),
+              total.seconds());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 5) usage();
+  if (argc < 2) usage();
   const std::string kind = argv[1];
+
+  if (kind == "model") {
+    if (argc < 4) usage();
+    const std::string model_path = argv[2];
+    const double t = parse_nonnegative(argv[3], "time bound <t>");
+    bool minimize_objective = false, early = false, minimize = true;
+    double eps = 1e-6;
+    std::string goal_name = "goal", export_prefix;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--min") == 0) {
+        minimize_objective = true;
+      } else if (std::strcmp(argv[i], "--early") == 0) {
+        early = true;
+      } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+        minimize = false;
+      } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
+        eps = parse_positive(argv[++i], "--eps");
+      } else if (std::strcmp(argv[i], "--goal") == 0 && i + 1 < argc) {
+        goal_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+        export_prefix = argv[++i];
+      } else {
+        usage();
+      }
+    }
+    try {
+      return run_model(model_path, t, goal_name, minimize_objective, minimize, eps, early,
+                       export_prefix);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (argc < 5) usage();
   const std::string model_path = argv[2];
   const std::string goal_path = argv[3];
-  const double t = std::strtod(argv[4], nullptr);
+  const double t = parse_nonnegative(argv[4], "time bound <t>");
 
   bool minimize = false, early = false, scheduler = false;
   double eps = 1e-6;
@@ -57,7 +196,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scheduler") == 0) {
       scheduler = true;
     } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
-      eps = std::strtod(argv[++i], nullptr);
+      eps = parse_positive(argv[++i], "--eps");
     } else {
       usage();
     }

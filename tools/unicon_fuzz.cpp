@@ -19,11 +19,15 @@
 //                  corpus, then run the clean corpus
 //   --out DIR      write shrunk counterexample models (.imc/.ctmdp/.tra +
 //                  .lab + replay note) into DIR
+//   --lang         fuzz the UNI language frontend instead: random generated
+//                  models are round-tripped print -> parse -> check -> build
+//                  and both builds must agree exactly (see lang/fuzz.hpp)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "lang/fuzz.hpp"
 #include "support/stopwatch.hpp"
 #include "testing/differential.hpp"
 
@@ -38,8 +42,29 @@ namespace {
                "                   [--eps E] [--tol D] [--mc-runs N] [--no-shrink]\n"
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
-               "                   [--out DIR] [--self-check] [-v]\n");
+               "                   [--out DIR] [--self-check] [--lang] [-v]\n");
   std::exit(2);
+}
+
+int run_lang_mode(const DifferentialConfig& config, bool verbose) {
+  lang::LangFuzzConfig lang_config;
+  lang_config.num_seeds = config.num_seeds;
+  lang_config.base_seed = config.base_seed;
+  lang_config.time = config.time;
+  lang_config.epsilon = config.epsilon;
+  const lang::LangLogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  Stopwatch timer;
+  const lang::LangFuzzReport report =
+      lang::run_lang_fuzz(lang_config, verbose ? log : lang::LangLogFn{});
+  std::printf("%llu seeds, %llu checks, %zu failures\n",
+              static_cast<unsigned long long>(report.seeds_run),
+              static_cast<unsigned long long>(report.checks_run), report.failures.size());
+  for (const lang::LangFuzzFailure& f : report.failures) {
+    std::printf("FAIL seed %llu: %s\n", static_cast<unsigned long long>(f.seed),
+                f.message.c_str());
+  }
+  std::printf("%.1f s\n", timer.seconds());
+  return report.ok() ? 0 : 1;
 }
 
 int report_outcome(const DifferentialReport& report) {
@@ -89,6 +114,7 @@ int main(int argc, char** argv) {
   DifferentialConfig config;
   bool verbose = false;
   bool run_self_check = false;
+  bool lang_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* {
@@ -121,6 +147,8 @@ int main(int argc, char** argv) {
       config.artifact_dir = value();
     } else if (std::strcmp(argv[i], "--self-check") == 0) {
       run_self_check = true;
+    } else if (std::strcmp(argv[i], "--lang") == 0) {
+      lang_mode = true;
     } else if (std::strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else {
@@ -128,6 +156,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (lang_mode) return run_lang_mode(config, verbose);
   if (run_self_check) return self_check(config);
 
   const LogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
