@@ -83,6 +83,30 @@ void BM_CtmcTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_CtmcTransient)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
+/// Cost of the execution-control polling in the Algorithm-1 hot loop: an
+/// armed-but-idle RunGuard (deadline far away) versus the null-guard path.
+/// The contract is <2% overhead — the guard adds one pointer test per
+/// iteration plus one sweep check per ~2k states.
+void BM_Algorithm1Guarded(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = 16;
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  RunGuard guard;
+  guard.set_deadline(3600.0);
+  TimedReachabilityOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.guard = state.range(0) != 0 ? &guard : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0, options));
+  }
+}
+BENCHMARK(BM_Algorithm1Guarded)
+    ->ArgsProduct({{0, 1}, {1, 0}})
+    ->ArgNames({"guarded", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
 /// One explicitly timed Algorithm-1 solve per thread count for the
 /// BENCH_reachability.json perf trajectory (google-benchmark keeps its
 /// timings to itself, so the JSON records come from a dedicated run).
@@ -102,6 +126,19 @@ void emit_reachability_json() {
                  transformed.ctmdp.num_states(), r.iterations_planned, timer.seconds(),
                  resolve_threads(threads)});
   }
+  // Guarded-vs-unguarded record: the same serial solve with an idle guard
+  // armed, so the perf trajectory catches polling regressions (>2% over the
+  // null-guard record above is a regression).
+  RunGuard guard;
+  guard.set_deadline(3600.0);
+  TimedReachabilityOptions guarded_options;
+  guarded_options.threads = 1;
+  guarded_options.guard = &guard;
+  Stopwatch timer;
+  const auto r =
+      timed_reachability(transformed.ctmdp, transformed.goal, 100.0, guarded_options);
+  json.record({"micro_kernels/algorithm1/N=16/serial-guarded",
+               transformed.ctmdp.num_states(), r.iterations_planned, timer.seconds(), 1});
 }
 
 }  // namespace

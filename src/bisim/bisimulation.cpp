@@ -161,12 +161,14 @@ Partition seed_partition(std::size_t n, const std::vector<std::uint32_t>* labels
 
 }  // namespace
 
-Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels) {
+Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels,
+                              RunGuard* guard) {
   const std::size_t n = m.num_states();
   Partition p = seed_partition(n, labels);
   if (n == 0) return p;
 
   for (;;) {
+    if (guard != nullptr) guard->check("strong_bisimulation");
     std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, VecU64Hash> sig_ids;
     std::vector<std::uint32_t> next(n);
     std::vector<std::uint64_t> sig;
@@ -195,7 +197,8 @@ Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* la
   return p;
 }
 
-Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels) {
+Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels,
+                                 RunGuard* guard) {
   const std::size_t n = m.num_states();
   if (n == 0) return Partition::trivial(0);
 
@@ -203,6 +206,7 @@ Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>*
 
   Partition p = seed_partition(n, labels);
   for (;;) {
+    if (guard != nullptr) guard->check("branching_bisimulation");
     // The inert subgraph (tau edges within one block) changes as the
     // partition refines; its SCC condensation is recomputed every round.
     // Tarjan emits SCCs successors-first, which is the order the closure

@@ -23,6 +23,7 @@
 
 #include "bisim/partition.hpp"
 #include "imc/imc.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
@@ -30,12 +31,18 @@ namespace unicon {
 /// non-null (one label per state) the partition refines the label classes —
 /// use this to preserve atomic propositions (e.g. goal states) through
 /// minimization.
-Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels = nullptr);
+///
+/// @p guard (optional, also on branching_bisimulation) is checked once per
+/// refinement round; partition refinement has no partial-result story, so
+/// a budget stop raises BudgetError.
+Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels = nullptr,
+                              RunGuard* guard = nullptr);
 
 /// Coarsest stochastic branching bisimulation partition of @p m, optionally
 /// refining initial label classes (see strong_bisimulation).
 Partition branching_bisimulation(const Imc& m,
-                                 const std::vector<std::uint32_t>* labels = nullptr);
+                                 const std::vector<std::uint32_t>* labels = nullptr,
+                                 RunGuard* guard = nullptr);
 
 /// How inert tau transitions (tau steps inside one block) are treated when
 /// quotienting: Branching drops them (they are stuttering steps), Strong

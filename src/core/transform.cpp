@@ -86,7 +86,8 @@ Imc make_alternating(const Imc& m) {
 
 Imc make_markov_alternating(const Imc& m) { return markov_alternating_impl(m).imc; }
 
-TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal) {
+TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
+                                   RunGuard* guard) {
   if (goal != nullptr && goal->size() != m.num_states()) {
     throw ModelError("transform_to_ctmdp: goal vector size mismatch");
   }
@@ -241,6 +242,7 @@ TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal) 
   std::deque<QueueItem> queue;
 
   while (!worklist.empty()) {
+    if (guard != nullptr) guard->check("transform");
     const StateId entry = worklist.front();
     worklist.pop_front();
     const StateId from = ctmdp_id.at(entry);

@@ -27,6 +27,7 @@
 
 #include "ctmdp/ctmdp.hpp"
 #include "imc/imc.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
@@ -79,6 +80,11 @@ struct TransformResult {
 ///
 /// If @p goal is non-null it must have one entry per state of @p m; the
 /// transferred goal masks are returned in the result.
-TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal = nullptr);
+///
+/// @p guard (optional) is checked once per closure entry; the
+/// transformation has no partial-result story, so a budget stop raises
+/// BudgetError.
+TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal = nullptr,
+                                   RunGuard* guard = nullptr);
 
 }  // namespace unicon

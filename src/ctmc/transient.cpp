@@ -1,7 +1,9 @@
 #include "ctmc/transient.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
 
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
@@ -47,7 +49,12 @@ struct JumpKernel {
     out_first[0] = 0;
     for (StateId s = 0; s < n; ++s) {
       for (const SparseEntry& t : rates.row(s)) {
-        out_prob.push_back(t.value / rate);
+        const double p = t.value / rate;
+        if (!std::isfinite(p) || p < 0.0) {
+          throw NumericError("JumpKernel: non-finite branching probability from state " +
+                             std::to_string(s));
+        }
+        out_prob.push_back(p);
         out_col.push_back(t.col);
         ++in_count[t.col + 1];
       }
@@ -68,34 +75,63 @@ struct JumpKernel {
     }
   }
 
+  /// States per should_abort_sweep() probe; the block structure leaves the
+  /// per-state accumulation order (and hence bit-identical results) alone.
+  /// Sized to keep the probe under ~2% of the sweep cost (see the matching
+  /// constant in ctmdp/reachability.cpp).
+  static constexpr std::size_t kGuardBlock = 4096;
+
   // y = x P (forward / distribution step): gather over incoming edges.
-  void step_forward(const std::vector<double>& x, std::vector<double>& y,
-                    WorkerPool& pool) const {
+  void step_forward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
+                    RunGuard* guard, std::atomic<bool>& aborted) const {
     pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        double acc = x[s] * self_residual[s];
-        for (std::uint64_t j = in_first[s]; j < in_first[s + 1]; ++j) {
-          acc += x[in_col[j]] * in_prob[j];
+      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+        if (guard != nullptr && guard->should_abort_sweep()) {
+          aborted.store(true, std::memory_order_relaxed);
+          break;
         }
-        y[s] = acc;
+        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        for (std::size_t s = blk; s < blk_end; ++s) {
+          double acc = x[s] * self_residual[s];
+          for (std::uint64_t j = in_first[s]; j < in_first[s + 1]; ++j) {
+            acc += x[in_col[j]] * in_prob[j];
+          }
+          y[s] = acc;
+        }
       }
     });
   }
 
   // y = P x (backward / value step): gather over outgoing edges.
-  void step_backward(const std::vector<double>& x, std::vector<double>& y,
-                     WorkerPool& pool) const {
+  void step_backward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
+                     RunGuard* guard, std::atomic<bool>& aborted) const {
     pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        double acc = self_residual[s] * x[s];
-        for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
-          acc += out_prob[j] * x[out_col[j]];
+      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+        if (guard != nullptr && guard->should_abort_sweep()) {
+          aborted.store(true, std::memory_order_relaxed);
+          break;
         }
-        y[s] = acc;
+        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        for (std::size_t s = blk; s < blk_end; ++s) {
+          double acc = self_residual[s] * x[s];
+          for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+            acc += out_prob[j] * x[out_col[j]];
+          }
+          y[s] = acc;
+        }
       }
     });
   }
 };
+
+void require_finite(const std::vector<double>& values, const char* where) {
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    if (!std::isfinite(values[s])) {
+      throw NumericError(std::string(where) + ": non-finite probability at state " +
+                         std::to_string(s) + " (NaN/Inf reached the iterate)");
+    }
+  }
+}
 
 double pick_rate(const Ctmc& chain, const TransientOptions& options) {
   const double max_rate = chain.max_exit_rate();
@@ -123,15 +159,38 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   std::vector<double> acc(n, 0.0);
   cur[chain.initial()] = 1.0;
 
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  RunStatus status = RunStatus::Converged;
+  // Normalization by the window mass costs at most epsilon/(1 - epsilon)
+  // <= 2 epsilon extra, hence the doubled slop in the converged bound.
+  double residual = 2.0 * options.epsilon;
+
   std::uint64_t executed = 0;
   for (std::uint64_t i = 0;; ++i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      // Mass of steps [i, right] has not been accumulated yet.
+      status = guard->status();
+      residual = psi.tail_mass(i) + 2.0 * options.epsilon;
+      break;
+    }
     const double w = psi.psi(i);
     if (w > 0.0) {
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_forward(cur, next, pool);
+    p.step_forward(cur, next, pool, guard, sweep_aborted);
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      status = guard->status();
+      residual = psi.tail_mass(i + 1) + 2.0 * options.epsilon;
+      break;
+    }
     ++executed;
+    if (guard != nullptr) {
+      guard->checkpoint("transient_distribution", executed, psi.right(),
+                        psi.tail_mass(i + 1) + 2.0 * options.epsilon,
+                        std::span<double>(next.data(), next.size()));
+    }
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
       // The distribution has converged; the remaining window mass sits on
@@ -139,18 +198,23 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
       const double tail = psi.tail_mass(i + 1);
       for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
       cur.swap(next);
+      residual += options.early_termination_delta;
       break;
     }
     cur.swap(next);
   }
 
+  require_finite(acc, "transient_distribution");
   // Normalize by the realized window mass so that the result is a
   // (sub-stochastic up to epsilon) distribution.
   const double mass = psi.total_mass();
   if (mass > 0.0) {
     for (double& v : acc) v = clamp01(v / mass);
   }
-  return TransientResult{std::move(acc), psi.right(), executed, e};
+  TransientResult result{std::move(acc), psi.right(), executed, e};
+  result.status = status;
+  result.residual_bound = residual;
+  return result;
 }
 
 TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& goal,
@@ -172,27 +236,52 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   std::vector<double> acc(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) cur[s] = goal[s] ? 1.0 : 0.0;
 
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  RunStatus status = RunStatus::Converged;
+  double residual = options.epsilon;
+
   std::uint64_t executed = 0;
   for (std::uint64_t i = 0;; ++i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      status = guard->status();
+      residual = psi.tail_mass(i) + options.epsilon;
+      break;
+    }
     const double w = psi.psi(i);
     if (w > 0.0) {
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool);
+    p.step_backward(cur, next, pool, guard, sweep_aborted);
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      status = guard->status();
+      residual = psi.tail_mass(i + 1) + options.epsilon;
+      break;
+    }
     ++executed;
+    if (guard != nullptr) {
+      guard->checkpoint("ctmc_timed_reachability", executed, psi.right(),
+                        psi.tail_mass(i + 1) + options.epsilon,
+                        std::span<double>(next.data(), next.size()));
+    }
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
       const double tail = psi.tail_mass(i + 1);
       for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
       cur.swap(next);
+      residual += options.early_termination_delta;
       break;
     }
     cur.swap(next);
   }
 
+  require_finite(acc, "timed_reachability");
   for (std::size_t s = 0; s < n; ++s) acc[s] = goal[s] ? 1.0 : clamp01(acc[s]);
-  return TransientResult{std::move(acc), psi.right(), executed, e};
+  TransientResult result{std::move(acc), psi.right(), executed, e};
+  result.status = status;
+  result.residual_bound = residual;
+  return result;
 }
 
 TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>& goal,
@@ -203,6 +292,13 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   }
   // Phase A: values w(s) = Pr(s, <= t2 - t1, B), B absorbing.
   TransientResult phase_a = timed_reachability(chain, goal, t2 - t1, options);
+  if (phase_a.status != RunStatus::Converged) {
+    // The phase-B propagation never ran, so phase A's tail-mass bound does
+    // not cover the distance to the true interval answer; only the trivial
+    // bound is sound here.
+    phase_a.residual_bound = 1.0;
+    return phase_a;
+  }
   if (t1 == 0.0) return phase_a;
 
   // Phase B: propagate the terminal vector w backward for t1 over the
@@ -217,25 +313,52 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   std::vector<double> next(n, 0.0);
   std::vector<double> acc(n, 0.0);
 
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  RunStatus status = RunStatus::Converged;
+  // Phase A contributes its own epsilon to the end-to-end error.
+  double residual = phase_a.residual_bound + options.epsilon;
+
   std::uint64_t executed = phase_a.iterations_executed;
   for (std::uint64_t i = 0;; ++i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      status = guard->status();
+      residual = psi.tail_mass(i) + phase_a.residual_bound + options.epsilon;
+      break;
+    }
     const double w = psi.psi(i);
     if (w > 0.0) {
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool);
+    p.step_backward(cur, next, pool, guard, sweep_aborted);
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      status = guard->status();
+      residual = psi.tail_mass(i + 1) + phase_a.residual_bound + options.epsilon;
+      break;
+    }
     ++executed;
+    if (guard != nullptr) {
+      guard->checkpoint("interval_reachability", executed,
+                        phase_a.iterations + psi.right(),
+                        psi.tail_mass(i + 1) + phase_a.residual_bound + options.epsilon,
+                        std::span<double>(next.data(), next.size()));
+    }
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
       const double tail = psi.tail_mass(i + 1);
       for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+      residual += options.early_termination_delta;
       break;
     }
     cur.swap(next);
   }
+  require_finite(acc, "interval_reachability");
   for (double& v : acc) v = clamp01(v);
-  return TransientResult{std::move(acc), phase_a.iterations + psi.right(), executed, e};
+  TransientResult result{std::move(acc), phase_a.iterations + psi.right(), executed, e};
+  result.status = status;
+  result.residual_bound = residual;
+  return result;
 }
 
 }  // namespace unicon

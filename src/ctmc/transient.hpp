@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
@@ -31,6 +32,13 @@ struct TransientOptions {
   /// directions are gathers over precomputed rows with a fixed
   /// accumulation order per state.
   unsigned threads = 0;
+  /// Optional execution control, polled per uniformization step and every
+  /// ~2k states inside parallel sweeps.  On a stop the solver returns a
+  /// partial result: `status` names the cause, `residual_bound` bounds
+  /// |reported - true| per state by the unaccumulated Poisson window mass
+  /// (plus the epsilon slop).  Null = unguarded, bit-identical to
+  /// pre-guard behaviour.
+  RunGuard* guard = nullptr;
 };
 
 struct TransientResult {
@@ -44,6 +52,13 @@ struct TransientResult {
   std::uint64_t iterations_executed = 0;
   /// Uniformization rate actually used.
   double uniform_rate = 0.0;
+  /// Converged, or the RunGuard budget that stopped the solve early.
+  RunStatus status = RunStatus::Converged;
+  /// Sound per-state bound on |probabilities[s] - true value|; epsilon-ish
+  /// when Converged, the unaccumulated window mass plus slop otherwise.
+  /// For interval_reachability interrupted in its first phase the bound
+  /// degrades to the trivial 1.
+  double residual_bound = 0.0;
 };
 
 /// Distribution over states at time @p t, starting from the initial state.

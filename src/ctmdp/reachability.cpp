@@ -1,7 +1,9 @@
 #include "ctmdp/reachability.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
 
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
@@ -40,9 +42,17 @@ struct DiscreteKernel {
     for (std::uint64_t t = 0; t < m; ++t) {
       entry_first[t] = prob.size();
       const double e = model.exit_rate(t);
+      if (!std::isfinite(e) || e <= 0.0) {
+        throw NumericError("DiscreteKernel: non-finite or non-positive exit rate on transition " +
+                           std::to_string(t));
+      }
       double g = 0.0;
       for (const SparseEntry& entry : model.rates(t)) {
         const double p = entry.value / e;
+        if (!std::isfinite(p) || p < 0.0) {
+          throw NumericError("DiscreteKernel: non-finite branching probability on transition " +
+                             std::to_string(t));
+        }
         prob.push_back(p);
         col.push_back(entry.col);
         if (goal[entry.col]) g += p;
@@ -64,6 +74,44 @@ struct DiscreteKernel {
 void check_inputs(const Ctmdp& model, const std::vector<bool>& goal) {
   if (goal.size() != model.num_states()) {
     throw ModelError("timed_reachability: goal vector size mismatch");
+  }
+}
+
+/// States checked per should_abort_sweep() probe inside a parallel sweep;
+/// the strip-mined block structure leaves the per-state arithmetic (and
+/// hence bit-identical results) untouched.  Sized so the probe (an atomic
+/// load plus, with a deadline armed, a clock read) stays under ~2% of the
+/// sweep cost while still stopping a sweep within tens of microseconds.
+constexpr std::size_t kGuardBlock = 4096;
+
+/// Sound per-state error bound when the backward iteration stops before
+/// executing step index @p next_i, leaving the iterate q_{next_i+1} in hand.
+/// Unrolling the recurrence, q_{next_i+1} weights the m-th future jump by
+/// psi(m + next_i) where the completed iteration q_1 weights it by psi(m):
+/// the partial iterate is a *shifted-weight* sum, not a truncated prefix,
+/// so the naive "unconsumed mass" sum_{m <= next_i} psi(m) is NOT sound
+/// (the fault-injection harness exhibits mid-run cancellations violating
+/// it).  The per-scheduler deviation is bounded by the total weight
+/// displacement plus the dropped window tail plus the outside-window
+/// epsilon, capped at the trivial bound 1:
+///   sum_{m=1}^{k-next_i} |psi(m) - psi(m+next_i)| + tail_mass(k-next_i+1)
+///   + epsilon.
+double partial_residual(const PoissonWindow& psi, std::uint64_t next_i, double epsilon) {
+  if (next_i == 0) return epsilon;
+  const std::uint64_t k = psi.right();
+  double bound = epsilon + psi.tail_mass(k - next_i + 1);
+  for (std::uint64_t m = 1; m + next_i <= k; ++m) {
+    bound += std::abs(psi.psi(m) - psi.psi(m + next_i));
+  }
+  return std::min(bound, 1.0);
+}
+
+void require_finite_values(const std::vector<double>& values, const char* where) {
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    if (!std::isfinite(values[s])) {
+      throw NumericError(std::string(where) + ": non-finite value in iterate at state " +
+                         std::to_string(s));
+    }
   }
 }
 
@@ -112,47 +160,109 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   std::vector<double> q_cur(n, 0.0);
   std::vector<std::uint64_t> decision(options.extract_scheduler ? n : 0, kNoTransition);
 
+  RunGuard* const guard = options.guard;
+  std::uint64_t executed = 0;
+  std::uint64_t start_i = k;
+  if (options.resume != nullptr) {
+    const TimedReachabilityResult& prior = *options.resume;
+    if (prior.status == RunStatus::Converged || prior.iterate.size() != n) {
+      throw ModelError("timed_reachability: resume requires a partial result for this model");
+    }
+    if (prior.iterations_planned != k || prior.iterations_executed >= k) {
+      throw ModelError("timed_reachability: resume horizon mismatch (model, t or epsilon changed)");
+    }
+    q_next = prior.iterate;
+    // A resume iterate is external input just like a checkpoint write; a
+    // non-finite entry would corrupt the result without tripping the
+    // per-sweep delta check (see the checkpoint validation below).
+    require_finite_values(q_next, "timed_reachability resume");
+    executed = prior.iterations_executed;
+    start_i = k - executed;
+  }
+
   WorkerPool pool = make_worker_pool(options.threads, n);
   std::vector<WorkerPool::Slot> delta_slot(pool.size());
+  std::atomic<bool> sweep_aborted{false};
+  bool stopped = false;
+  bool early_fired = false;
 
-  std::uint64_t executed = 0;
-  for (std::uint64_t i = k; i >= 1; --i) {
+  for (std::uint64_t i = start_i; i >= 1; --i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      stopped = true;
+      result.residual_bound = partial_residual(psi, i, options.epsilon);
+      break;
+    }
     const double w = psi.psi(i);
     pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
       const double* q = q_next.data();
       double local_delta = 0.0;
-      for (StateId s = begin; s < end; ++s) {
-        if (goal[s]) {
-          q_cur[s] = w + q[s];
-          if (options.extract_scheduler) decision[s] = kNoTransition;
-        } else if (avoided(s)) {
-          q_cur[s] = 0.0;
-          if (options.extract_scheduler) decision[s] = kNoTransition;
-        } else {
-          const std::uint64_t first = kernel.state_first[s];
-          const std::uint64_t last = kernel.state_first[s + 1];
-          double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
-          std::uint64_t best_t = kNoTransition;
-          for (std::uint64_t tr = first; tr < last; ++tr) {
-            const double acc = kernel.transition_value(tr, w, q);
-            if (maximize ? acc > best : acc < best) {
-              best = acc;
-              best_t = tr;
+      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+        if (guard != nullptr && guard->should_abort_sweep()) {
+          sweep_aborted.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        for (StateId s = blk; s < blk_end; ++s) {
+          if (goal[s]) {
+            q_cur[s] = w + q[s];
+            if (options.extract_scheduler) decision[s] = kNoTransition;
+          } else if (avoided(s)) {
+            q_cur[s] = 0.0;
+            if (options.extract_scheduler) decision[s] = kNoTransition;
+          } else {
+            const std::uint64_t first = kernel.state_first[s];
+            const std::uint64_t last = kernel.state_first[s + 1];
+            double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+            std::uint64_t best_t = kNoTransition;
+            for (std::uint64_t tr = first; tr < last; ++tr) {
+              const double acc = kernel.transition_value(tr, w, q);
+              if (maximize ? acc > best : acc < best) {
+                best = acc;
+                best_t = tr;
+              }
             }
+            // NaN-capturing max: identical to std::max for finite deltas
+            // (bit-identical results) but latches NaN, which std::max
+            // would silently drop.
+            const double dev = std::fabs(best - q[s]);
+            if (!(dev <= local_delta)) local_delta = dev;
+            q_cur[s] = best;
+            if (options.extract_scheduler) decision[s] = best_t;
           }
-          local_delta = std::max(local_delta, std::fabs(best - q[s]));
-          q_cur[s] = best;
-          if (options.extract_scheduler) decision[s] = best_t;
         }
       }
       delta_slot[worker].value = local_delta;
     });
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      // The sweep for step i was abandoned mid-flight: q_cur is partially
+      // written, so the partial result is the last *completed* iterate in
+      // q_next and step i counts as unconsumed.
+      stopped = true;
+      result.residual_bound = partial_residual(psi, i, options.epsilon);
+      break;
+    }
     const double delta = WorkerPool::reduce_max(delta_slot);
+    if (!std::isfinite(delta)) {
+      throw NumericError("timed_reachability: non-finite update at step " + std::to_string(i) +
+                         " (NaN/Inf reached the iterate)");
+    }
     q_cur.swap(q_next);  // q_next now holds q_i for the next round
     ++executed;
 
     if (record_all_decisions) result.decisions[i - 1] = decision;
     if (options.extract_scheduler && i == 1) result.initial_decision = decision;
+
+    if (guard != nullptr && guard->wants_checkpoint(executed)) {
+      guard->checkpoint("timed_reachability", executed, k,
+                        partial_residual(psi, i - 1, options.epsilon),
+                        std::span<double>(q_next.data(), q_next.size()));
+      // The callback writes through the span (checkpoint persistence, fault
+      // injection), so the iterate is untrusted on return.  A non-finite
+      // entry would be silently dropped by the action comparisons above —
+      // NaN compares false both ways — leaving finite wrong values, so it
+      // must be rejected here at the trust boundary.
+      require_finite_values(q_next, "timed_reachability checkpoint");
+    }
 
     if (options.early_termination && i > 1) {
       // Below the Poisson window no further psi mass arrives; once the
@@ -161,6 +271,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
       if (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) {
         if (delta <= options.early_termination_delta) {
           if (options.extract_scheduler) result.initial_decision = decision;
+          early_fired = true;
           break;
         }
       }
@@ -168,6 +279,15 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   }
   result.iterations_executed = executed;
 
+  if (stopped) {
+    result.status = guard->status();
+    result.iterate = q_next;  // raw iterate, resumable
+  } else {
+    result.residual_bound =
+        options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+  }
+
+  require_finite_values(q_next, "timed_reachability");
   result.values = std::move(q_next);
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
@@ -210,37 +330,80 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 
   WorkerPool pool = make_worker_pool(options.threads, n);
   std::vector<WorkerPool::Slot> delta_slot(pool.size());
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  bool stopped = false;
+  bool early_fired = false;
 
   std::uint64_t executed = 0;
   for (std::uint64_t i = k; i >= 1; --i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      stopped = true;
+      result.residual_bound = partial_residual(psi, i, options.epsilon);
+      break;
+    }
     const double w = psi.psi(i);
     pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
       const double* q = q_next.data();
       double local_delta = 0.0;
-      for (StateId s = begin; s < end; ++s) {
-        if (goal[s]) {
-          q_cur[s] = w + q[s];
-          continue;
+      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+        if (guard != nullptr && guard->should_abort_sweep()) {
+          sweep_aborted.store(true, std::memory_order_relaxed);
+          break;
         }
-        if (kernel.state_first[s] == kernel.state_first[s + 1]) {
-          q_cur[s] = 0.0;
-          continue;
+        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        for (StateId s = blk; s < blk_end; ++s) {
+          if (goal[s]) {
+            q_cur[s] = w + q[s];
+            continue;
+          }
+          if (kernel.state_first[s] == kernel.state_first[s + 1]) {
+            q_cur[s] = 0.0;
+            continue;
+          }
+          const double acc = kernel.transition_value(choice[s], w, q);
+          const double dev = std::fabs(acc - q[s]);
+          if (!(dev <= local_delta)) local_delta = dev;  // NaN-capturing max
+          q_cur[s] = acc;
         }
-        const double acc = kernel.transition_value(choice[s], w, q);
-        local_delta = std::max(local_delta, std::fabs(acc - q[s]));
-        q_cur[s] = acc;
       }
       delta_slot[worker].value = local_delta;
     });
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      stopped = true;
+      result.residual_bound = partial_residual(psi, i, options.epsilon);
+      break;
+    }
     const double delta = WorkerPool::reduce_max(delta_slot);
+    if (!std::isfinite(delta)) {
+      throw NumericError("evaluate_scheduler: non-finite update at step " + std::to_string(i) +
+                         " (NaN/Inf reached the iterate)");
+    }
     q_cur.swap(q_next);
     ++executed;
+    if (guard != nullptr && guard->wants_checkpoint(executed)) {
+      guard->checkpoint("evaluate_scheduler", executed, k,
+                        partial_residual(psi, i - 1, options.epsilon),
+                        std::span<double>(q_next.data(), q_next.size()));
+      // Same trust boundary as in timed_reachability: the span is writable
+      // by external code, so reject non-finite entries immediately.
+      require_finite_values(q_next, "evaluate_scheduler checkpoint");
+    }
     if (options.early_termination && i > 1 && (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) &&
         delta <= options.early_termination_delta) {
+      early_fired = true;
       break;
     }
   }
   result.iterations_executed = executed;
+  if (stopped) {
+    result.status = guard->status();
+    result.iterate = q_next;
+  } else {
+    result.residual_bound =
+        options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+  }
+  require_finite_values(q_next, "evaluate_scheduler");
   result.values = std::move(q_next);
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
@@ -250,7 +413,7 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 
 std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
                                               std::uint64_t steps, Objective objective,
-                                              unsigned threads) {
+                                              unsigned threads, RunGuard* guard) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
   const bool maximize = objective == Objective::Maximize;
@@ -262,6 +425,7 @@ std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vec
 
   WorkerPool pool = make_worker_pool(threads, n);
   for (std::uint64_t step = 0; step < steps; ++step) {
+    if (guard != nullptr) guard->check("step_bounded_reachability");
     pool.run(n, [&](unsigned, std::size_t begin, std::size_t end) {
       const double* q = v.data();
       for (StateId s = begin; s < end; ++s) {

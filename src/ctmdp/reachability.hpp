@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "ctmdp/ctmdp.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
 enum class Objective : std::uint8_t { Maximize, Minimize };
+
+struct TimedReachabilityResult;
 
 struct TimedReachabilityOptions {
   /// Truncation precision (paper: 0.000001).
@@ -54,6 +57,19 @@ struct TimedReachabilityOptions {
   /// — including the early-termination delta, a max-reduction over
   /// disjoint slices — are bit-identical for every thread count.
   unsigned threads = 0;
+  /// Optional execution control.  Polled once per value-iteration step on
+  /// the coordinating thread and every ~2k states inside parallel sweeps,
+  /// so a budget stop takes effect within one barrier.  On a stop the
+  /// solver returns a *partial* result: `status` names the cause and
+  /// `residual_bound` soundly bounds |reported - true| per state (see
+  /// partial_residual in reachability.cpp for the derivation).  Null =
+  /// unguarded; the unguarded path is bit-identical to pre-guard behaviour.
+  RunGuard* guard = nullptr;
+  /// Optional resume from a prior *partial* result of the same solve (same
+  /// model, goal, t, epsilon; validated via iterations_planned and the
+  /// iterate size).  Iteration continues from the saved raw iterate; an
+  /// uninterrupted and a resumed run produce bit-identical values.
+  const TimedReachabilityResult* resume = nullptr;
 };
 
 struct TimedReachabilityResult {
@@ -73,6 +89,16 @@ struct TimedReachabilityResult {
   /// Full step-dependent decision table, decisions[j] = choices at step
   /// i = j+1 (empty if disabled or above max_decision_entries).
   std::vector<std::vector<std::uint64_t>> decisions;
+  /// Converged, or the RunGuard budget that stopped the solve early.
+  RunStatus status = RunStatus::Converged;
+  /// Sound per-state bound on |values[s] - true value|: epsilon (plus the
+  /// early-termination delta when that fired) for a Converged run; for a
+  /// partial run, the Poisson-weight displacement bound of the unfinished
+  /// backward iteration (partial_residual in reachability.cpp).
+  double residual_bound = 0.0;
+  /// Raw (unclamped) iterate at the stop point, for checkpoint/resume.
+  /// Populated only when status != Converged.
+  std::vector<double> iterate;
 };
 
 inline constexpr std::uint64_t kNoTransition = static_cast<std::uint64_t>(-1);
@@ -86,7 +112,8 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
 /// stationary scheduler @p choice (a transition index per state; entries for
 /// goal or transitionless states are ignored).  The induced process is a
 /// uniform CTMC, so this equals CTMC timed reachability and serves as a
-/// cross-check in the tests.
+/// cross-check in the tests.  Honours options.guard (partial results as in
+/// timed_reachability) but not options.resume.
 TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector<bool>& goal,
                                            double t, const std::vector<std::uint64_t>& choice,
                                            const TimedReachabilityOptions& options = {});
@@ -94,10 +121,12 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 /// Discrete step-bounded reachability: optimal probability to reach B
 /// within at most @p steps jumps (no timing).  Used by unit tests as an
 /// independently checkable special case.  @p threads as in
-/// TimedReachabilityOptions (0 = hardware_concurrency, 1 = serial).
+/// TimedReachabilityOptions (0 = hardware_concurrency, 1 = serial).  The
+/// step count carries no Poisson mass, so there is no partial-result
+/// story: a guard stop raises BudgetError instead.
 std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
                                               std::uint64_t steps,
                                               Objective objective = Objective::Maximize,
-                                              unsigned threads = 0);
+                                              unsigned threads = 0, RunGuard* guard = nullptr);
 
 }  // namespace unicon

@@ -49,35 +49,40 @@ SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<boo
   // Each run is an independent replication with its own derived-seed
   // generator, so the hit count — and hence the estimate — does not depend
   // on how runs are partitioned across workers.
+  RunGuard* const guard = options.guard;
   WorkerPool pool = make_worker_pool(options.threads, options.num_runs);
   std::vector<std::uint64_t> worker_hits(pool.size(), 0);
-  std::vector<std::exception_ptr> errors(pool.size());
+  std::vector<std::uint64_t> worker_completed(pool.size(), 0);
   pool.run(options.num_runs, [&](unsigned worker, std::size_t begin, std::size_t end) {
-    try {
-      std::uint64_t hits = 0;
-      std::vector<double> weights;
-      for (std::size_t run = begin; run < end; ++run) {
-        Rng rng(derive_seed(options.seed, run));
-        if (simulate_run(model, goal, t, choice, options.max_jumps, rng, weights)) ++hits;
-      }
-      worker_hits[worker] = hits;
-    } catch (...) {
-      errors[worker] = std::current_exception();
+    std::uint64_t hits = 0;
+    std::uint64_t completed = 0;
+    std::vector<double> weights;
+    for (std::size_t run = begin; run < end; ++run) {
+      if (guard != nullptr && guard->should_abort_sweep()) break;
+      Rng rng(derive_seed(options.seed, run));
+      if (simulate_run(model, goal, t, choice, options.max_jumps, rng, weights)) ++hits;
+      ++completed;
     }
+    worker_hits[worker] = hits;
+    worker_completed[worker] = completed;
   });
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
 
   std::uint64_t hits = 0;
+  std::uint64_t completed = 0;
   for (const std::uint64_t h : worker_hits) hits += h;
+  for (const std::uint64_t c : worker_completed) completed += c;
 
   SimulationResult result;
-  result.num_runs = options.num_runs;
-  result.estimate = static_cast<double>(hits) / static_cast<double>(options.num_runs);
+  result.num_runs = completed;
+  if (guard != nullptr) result.status = guard->status();
+  if (completed == 0) {
+    result.estimate = 0.0;
+    result.half_width = 1.0;  // no information
+    return result;
+  }
+  result.estimate = static_cast<double>(hits) / static_cast<double>(completed);
   const double p = result.estimate;
-  result.half_width =
-      1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(options.num_runs));
+  result.half_width = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(completed));
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "ctmdp/ctmdp.hpp"
 #include "support/rng.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
@@ -26,14 +27,23 @@ struct SimulationOptions {
   /// derive_seed(seed, r), so the estimate is a pure function of (seed,
   /// num_runs) — bit-identical for every thread count.
   unsigned threads = 1;
+  /// Optional execution control, checked between runs.  On a stop the
+  /// estimate is computed over the runs actually completed (still an
+  /// unbiased Monte-Carlo estimate — each run is an independent
+  /// replication); num_runs and status report the truncation.
+  RunGuard* guard = nullptr;
 };
 
 struct SimulationResult {
   /// Fraction of runs that reached the goal set within the bound.
   double estimate = 0.0;
-  /// 95% confidence half-width (normal approximation).
+  /// 95% confidence half-width (normal approximation); 1 when no run
+  /// completed before a guard stop.
   double half_width = 0.0;
+  /// Runs actually completed (== requested unless a guard stopped early).
   std::uint64_t num_runs = 0;
+  /// Converged, or the RunGuard budget that truncated the run loop.
+  RunStatus status = RunStatus::Converged;
 };
 
 /// Estimates Pr(reach goal within t) from the initial state under the

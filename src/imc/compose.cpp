@@ -152,6 +152,7 @@ class ComposeExplorer {
     std::vector<MMove> mmoves;
     std::size_t cursor = 0;
     while (cursor < frontier.size()) {
+      if (options_.guard != nullptr) options_.guard->check("compose");
       const std::vector<StateId> tuple = frontier[cursor++];
       const StateId from = ids.at(tuple);
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "imc/imc.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon {
 
@@ -39,6 +40,10 @@ struct ExploreOptions {
   /// used by the modeling-language frontend to transfer per-leaf atomic
   /// propositions onto the product.
   std::vector<std::vector<StateId>>* record_tuples = nullptr;
+  /// Optional execution control, checked once per explored frontier state.
+  /// State-space generation has no partial-result story, so a budget stop
+  /// raises BudgetError.
+  RunGuard* guard = nullptr;
 };
 
 /// An immutable composition expression.  All leaves must share one

@@ -1,12 +1,17 @@
 #include "io/tra.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/errors.hpp"
 
@@ -14,22 +19,108 @@ namespace unicon::io {
 
 namespace {
 
-void expect_keyword(std::istream& in, const std::string& keyword) {
-  std::string word;
-  if (!(in >> word) || word != keyword) {
-    throw ParseError("expected '" + keyword + "', got '" + word + "'");
+/// Whitespace-delimited scanner that remembers the 1-based line each token
+/// started on, so every ParseError below can point at the offending line.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  /// Extracts the next token; returns false at end of input.  Afterwards
+  /// line() is the line the token started on (or, at EOF, the current line).
+  bool next(std::string& token) {
+    token.clear();
+    int c = in_.get();
+    while (c != std::char_traits<char>::eof() &&
+           std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (c == '\n') ++line_;
+      c = in_.get();
+    }
+    token_line_ = line_;
+    if (c == std::char_traits<char>::eof()) return false;
+    while (c != std::char_traits<char>::eof() &&
+           std::isspace(static_cast<unsigned char>(c)) == 0) {
+      token.push_back(static_cast<char>(c));
+      c = in_.get();
+    }
+    if (c == '\n') ++line_;
+    return true;
+  }
+
+  /// Line of the most recent token (1-based).
+  std::size_t line() const { return token_line_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 1;
+  std::size_t token_line_ = 1;
+};
+
+std::string expect_token(TokenReader& r, const std::string& what) {
+  std::string token;
+  if (!r.next(token)) {
+    throw ParseError("unexpected end of file, expected " + what, r.line());
+  }
+  return token;
+}
+
+void expect_keyword(TokenReader& r, const std::string& keyword) {
+  const std::string token = expect_token(r, "'" + keyword + "'");
+  if (token != keyword) {
+    throw ParseError("expected '" + keyword + "', got '" + token + "'", r.line());
   }
 }
 
-std::vector<Action> parse_word(const std::string& label, ActionTable& actions) {
+std::uint64_t read_unsigned(TokenReader& r, const std::string& what) {
+  const std::string token = expect_token(r, what);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ParseError("bad " + what + " '" + token + "'", r.line());
+  }
+  return value;
+}
+
+StateId read_state(TokenReader& r, std::size_t num_states, const std::string& what) {
+  const std::uint64_t value = read_unsigned(r, what);
+  if (value >= num_states) {
+    throw ParseError(what + " " + std::to_string(value) + " out of range (file declares " +
+                         std::to_string(num_states) + " states)",
+                     r.line());
+  }
+  return static_cast<StateId>(value);
+}
+
+/// Reads a rate: must parse completely as a double, be finite (rejects the
+/// textual nan/inf strtod accepts) and strictly positive.
+double read_rate(TokenReader& r, const std::string& what) {
+  const std::string token = expect_token(r, what);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    throw ParseError("bad " + what + " '" + token + "'", r.line());
+  }
+  if (!std::isfinite(value)) {
+    throw ParseError(what + " '" + token + "' is not finite", r.line());
+  }
+  if (value <= 0.0) {
+    throw ParseError(what + " must be positive, got '" + token + "'", r.line());
+  }
+  return value;
+}
+
+std::vector<Action> parse_word(const std::string& label, ActionTable& actions, std::size_t line) {
   std::vector<Action> word;
   std::string token;
   std::istringstream stream(label);
   while (std::getline(stream, token, '.')) {
     if (!token.empty()) word.push_back(actions.intern(token));
   }
-  if (word.empty()) throw ParseError("empty transition label");
+  if (word.empty()) throw ParseError("empty transition label", line);
   return word;
+}
+
+std::uint64_t state_pair_key(StateId from, StateId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
 }  // namespace
@@ -47,23 +138,28 @@ void write_ctmc(std::ostream& out, const Ctmc& chain) {
 }
 
 Ctmc read_ctmc(std::istream& in) {
-  std::size_t states = 0, transitions = 0;
-  StateId initial = 0;
-  expect_keyword(in, "STATES");
-  in >> states;
-  expect_keyword(in, "TRANSITIONS");
-  in >> transitions;
-  expect_keyword(in, "INITIAL");
-  in >> initial;
-  if (!in) throw ParseError("bad CTMC header");
+  TokenReader r(in);
+  expect_keyword(r, "STATES");
+  const std::size_t states = read_unsigned(r, "state count");
+  expect_keyword(r, "TRANSITIONS");
+  const std::size_t transitions = read_unsigned(r, "transition count");
+  expect_keyword(r, "INITIAL");
+  const StateId initial = read_state(r, states, "initial state");
 
   CtmcBuilder b(states);
   b.ensure_states(states);
   b.set_initial(initial);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(transitions);
   for (std::size_t i = 0; i < transitions; ++i) {
-    StateId from = 0, to = 0;
-    double rate = 0.0;
-    if (!(in >> from >> to >> rate)) throw ParseError("bad CTMC transition line");
+    const StateId from = read_state(r, states, "source state");
+    const StateId to = read_state(r, states, "target state");
+    const double rate = read_rate(r, "rate");
+    if (!seen.insert(state_pair_key(from, to)).second) {
+      throw ParseError("duplicate transition " + std::to_string(from) + " -> " +
+                           std::to_string(to),
+                       r.line());
+    }
     b.add_transition(from, rate, to);
   }
   return b.build();
@@ -83,34 +179,33 @@ void write_imc(std::ostream& out, const Imc& m) {
 }
 
 Imc read_imc(std::istream& in) {
-  std::size_t states = 0;
-  StateId initial = 0;
-  expect_keyword(in, "STATES");
-  in >> states;
-  expect_keyword(in, "INITIAL");
-  in >> initial;
-  if (!in) throw ParseError("bad IMC header");
+  TokenReader r(in);
+  expect_keyword(r, "STATES");
+  const std::size_t states = read_unsigned(r, "state count");
+  expect_keyword(r, "INITIAL");
+  const StateId initial = read_state(r, states, "initial state");
 
   ImcBuilder b;
   b.ensure_states(states);
   b.set_initial(initial);
   std::string kind;
-  while (in >> kind) {
+  while (r.next(kind)) {
     if (kind == "END") return b.build();
-    StateId from = 0, to = 0;
     if (kind == "I") {
-      std::string action;
-      if (!(in >> from >> action >> to)) throw ParseError("bad IMC interactive line");
+      const StateId from = read_state(r, states, "source state");
+      const std::string action = expect_token(r, "action name");
+      const StateId to = read_state(r, states, "target state");
       b.add_interactive(from, action, to);
     } else if (kind == "M") {
-      double rate = 0.0;
-      if (!(in >> from >> rate >> to)) throw ParseError("bad IMC Markov line");
+      const StateId from = read_state(r, states, "source state");
+      const double rate = read_rate(r, "rate");
+      const StateId to = read_state(r, states, "target state");
       b.add_markov(from, rate, to);
     } else {
-      throw ParseError("bad IMC line kind: " + kind);
+      throw ParseError("bad IMC line kind: " + kind, r.line());
     }
   }
-  throw ParseError("IMC file missing END marker");
+  throw ParseError("IMC file missing END marker", r.line());
 }
 
 void write_ctmdp(std::ostream& out, const Ctmdp& model) {
@@ -128,30 +223,31 @@ void write_ctmdp(std::ostream& out, const Ctmdp& model) {
 }
 
 Ctmdp read_ctmdp(std::istream& in) {
-  std::size_t states = 0, transitions = 0;
-  StateId initial = 0;
-  expect_keyword(in, "STATES");
-  in >> states;
-  expect_keyword(in, "TRANSITIONS");
-  in >> transitions;
-  expect_keyword(in, "INITIAL");
-  in >> initial;
-  if (!in) throw ParseError("bad CTMDP header");
+  TokenReader r(in);
+  expect_keyword(r, "STATES");
+  const std::size_t states = read_unsigned(r, "state count");
+  expect_keyword(r, "TRANSITIONS");
+  const std::size_t transitions = read_unsigned(r, "transition count");
+  expect_keyword(r, "INITIAL");
+  const StateId initial = read_state(r, states, "initial state");
 
   CtmdpBuilder b;
   b.ensure_states(states);
   b.set_initial(initial);
+  std::unordered_set<StateId> targets;
   for (std::size_t i = 0; i < transitions; ++i) {
-    StateId from = 0;
-    std::string label;
-    std::size_t k = 0;
-    if (!(in >> from >> label >> k)) throw ParseError("bad CTMDP transition line");
-    const std::vector<Action> word = parse_word(label, *b.action_table());
+    const StateId from = read_state(r, states, "source state");
+    const std::string label = expect_token(r, "transition label");
+    const std::size_t k = read_unsigned(r, "rate entry count");
+    const std::vector<Action> word = parse_word(label, *b.action_table(), r.line());
     b.begin_transition(from, b.intern_word(word));
+    targets.clear();
     for (std::size_t j = 0; j < k; ++j) {
-      StateId to = 0;
-      double rate = 0.0;
-      if (!(in >> to >> rate)) throw ParseError("bad CTMDP rate entry");
+      const StateId to = read_state(r, states, "target state");
+      const double rate = read_rate(r, "rate");
+      if (!targets.insert(to).second) {
+        throw ParseError("duplicate rate entry for target " + std::to_string(to), r.line());
+      }
       b.add_rate(to, rate);
     }
   }
@@ -176,15 +272,19 @@ LabelMasks read_labels(std::istream& in, std::size_t num_states) {
   LabelMasks labels;
   std::unordered_map<std::string, std::size_t> index;
   std::string line;
-  while (std::getline(in, line)) {
+  for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
     std::istringstream fields(line);
     std::size_t s = 0;
     if (!(fields >> s)) {
       std::string probe;
-      if (std::istringstream(line) >> probe) throw ParseError("bad label line: " + line);
+      if (std::istringstream(line) >> probe) throw ParseError("bad label line: " + line, lineno);
       continue;  // blank line
     }
-    if (s >= num_states) throw ParseError("label state out of range: " + std::to_string(s));
+    if (s >= num_states) {
+      throw ParseError("label state " + std::to_string(s) + " out of range (model has " +
+                           std::to_string(num_states) + " states)",
+                       lineno);
+    }
     std::string prop;
     while (fields >> prop) {
       const auto [it, inserted] = index.emplace(prop, labels.size());

@@ -38,6 +38,7 @@ class Lowering {
     explore.urgent = options_.urgent;
     explore.record_names = options_.record_names;
     explore.max_states = options_.max_states;
+    explore.guard = options_.guard;
     std::vector<std::vector<StateId>> tuples;
     explore.record_tuples = &tuples;
 
@@ -184,7 +185,7 @@ class Lowering {
 
 }  // namespace
 
-BuiltModel minimize_model(const BuiltModel& built) {
+BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard) {
   const std::size_t n = built.system.num_states();
 
   // Initial label classes = proposition signatures, so the bisimulation
@@ -200,7 +201,7 @@ BuiltModel minimize_model(const BuiltModel& built) {
         classes.emplace(signature, static_cast<std::uint32_t>(classes.size())).first->second;
   }
 
-  const Partition partition = branching_bisimulation(built.system, &labels);
+  const Partition partition = branching_bisimulation(built.system, &labels, guard);
 
   BuiltModel out;
   out.system = quotient(built.system, partition);

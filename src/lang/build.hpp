@@ -19,6 +19,7 @@
 #include "ctmc/phase_type.hpp"
 #include "imc/imc.hpp"
 #include "lang/ast.hpp"
+#include "support/run_guard.hpp"
 
 namespace unicon::lang {
 
@@ -30,6 +31,9 @@ struct BuildOptions {
   /// Explore under the closed-system urgency assumption (the analysis
   /// pipeline requires it; disable only for inspection of open fragments).
   bool urgent = true;
+  /// Optional execution control, threaded into the state-space exploration
+  /// (checked per explored state).  A budget stop raises BudgetError.
+  RunGuard* guard = nullptr;
 };
 
 struct BuiltModel {
@@ -59,7 +63,8 @@ BuiltModel build_model(const Model& m, const BuildOptions& options = {});
 /// partition refines the proposition signature, so every label and prop
 /// transfers exactly onto the quotient; timed reachability values are
 /// preserved (Lemma 3 / Corollary 1: quotienting preserves uniformity).
-BuiltModel minimize_model(const BuiltModel& built);
+/// @p guard is checked per refinement round (BudgetError on a stop).
+BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard = nullptr);
 
 /// The phase-type distribution of a timing declaration.
 PhaseType timing_phase_type(const TimingDecl& t);

@@ -1,22 +1,73 @@
 // Error types shared across the unicon library.
+//
+// Every error carries a stable ErrorCode so callers (and the unicon_check
+// CLI, which maps codes to process exit codes) can react to the *kind* of
+// failure without parsing messages.  Codes are part of the tool contract:
+// never renumber an existing one.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
 namespace unicon {
 
+/// Stable machine-readable error/exit codes.  10-19 are model/input
+/// problems, 20-29 are execution-control (RunGuard) outcomes.  unicon_check
+/// exits with the numeric value; 0 is success and 2 is CLI usage error.
+enum class ErrorCode : int {
+  Ok = 0,
+  Model = 10,        ///< structural precondition violated
+  Zeno = 11,         ///< interactive cycle (zero-time divergence)
+  Uniformity = 12,   ///< model is not uniform where uniformity is required
+  Parse = 13,        ///< malformed input file
+  Numeric = 14,      ///< NaN/Inf detected or accuracy floor unattainable
+  Deadline = 20,     ///< wall-clock budget exhausted (structural stage)
+  MemoryBudget = 21, ///< heap budget exhausted (structural stage)
+  Cancelled = 22,    ///< cooperative cancellation (SIGINT, fault plan, ...)
+  OutOfMemory = 23,  ///< allocation failure (std::bad_alloc)
+  Internal = 99,     ///< any other unexpected failure
+};
+
+/// Short stable identifier for an ErrorCode ("zeno", "deadline", ...),
+/// used in --json-errors diagnostics.
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::Model: return "model";
+    case ErrorCode::Zeno: return "zeno";
+    case ErrorCode::Uniformity: return "uniformity";
+    case ErrorCode::Parse: return "parse";
+    case ErrorCode::Numeric: return "numeric";
+    case ErrorCode::Deadline: return "deadline";
+    case ErrorCode::MemoryBudget: return "mem-budget";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::OutOfMemory: return "out-of-memory";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
 /// Base class for all unicon errors.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  /// Process exit code for this error (the numeric ErrorCode value).
+  int exit_code() const { return static_cast<int>(code_); }
+
+ private:
+  ErrorCode code_ = ErrorCode::Internal;
 };
 
 /// A model violates a structural precondition (bad state id, negative rate,
 /// empty state space, ...).
 class ModelError : public Error {
  public:
-  explicit ModelError(const std::string& what) : Error(what) {}
+  explicit ModelError(const std::string& what) : Error(ErrorCode::Model, what) {}
 };
 
 /// The closed model admits Zeno behaviour: a cycle of interactive
@@ -24,19 +75,43 @@ class ModelError : public Error {
 /// excludes such models).
 class ZenoError : public Error {
  public:
-  explicit ZenoError(const std::string& what) : Error(what) {}
+  explicit ZenoError(const std::string& what) : Error(ErrorCode::Zeno, what) {}
 };
 
 /// An operation required a uniform model but the argument is not uniform.
 class UniformityError : public Error {
  public:
-  explicit UniformityError(const std::string& what) : Error(what) {}
+  explicit UniformityError(const std::string& what) : Error(ErrorCode::Uniformity, what) {}
 };
 
-/// Failure to parse a model file.
+/// Failure to parse a model file.  Carries the 1-based input line when the
+/// failure is attributable to one (0 = no location).
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what) : Error(ErrorCode::Parse, what) {}
+  ParseError(const std::string& what, std::size_t line)
+      : Error(ErrorCode::Parse, "line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  /// 1-based line of the offending input, or 0 when not applicable.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
+/// A numeric-health violation: NaN/Inf reached an iterate or kernel, or a
+/// requested accuracy is below what double precision can certify.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(ErrorCode::Numeric, what) {}
+};
+
+/// A RunGuard budget fired inside a structural stage that cannot produce a
+/// partial result (composition, bisimulation, transform, parsing).  code()
+/// is one of Deadline, MemoryBudget, Cancelled.
+class BudgetError : public Error {
+ public:
+  BudgetError(ErrorCode code, const std::string& what) : Error(code, what) {}
 };
 
 }  // namespace unicon

@@ -1,11 +1,23 @@
 #include "support/fox_glynn.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "support/errors.hpp"
 
 namespace unicon {
+
+namespace {
+
+std::string short_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
 
 double poisson_pmf(std::uint64_t n, double lambda) {
   if (lambda == 0.0) return n == 0 ? 1.0 : 0.0;
@@ -49,7 +61,20 @@ PoissonWindow PoissonWindow::compute(double lambda, double epsilon) {
   while (mass < target) {
     const double next_up = up_p * lambda / static_cast<double>(hi + 1);
     const double next_down = lo > 0 ? down_p * static_cast<double>(lo) / lambda : 0.0;
-    if (next_up <= 0.0 && next_down <= 0.0) break;  // numeric floor reached
+    if (next_up <= 0.0 && next_down <= 0.0) {
+      // Both frontier probabilities underflowed to zero before the window
+      // reached 1 - epsilon: double precision cannot certify the requested
+      // truncation error.  Report the achievable floor instead of quietly
+      // returning a window with epsilon' = 1 - mass > epsilon — a silently
+      // degraded window would invalidate every downstream residual bound.
+      const double floor = 1.0 - mass;
+      throw NumericError(
+          "PoissonWindow: epsilon " + short_double(epsilon) + " is below the " +
+          "accuracy floor achievable in double precision at lambda " +
+          short_double(lambda) + "; smallest certifiable truncation error here is about " +
+          short_double(floor) + " (window [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "] mass " + short_double(mass) + ")");
+    }
     if (next_up >= next_down) {
       ++hi;
       up_p = next_up;

@@ -28,7 +28,11 @@ class PoissonWindow {
   /// Computes the window for parameter @p lambda >= 0 with total truncation
   /// error at most @p epsilon (split between the two tails).
   ///
-  /// Throws ModelError for invalid arguments.
+  /// Throws ModelError for invalid arguments, and NumericError when the
+  /// requested epsilon is below the accuracy floor reachable in double
+  /// precision (huge lambda, tiny epsilon: the frontier probabilities
+  /// underflow before the window mass reaches 1 - epsilon).  The message
+  /// reports the achievable floor.
   static PoissonWindow compute(double lambda, double epsilon);
 
   std::uint64_t left() const { return left_; }

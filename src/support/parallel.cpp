@@ -34,9 +34,22 @@ WorkerPool::WorkerPool(unsigned threads)
     : size_(resolve_threads(threads)),
       start_(static_cast<std::ptrdiff_t>(size_)),
       done_(static_cast<std::ptrdiff_t>(size_)) {
+  errors_.resize(size_);
   threads_.reserve(size_ - 1);
-  for (unsigned w = 1; w < size_; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
+  try {
+    for (unsigned w = 1; w < size_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // A failed spawn (e.g. an injected allocation failure) leaves fewer
+    // than size_ barrier participants alive; supply the missing arrivals
+    // so the already-running workers can observe stopping_ and exit,
+    // instead of deadlocking the destructor-less unwind.
+    stopping_ = true;
+    start_.arrive(static_cast<std::ptrdiff_t>(size_ - threads_.size()));
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    throw;
   }
 }
 
@@ -71,9 +84,20 @@ void WorkerPool::run(std::size_t n, const Sweep& fn) {
   n_ = n;
   start_.arrive_and_wait();
   const auto [begin, end] = chunk(n_, 0, size_);
-  (*sweep_)(0, begin, end);
+  try {
+    (*sweep_)(0, begin, end);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
   done_.arrive_and_wait();
   sweep_ = nullptr;
+  for (std::exception_ptr& error : errors_) {
+    if (error) {
+      std::exception_ptr first = error;
+      for (std::exception_ptr& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
 }
 
 void WorkerPool::worker_loop(unsigned worker) {
@@ -81,7 +105,11 @@ void WorkerPool::worker_loop(unsigned worker) {
     start_.arrive_and_wait();
     if (stopping_) return;
     const auto [begin, end] = chunk(n_, worker, size_);
-    (*sweep_)(worker, begin, end);
+    try {
+      (*sweep_)(worker, begin, end);
+    } catch (...) {
+      errors_[worker] = std::current_exception();
+    }
     done_.arrive_and_wait();
   }
 }

@@ -17,6 +17,7 @@
 
 #include <barrier>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -52,6 +53,11 @@ class WorkerPool {
 
   /// Runs one sweep over [0, n).  Chunks are deterministic functions of
   /// (n, size()); workers beyond n get empty ranges.  Not reentrant.
+  ///
+  /// Exception safety: an exception escaping fn on any worker is captured,
+  /// the sweep still completes its barrier (other workers finish their
+  /// chunks), and the lowest-numbered worker's exception is rethrown here
+  /// on the calling thread.  The pool stays usable afterwards.
   void run(std::size_t n, const Sweep& fn);
 
   /// Per-worker accumulator slot padded to its own cache line, for
@@ -77,6 +83,7 @@ class WorkerPool {
   const Sweep* sweep_ = nullptr;
   std::size_t n_ = 0;
   bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;
 };
 
 }  // namespace unicon

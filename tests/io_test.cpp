@@ -122,6 +122,77 @@ TEST(TraIo, TruncatedBodyThrows) {
   EXPECT_THROW(io::read_ctmc(buffer), ParseError);
 }
 
+TEST(TraIo, MalformedInputsRejectedWithLineNumbers) {
+  enum class Format { Ctmc, Imc, Ctmdp, Labels };
+  struct Case {
+    const char* name;
+    Format format;
+    const char* text;
+    const char* needle;  // expected substring of the message
+    std::size_t line;    // expected reported line (0 = don't check)
+  };
+  const Case cases[] = {
+      {"ctmc nan rate", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 1 nan\n",
+       "not finite", 4},
+      {"ctmc inf rate", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 1 inf\n",
+       "not finite", 4},
+      {"ctmc negative rate", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 1 -2.0\n",
+       "must be positive", 4},
+      {"ctmc zero rate", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 1 0.0\n",
+       "must be positive", 4},
+      {"ctmc duplicate transition", Format::Ctmc,
+       "STATES 2\nTRANSITIONS 2\nINITIAL 0\n0 1 1.0\n0 1 2.0\n", "duplicate transition", 5},
+      {"ctmc target out of range", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 5 1.0\n",
+       "out of range", 4},
+      {"ctmc initial out of range", Format::Ctmc, "STATES 2\nTRANSITIONS 0\nINITIAL 7\n",
+       "out of range", 3},
+      {"ctmc rate not a number", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 1 fast\n",
+       "bad rate", 4},
+      {"ctmc garbage state id", Format::Ctmc, "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 x1 1.0\n",
+       "bad target state", 4},
+      {"ctmc truncated body", Format::Ctmc, "STATES 2\nTRANSITIONS 2\nINITIAL 0\n0 1 1.0\n",
+       "unexpected end of file", 0},
+      {"imc markov nan rate", Format::Imc, "STATES 2\nINITIAL 0\nM 0 nan 1\nEND\n", "not finite",
+       3},
+      {"imc state out of range", Format::Imc, "STATES 2\nINITIAL 0\nI 0 a 9\nEND\n",
+       "out of range", 3},
+      {"ctmdp inf rate", Format::Ctmdp,
+       "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 tau 1 1 inf\n", "not finite", 4},
+      {"ctmdp duplicate rate target", Format::Ctmdp,
+       "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 tau 2 1 1.0 1 2.0\n", "duplicate rate entry", 4},
+      {"ctmdp target out of range", Format::Ctmdp,
+       "STATES 2\nTRANSITIONS 1\nINITIAL 0\n0 tau 1 9 1.0\n", "out of range", 4},
+      {"labels state out of range", Format::Labels, "0 goal\n\n9 goal\n", "out of range", 3},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::stringstream in(c.text);
+    try {
+      switch (c.format) {
+        case Format::Ctmc:
+          io::read_ctmc(in);
+          break;
+        case Format::Imc:
+          io::read_imc(in);
+          break;
+        case Format::Ctmdp:
+          io::read_ctmdp(in);
+          break;
+        case Format::Labels:
+          io::read_labels(in, 4);
+          break;
+      }
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Parse);
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos) << e.what();
+      if (c.line != 0) {
+        EXPECT_EQ(e.line(), c.line);
+      }
+    }
+  }
+}
+
 TEST(TraIo, FtwcCtmdpRoundTripPreservesAnalysis) {
   ftwc::Parameters params;
   params.n = 1;

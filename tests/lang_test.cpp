@@ -493,4 +493,31 @@ TEST(LangFuzz, GeneratorIsDeterministic) {
   EXPECT_NE(print_model(random_model(42)), print_model(random_model(43)));
 }
 
+// ---------------------------------------------------------------------------
+// Zeno rejection: an untimed interactive cycle must surface as a typed
+// ZenoError (stable code 11) from the analysis, not as a hang or a wrong
+// number.
+
+TEST(LangZeno, UntimedInteractiveCycleIsRejectedWithZenoError) {
+  const std::string source = [] {
+    const std::string path = std::string(UNICON_TEST_MODELS_DIR) + "/zeno_cycle.uni";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }();
+  const Model ast = parse_and_check(source, "zeno_cycle.uni");
+  const BuiltModel built = build_model(ast);  // exploration itself is fine
+  EXPECT_GT(built.system.num_interactive_transitions(), 0u);
+  try {
+    (void)analyze_timed_reachability(built.system, built.mask("goal"), 1.0);
+    FAIL() << "expected ZenoError";
+  } catch (const ZenoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Zeno);
+    EXPECT_EQ(e.exit_code(), 11);
+    EXPECT_NE(std::string(e.what()).find("Zeno"), std::string::npos) << e.what();
+  }
+}
+
 }  // namespace

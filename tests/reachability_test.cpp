@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ctmc/transient.hpp"
 #include "ctmdp/reachability.hpp"
 #include "support/errors.hpp"
 #include "support/rng.hpp"
+#include "testing/generate.hpp"
 #include "test_util.hpp"
 
 namespace unicon {
@@ -479,6 +481,146 @@ TEST(StepBounded, ConvergesToUnboundedReachability) {
   const Ctmdp c = choice_model();
   const double p = step_bounded_reachability(c, {false, false, true}, 500)[0];
   EXPECT_NEAR(p, 1.0, 1e-9);  // max scheduler eventually reaches the goal
+}
+
+// --------------------------------------------------- execution control
+
+TEST(GuardedReachability, IdleGuardIsBitIdenticalToUnguarded) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  const auto plain = timed_reachability(c, goal, 2.0, {.epsilon = 1e-9});
+  RunGuard guard;
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-9;
+  options.guard = &guard;
+  const auto guarded = timed_reachability(c, goal, 2.0, options);
+  ASSERT_EQ(guarded.status, RunStatus::Converged);
+  ASSERT_EQ(guarded.values.size(), plain.values.size());
+  for (std::size_t s = 0; s < plain.values.size(); ++s) {
+    EXPECT_EQ(guarded.values[s], plain.values[s]) << s;  // exact, not NEAR
+  }
+  EXPECT_EQ(guard.polls(), plain.iterations_planned);
+}
+
+TEST(GuardedReachability, ThreadCountsAgreeBitIdentically) {
+  Rng rng(11);
+  const Ctmdp c = testing::random_uniform_ctmdp(rng);
+  const auto goal = testing::random_goal(rng, c.num_states());
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-9;
+  options.threads = 1;
+  const auto serial = timed_reachability(c, goal, 1.5, options);
+  options.threads = 4;
+  const auto parallel = timed_reachability(c, goal, 1.5, options);
+  for (std::size_t s = 0; s < serial.values.size(); ++s) {
+    EXPECT_EQ(serial.values[s], parallel.values[s]) << s;
+  }
+}
+
+TEST(GuardedReachability, CancelYieldsSoundPartialAndBitIdenticalResume) {
+  Rng rng(23);
+  const Ctmdp c = testing::random_uniform_ctmdp(rng);
+  const auto goal = testing::random_goal(rng, c.num_states());
+  const double t = 2.0;
+  TimedReachabilityOptions options;
+  options.epsilon = 1e-10;
+  const auto reference = timed_reachability(c, goal, t, options);
+  ASSERT_GT(reference.iterations_planned, 4u);
+
+  for (const std::uint64_t stop_at :
+       {std::uint64_t{1}, reference.iterations_planned / 2, reference.iterations_planned}) {
+    RunGuard guard;
+    guard.cancel_after_polls(stop_at);
+    options.guard = &guard;
+    const auto partial = timed_reachability(c, goal, t, options);
+    ASSERT_EQ(partial.status, RunStatus::Cancelled) << stop_at;
+    ASSERT_FALSE(partial.iterate.empty());
+    EXPECT_LT(partial.iterations_executed, partial.iterations_planned);
+    // Soundness: the reported values deviate from the converged answer by
+    // no more than the advertised residual bound.
+    for (std::size_t s = 0; s < reference.values.size(); ++s) {
+      EXPECT_LE(std::fabs(partial.values[s] - reference.values[s]),
+                partial.residual_bound + 1e-12)
+          << "state " << s << " stop " << stop_at;
+    }
+    // Resume: continuing from the partial iterate reproduces the reference
+    // bit-for-bit.
+    TimedReachabilityOptions resume_options;
+    resume_options.epsilon = options.epsilon;
+    resume_options.resume = &partial;
+    const auto resumed = timed_reachability(c, goal, t, resume_options);
+    ASSERT_EQ(resumed.status, RunStatus::Converged);
+    for (std::size_t s = 0; s < reference.values.size(); ++s) {
+      EXPECT_EQ(resumed.values[s], reference.values[s]) << "state " << s << " stop " << stop_at;
+    }
+  }
+}
+
+TEST(GuardedReachability, ResumeValidatesTheHorizon) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  RunGuard guard;
+  guard.cancel_after_polls(1);
+  TimedReachabilityOptions options;
+  options.guard = &guard;
+  const auto partial = timed_reachability(c, goal, 2.0, options);
+  ASSERT_EQ(partial.status, RunStatus::Cancelled);
+  TimedReachabilityOptions resume_options;
+  resume_options.resume = &partial;
+  // Different t => different planned horizon: resume must refuse.
+  EXPECT_THROW(timed_reachability(c, goal, 9.0, resume_options), ModelError);
+  // A converged result is not resumable either.
+  const auto done = timed_reachability(c, goal, 2.0);
+  resume_options.resume = &done;
+  EXPECT_THROW(timed_reachability(c, goal, 2.0, resume_options), ModelError);
+}
+
+TEST(GuardedReachability, CheckpointPoisonIsCaughtAsNumericError) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  // The checkpoint span is a trust boundary: a non-finite write must raise
+  // NumericError no matter where in the run it lands.  Interior steps are
+  // the dangerous case — the action comparisons skip NaN candidates (NaN
+  // compares false both ways), so without boundary validation the poison
+  // would decay into finite wrong values instead of being detected.
+  for (const std::uint64_t target : {std::uint64_t{1}, std::uint64_t{0}}) {
+    RunGuard guard;
+    guard.set_checkpoint([target](const RunCheckpoint& cp) {
+      const std::uint64_t at = target == 0 ? cp.planned : target;
+      if (cp.step == at) cp.values[0] = std::numeric_limits<double>::quiet_NaN();
+    });
+    TimedReachabilityOptions options;
+    options.guard = &guard;
+    EXPECT_THROW(timed_reachability(c, goal, 2.0, options), NumericError);
+  }
+}
+
+TEST(GuardedReachability, ResumePoisonIsCaughtAsNumericError) {
+  const Ctmdp c = choice_model();
+  const std::vector<bool> goal{false, false, true};
+  RunGuard guard;
+  guard.cancel_after_polls(2);
+  TimedReachabilityOptions options;
+  options.guard = &guard;
+  TimedReachabilityResult partial = timed_reachability(c, goal, 2.0, options);
+  ASSERT_EQ(partial.status, RunStatus::Cancelled);
+  ASSERT_FALSE(partial.iterate.empty());
+  partial.iterate[0] = std::numeric_limits<double>::infinity();
+  TimedReachabilityOptions resume_options;
+  resume_options.resume = &partial;
+  EXPECT_THROW(timed_reachability(c, goal, 2.0, resume_options), NumericError);
+}
+
+TEST(GuardedReachability, StepBoundedThrowsBudgetErrorOnCancel) {
+  const Ctmdp c = choice_model();
+  RunGuard guard;
+  guard.cancel_after_polls(2);
+  try {
+    step_bounded_reachability(c, {false, false, true}, 50, Objective::Maximize, 1, &guard);
+    FAIL() << "expected BudgetError";
+  } catch (const BudgetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Cancelled);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "support/errors.hpp"
+#include "support/run_guard.hpp"
+
+namespace unicon {
+namespace {
+
+// ------------------------------------------------------------ basic states
+
+TEST(RunGuard, FreshGuardIsIdle) {
+  RunGuard guard;
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.status(), RunStatus::Converged);
+  EXPECT_EQ(guard.poll(), RunStatus::Converged);
+  EXPECT_FALSE(guard.should_abort_sweep());
+  guard.check("stage");  // must not throw
+}
+
+TEST(RunGuard, StatusNamesAndCodesAreStable) {
+  EXPECT_STREQ(run_status_name(RunStatus::Converged), "converged");
+  EXPECT_STREQ(run_status_name(RunStatus::DeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(run_status_name(RunStatus::MemoryBudgetExceeded), "mem-budget-exceeded");
+  EXPECT_STREQ(run_status_name(RunStatus::Cancelled), "cancelled");
+  EXPECT_EQ(run_status_code(RunStatus::Converged), ErrorCode::Ok);
+  EXPECT_EQ(run_status_code(RunStatus::DeadlineExceeded), ErrorCode::Deadline);
+  EXPECT_EQ(run_status_code(RunStatus::MemoryBudgetExceeded), ErrorCode::MemoryBudget);
+  EXPECT_EQ(run_status_code(RunStatus::Cancelled), ErrorCode::Cancelled);
+}
+
+// ----------------------------------------------------------- cancellation
+
+TEST(RunGuard, RequestCancelIsStickyAndVisibleEverywhere) {
+  RunGuard guard;
+  guard.request_cancel();
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_TRUE(guard.should_abort_sweep());
+  EXPECT_EQ(guard.status(), RunStatus::Cancelled);
+  // Sticky: later polls keep reporting the same terminal status.
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+}
+
+TEST(RunGuard, CancelAfterPollsFiresOnTheExactPoll) {
+  RunGuard guard;
+  guard.cancel_after_polls(3);
+  EXPECT_EQ(guard.poll(), RunStatus::Converged);
+  EXPECT_EQ(guard.poll(), RunStatus::Converged);
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_EQ(guard.polls(), 3u);
+}
+
+TEST(RunGuard, WorkerSweepChecksDoNotAdvanceThePollCounter) {
+  RunGuard guard;
+  guard.cancel_after_polls(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(guard.should_abort_sweep());
+  EXPECT_EQ(guard.poll(), RunStatus::Converged);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(guard.should_abort_sweep());
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+}
+
+TEST(RunGuard, CheckThrowsTypedBudgetErrorNamingTheStage) {
+  RunGuard guard;
+  guard.request_cancel();
+  try {
+    guard.check("bisimulation");
+    FAIL() << "expected BudgetError";
+  } catch (const BudgetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Cancelled);
+    EXPECT_NE(std::string(e.what()).find("bisimulation"), std::string::npos) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------- deadline
+
+TEST(RunGuard, DeadlineInThePastFiresOnFirstPoll) {
+  RunGuard guard;
+  guard.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(guard.poll(), RunStatus::DeadlineExceeded);
+  EXPECT_TRUE(guard.should_abort_sweep());
+}
+
+TEST(RunGuard, GenerousDeadlineDoesNotFire) {
+  RunGuard guard;
+  guard.set_deadline(3600.0);
+  EXPECT_EQ(guard.poll(), RunStatus::Converged);
+  EXPECT_FALSE(guard.should_abort_sweep());
+}
+
+TEST(RunGuard, FirstViolationWins) {
+  // Cancel before an already-expired deadline is observed: the first
+  // latched status must survive subsequent violations.
+  RunGuard guard;
+  guard.request_cancel();
+  guard.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+  EXPECT_EQ(guard.poll(), RunStatus::Cancelled);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(RunGuard, CheckpointRespectsStrideAndExposesWritableValues) {
+  RunGuard guard;
+  std::vector<std::uint64_t> steps;
+  guard.set_checkpoint(
+      [&](const RunCheckpoint& cp) {
+        steps.push_back(cp.step);
+        EXPECT_STREQ(cp.stage, "stage");
+        EXPECT_EQ(cp.planned, 10u);
+        if (!cp.values.empty()) cp.values[0] = 42.0;  // writable span
+      },
+      /*stride=*/3);
+  std::vector<double> iterate{0.0, 1.0};
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    EXPECT_EQ(guard.wants_checkpoint(step), step % 3 == 0);
+    if (guard.wants_checkpoint(step)) {
+      guard.checkpoint("stage", step, 10, 0.5, std::span<double>(iterate));
+    }
+  }
+  EXPECT_EQ(steps, (std::vector<std::uint64_t>{3, 6, 9}));
+  EXPECT_DOUBLE_EQ(iterate[0], 42.0);
+}
+
+TEST(RunGuard, NoCallbackMeansNoCheckpointWanted) {
+  RunGuard guard;
+  EXPECT_FALSE(guard.wants_checkpoint(1));
+  // checkpoint() with no callback installed is a no-op, not an error.
+  std::vector<double> iterate{0.0};
+  guard.checkpoint("stage", 1, 1, 0.0, std::span<double>(iterate));
+}
+
+// -------------------------------------------------------- memory accounting
+
+TEST(RunGuardMemory, ScopeChargesNetLiveBytes) {
+  RunGuard guard;
+  {
+    MemoryAccountingScope scope(guard);
+    const std::int64_t before = guard.memory_in_use();
+    auto* block = new std::vector<double>(1 << 16);
+    EXPECT_GE(guard.memory_in_use() - before, static_cast<std::int64_t>(sizeof(double) << 16));
+    delete block;
+    // Net live bytes return to (roughly) the pre-allocation level.
+    EXPECT_LT(guard.memory_in_use() - before, 1 << 12);
+    EXPECT_GT(accounted_allocations(), 0u);
+  }
+  EXPECT_EQ(accounted_allocations(), 0u);  // idle once the scope closes
+}
+
+TEST(RunGuardMemory, BudgetViolationTripsTheGuard) {
+  RunGuard guard;
+  guard.set_memory_budget(1 << 10);
+  MemoryAccountingScope scope(guard);
+  std::vector<std::vector<double>*> blocks;
+  RunStatus status = RunStatus::Converged;
+  for (int i = 0; i < 64 && status == RunStatus::Converged; ++i) {
+    blocks.push_back(new std::vector<double>(1 << 12));
+    status = guard.poll();
+  }
+  for (auto* b : blocks) delete b;
+  EXPECT_EQ(status, RunStatus::MemoryBudgetExceeded);
+  EXPECT_TRUE(guard.stopped());
+}
+
+TEST(RunGuardMemory, NestingScopesThrows) {
+  RunGuard a;
+  RunGuard b;
+  MemoryAccountingScope outer(a);
+  EXPECT_THROW(MemoryAccountingScope inner(b), ModelError);
+}
+
+TEST(RunGuardMemory, ArmedAllocationFailureThrowsBadAlloc) {
+  RunGuard guard;
+  MemoryAccountingScope scope(guard);
+  arm_allocation_failure(1);  // counting restarts at arming
+  EXPECT_THROW(static_cast<void>(new std::vector<double>(16)), std::bad_alloc);
+  // Only the exact nth allocation fails; later ones succeed.
+  auto* block = new std::vector<double>(16);
+  delete block;
+}
+
+}  // namespace
+}  // namespace unicon

@@ -272,6 +272,25 @@ TEST(PoissonWindow, TighterEpsilonWidensWindow) {
   EXPECT_GE(tight.right(), loose.right());
 }
 
+TEST(PoissonWindow, EpsilonBelowAccuracyFloorThrowsNumericError) {
+  // At lambda = 1000 the frontier pmf underflows before the window mass can
+  // certify 1 - 1e-14: compute must refuse with a typed NumericError naming
+  // the achievable floor, never silently return a degraded window (which
+  // would invalidate every downstream residual bound).
+  try {
+    PoissonWindow::compute(1000.0, 1e-14);
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Numeric);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("accuracy floor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncation error"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(PoissonWindow::compute(25.0, 1e-15), NumericError);
+  // The same epsilons are fine where the floor is lower.
+  EXPECT_GE(PoissonWindow::compute(1.0, 1e-14).total_mass(), 1.0 - 1e-14);
+}
+
 // ---------------------------------------------- fox-glynn stress (extreme)
 
 namespace {

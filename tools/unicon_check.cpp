@@ -2,10 +2,16 @@
 //
 // Usage:
 //   unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E]
-//                [--early] [--no-minimize] [--export PREFIX]
+//                [--early] [--no-minimize] [--export PREFIX] [common]
 //   unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E]
-//                [--early] [--scheduler]
+//                [--early] [--scheduler] [common]
 //   unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]
+//                [common]
+//
+// Common execution-control flags (every mode):
+//   --deadline S       wall-clock budget in seconds
+//   --mem-budget B     heap budget in bytes (K/M/G suffixes accepted)
+//   --json-errors      machine-readable error/partial diagnostics on stderr
 //
 // The "model" mode drives the whole uniform-by-construction pipeline from a
 // UNI source file: parse -> semantic check -> compose/elapse -> branching
@@ -13,11 +19,21 @@
 // serialized-model modes consume the io library's formats (see io/tra.hpp);
 // goal.lab marks goal states with the proposition "goal".  All modes print
 // the optimal probability at the initial state plus solver statistics.
+//
+// Budgets and SIGINT cancel cooperatively through a RunGuard: the solvers
+// return a partial value tagged with its status and a sound residual bound,
+// structural stages stop with a typed BudgetError.  The process exit code
+// is the stable ErrorCode of whatever ended the run (see support/errors.hpp;
+// 0 = converged, 2 = usage, 20/21/22 = deadline/mem-budget/cancelled).
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <new>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -29,19 +45,35 @@
 #include "lang/diagnostics.hpp"
 #include "lang/parser.hpp"
 #include "support/errors.hpp"
+#include "support/run_guard.hpp"
 #include "support/stopwatch.hpp"
 
 using namespace unicon;
 
 namespace {
 
+// File scope so the SIGINT handler can reach it; request_cancel is
+// async-signal-safe (lock-free atomic stores only).
+RunGuard g_guard;
+
+extern "C" void handle_sigint(int) { g_guard.request_cancel(); }
+
+/// Execution-control options shared by every mode.
+struct GuardFlags {
+  double deadline = 0.0;        // seconds; 0 = none
+  std::uint64_t mem_budget = 0; // bytes; 0 = none
+  bool json_errors = false;
+};
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E] "
-               "[--early] [--no-minimize] [--export PREFIX]\n"
+               "[--early] [--no-minimize] [--export PREFIX] [common]\n"
                "       unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E] "
-               "[--early] [--scheduler]\n"
-               "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]\n");
+               "[--early] [--scheduler] [common]\n"
+               "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
+               "[common]\n"
+               "common: [--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors]\n");
   std::exit(2);
 }
 
@@ -66,6 +98,102 @@ double parse_positive(const char* arg, const char* what) {
   return value;
 }
 
+/// "64M" -> 64 << 20; bare numbers are bytes.
+std::uint64_t parse_mem_budget(const char* arg) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  std::uint64_t scale = 1;
+  if (end != arg && *end != '\0' && end[1] == '\0') {
+    switch (*end) {
+      case 'K': case 'k': scale = 1ull << 10; break;
+      case 'M': case 'm': scale = 1ull << 20; break;
+      case 'G': case 'g': scale = 1ull << 30; break;
+      default: end = const_cast<char*>(arg); break;
+    }
+  }
+  if (end == arg || (*end != '\0' && scale == 1) || value == 0) {
+    std::fprintf(stderr, "error: --mem-budget must be a positive byte count, got '%s'\n", arg);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value) * scale;
+}
+
+/// Consumes a common flag at argv[i] (advancing i past its value) or
+/// returns false so the caller can try its mode-specific flags.
+bool parse_common_flag(int argc, char** argv, int& i, GuardFlags& flags) {
+  if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+    flags.deadline = parse_positive(argv[++i], "--deadline");
+    return true;
+  }
+  if (std::strcmp(argv[i], "--mem-budget") == 0 && i + 1 < argc) {
+    flags.mem_budget = parse_mem_budget(argv[++i]);
+    return true;
+  }
+  if (std::strcmp(argv[i], "--json-errors") == 0) {
+    flags.json_errors = true;
+    return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prints the error (JSON or plain) and returns its stable exit code.
+int report_error(const Error& e, const GuardFlags& flags) {
+  if (flags.json_errors) {
+    std::fprintf(stderr, "{\"error\":{\"code\":\"%s\",\"exit\":%d,\"message\":\"%s\"}}\n",
+                 error_code_name(e.code()), e.exit_code(), json_escape(e.what()).c_str());
+  } else {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  return e.exit_code();
+}
+
+/// Reports a budget-stopped partial solver result and returns the exit
+/// code of its status (0 when the run actually converged).
+int report_partial(RunStatus status, double residual_bound, const GuardFlags& flags) {
+  if (status == RunStatus::Converged) return 0;
+  std::printf("status: %s (partial result)\n", run_status_name(status));
+  std::printf("residual bound: %.3e\n", residual_bound);
+  if (flags.json_errors) {
+    std::fprintf(stderr, "{\"partial\":{\"status\":\"%s\",\"residual_bound\":%.17g}}\n",
+                 run_status_name(status), residual_bound);
+  }
+  return static_cast<int>(run_status_code(status));
+}
+
+/// Arms g_guard per the flags and opens the accounting scope a heap budget
+/// needs.  SIGINT cancellation is armed unconditionally.
+std::unique_ptr<MemoryAccountingScope> arm_guard(const GuardFlags& flags) {
+  std::signal(SIGINT, handle_sigint);
+  if (flags.deadline > 0.0) g_guard.set_deadline(flags.deadline);
+  if (flags.mem_budget > 0) {
+    g_guard.set_memory_budget(flags.mem_budget);
+    return std::make_unique<MemoryAccountingScope>(g_guard);
+  }
+  return nullptr;
+}
+
 std::vector<bool> load_goal(const std::string& path, std::size_t num_states) {
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open goal file: " + path);
@@ -81,23 +209,20 @@ std::string read_file(const std::string& path) {
 }
 
 int run_model(const std::string& path, double t, const std::string& goal_name, bool minimize_flag,
-              bool minimize, double eps, bool early, const std::string& export_prefix) {
+              bool minimize, double eps, bool early, const std::string& export_prefix,
+              const GuardFlags& flags) {
   Stopwatch total;
-  lang::Model ast;
-  try {
-    ast = lang::parse_and_check(read_file(path), path);
-  } catch (const lang::LangError& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
-  }
+  const lang::Model ast = lang::parse_and_check(read_file(path), path);
 
-  lang::BuiltModel built = lang::build_model(ast);
+  lang::BuildOptions build_options;
+  build_options.guard = &g_guard;
+  lang::BuiltModel built = lang::build_model(ast, build_options);
   std::printf("system: %zu states, %zu interactive + %zu Markov transitions, "
               "uniform rate %.6f (%zu leaves)\n",
               built.system.num_states(), built.system.num_interactive_transitions(),
               built.system.num_markov_transitions(), built.uniform_rate, built.num_leaves);
   if (minimize) {
-    built = lang::minimize_model(built);
+    built = lang::minimize_model(built, &g_guard);
     std::printf("minimized: %zu states, %zu interactive + %zu Markov transitions\n",
                 built.system.num_states(), built.system.num_interactive_transitions(),
                 built.system.num_markov_transitions());
@@ -109,9 +234,8 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
       if (!available.empty()) available += ", ";
       available += name;
     }
-    std::fprintf(stderr, "error: model has no proposition '%s' (available: %s)\n",
-                 goal_name.c_str(), available.empty() ? "none" : available.c_str());
-    return 1;
+    throw ModelError("model has no proposition '" + goal_name +
+                     "' (available: " + (available.empty() ? "none" : available) + ")");
   }
 
   if (!export_prefix.empty()) {
@@ -130,6 +254,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.epsilon = eps;
   options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
   options.reachability.early_termination = early;
+  options.reachability.guard = &g_guard;
   const auto result = analyze_timed_reachability(built.system, built.mask(goal_name), t, options);
   std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
               result.transformed.ctmdp.num_transitions());
@@ -139,7 +264,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
               static_cast<unsigned long long>(result.reachability.iterations_planned),
               static_cast<unsigned long long>(result.reachability.iterations_executed),
               total.seconds());
-  return 0;
+  return report_partial(result.reachability.status, result.reachability.residual_bound, flags);
 }
 
 }  // namespace
@@ -147,6 +272,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string kind = argv[1];
+  GuardFlags flags;
 
   if (kind == "model") {
     if (argc < 4) usage();
@@ -156,7 +282,9 @@ int main(int argc, char** argv) {
     double eps = 1e-6;
     std::string goal_name = "goal", export_prefix;
     for (int i = 4; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--min") == 0) {
+      if (parse_common_flag(argc, argv, i, flags)) {
+        continue;
+      } else if (std::strcmp(argv[i], "--min") == 0) {
         minimize_objective = true;
       } else if (std::strcmp(argv[i], "--early") == 0) {
         early = true;
@@ -173,11 +301,16 @@ int main(int argc, char** argv) {
       }
     }
     try {
+      const auto accounting = arm_guard(flags);
       return run_model(model_path, t, goal_name, minimize_objective, minimize, eps, early,
-                       export_prefix);
+                       export_prefix, flags);
     } catch (const Error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+      return report_error(e, flags);
+    } catch (const std::bad_alloc&) {
+      return report_error(Error(ErrorCode::OutOfMemory, "allocation failure (std::bad_alloc)"),
+                          flags);
+    } catch (const std::exception& e) {
+      return report_error(Error(ErrorCode::Internal, e.what()), flags);
     }
   }
 
@@ -189,7 +322,9 @@ int main(int argc, char** argv) {
   bool minimize = false, early = false, scheduler = false;
   double eps = 1e-6;
   for (int i = 5; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min") == 0) {
+    if (parse_common_flag(argc, argv, i, flags)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--min") == 0) {
       minimize = true;
     } else if (std::strcmp(argv[i], "--early") == 0) {
       early = true;
@@ -203,6 +338,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const auto accounting = arm_guard(flags);
     if (kind == "ctmdp") {
       const Ctmdp model = io::load_ctmdp(model_path);
       const std::vector<bool> goal = load_goal(goal_path, model.num_states());
@@ -211,6 +347,7 @@ int main(int argc, char** argv) {
       options.objective = minimize ? Objective::Minimize : Objective::Maximize;
       options.early_termination = early;
       options.extract_scheduler = scheduler;
+      options.guard = &g_guard;
       Stopwatch timer;
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniform rate %.6f\n", model.num_states(),
@@ -220,7 +357,7 @@ int main(int argc, char** argv) {
       std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
                   static_cast<unsigned long long>(result.iterations_planned),
                   static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
-      if (scheduler) {
+      if (scheduler && result.status == RunStatus::Converged) {
         std::printf("optimal first decisions (states with a real choice):\n");
         for (StateId s = 0; s < model.num_states(); ++s) {
           if (model.num_transitions_of(s) < 2) continue;
@@ -230,12 +367,14 @@ int main(int argc, char** argv) {
                       model.words().str(model.label(choice), model.actions()).c_str());
         }
       }
+      return report_partial(result.status, result.residual_bound, flags);
     } else if (kind == "ctmc") {
       const Ctmc model = io::load_ctmc(model_path);
       const std::vector<bool> goal = load_goal(goal_path, model.num_states());
       TransientOptions options;
       options.epsilon = eps;
       options.early_termination = early;
+      options.guard = &g_guard;
       Stopwatch timer;
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniformized at %.6f\n", model.num_states(),
@@ -245,12 +384,17 @@ int main(int argc, char** argv) {
       std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
                   static_cast<unsigned long long>(result.iterations),
                   static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
+      return report_partial(result.status, result.residual_bound, flags);
     } else {
       usage();
     }
   } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return report_error(e, flags);
+  } catch (const std::bad_alloc&) {
+    return report_error(Error(ErrorCode::OutOfMemory, "allocation failure (std::bad_alloc)"),
+                        flags);
+  } catch (const std::exception& e) {
+    return report_error(Error(ErrorCode::Internal, e.what()), flags);
   }
   return 0;
 }

@@ -22,6 +22,12 @@
 //   --lang         fuzz the UNI language frontend instead: random generated
 //                  models are round-tripped print -> parse -> check -> build
 //                  and both builds must agree exactly (see lang/fuzz.hpp)
+//   --faults       run the fault-injection harness instead: seeded budget
+//                  cancellations, allocation failures, NaN poisoning and
+//                  file corruption, asserting every fault yields a correct
+//                  result, a sound partial result, or a typed error (see
+//                  testing/fault_injection.hpp); --threads sets the worker
+//                  count of the guarded solves
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include "lang/fuzz.hpp"
 #include "support/stopwatch.hpp"
 #include "testing/differential.hpp"
+#include "testing/fault_injection.hpp"
 
 using namespace unicon;
 using namespace unicon::testing;
@@ -42,8 +49,34 @@ namespace {
                "                   [--eps E] [--tol D] [--mc-runs N] [--no-shrink]\n"
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
-               "                   [--out DIR] [--self-check] [--lang] [-v]\n");
+               "                   [--out DIR] [--self-check] [--lang] [--faults]\n"
+               "                   [--threads N] [-v]\n");
   std::exit(2);
+}
+
+int run_fault_mode(const DifferentialConfig& config, unsigned threads, bool verbose) {
+  FaultConfig fault_config;
+  fault_config.num_seeds = config.num_seeds;
+  fault_config.base_seed = config.base_seed;
+  fault_config.time = config.time;
+  fault_config.epsilon = config.epsilon;
+  fault_config.tolerance = config.tolerance;
+  fault_config.threads = threads;
+  fault_config.artifact_dir = config.artifact_dir;
+  const FaultLogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  Stopwatch timer;
+  const FaultReport report = run_fault_injection(fault_config, verbose ? log : FaultLogFn{});
+  std::printf("%llu seeds, %llu checks, %llu faults injected, %zu failures\n",
+              static_cast<unsigned long long>(report.seeds_run),
+              static_cast<unsigned long long>(report.checks_run),
+              static_cast<unsigned long long>(report.faults_injected), report.failures.size());
+  for (const FaultFailure& f : report.failures) {
+    std::printf("FAIL seed %llu [%s]: %s\n", static_cast<unsigned long long>(f.seed),
+                f.scenario.c_str(), f.message.c_str());
+    for (const std::string& path : f.artifacts) std::printf("  artifact: %s\n", path.c_str());
+  }
+  std::printf("%.1f s\n", timer.seconds());
+  return report.ok() ? 0 : 1;
 }
 
 int run_lang_mode(const DifferentialConfig& config, bool verbose) {
@@ -115,6 +148,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool run_self_check = false;
   bool lang_mode = false;
+  bool fault_mode = false;
+  unsigned threads = 2;
 
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* {
@@ -149,6 +184,10 @@ int main(int argc, char** argv) {
       run_self_check = true;
     } else if (std::strcmp(argv[i], "--lang") == 0) {
       lang_mode = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      fault_mode = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (std::strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else {
@@ -156,6 +195,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (fault_mode) return run_fault_mode(config, threads, verbose);
   if (lang_mode) return run_lang_mode(config, verbose);
   if (run_self_check) return self_check(config);
 
