@@ -9,7 +9,7 @@
 #include "bench_util.hpp"
 #include "core/analysis.hpp"
 #include "ftwc/direct.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 

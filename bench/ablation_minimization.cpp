@@ -14,7 +14,7 @@
 #include "ftwc/compositional.hpp"
 #include "ftwc/direct.hpp"
 #include "support/errors.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 

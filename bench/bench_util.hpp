@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
+#include <utility>
+
+#include "support/telemetry.hpp"
 
 namespace unicon::bench {
 
@@ -24,46 +26,27 @@ struct ReachabilityRecord {
   unsigned threads = 0;    // resolved worker count for the sweep
 };
 
-/// Collects ReachabilityRecords and writes them as a JSON array on write()
-/// (or destruction) to BENCH_reachability.json in the working directory;
-/// override the path with the BENCH_JSON environment variable.  Format:
-///   [{"bench": "...", "states": 123, "k": 456, "seconds": 0.789,
-///     "threads": 4}, ...]
+/// Typed facade over the shared telemetry::BenchJson emitter for the solver
+/// harnesses: records land in BENCH_reachability.json (override with the
+/// BENCH_JSON environment variable) with the keys
+///   {"bench": "...", "states": 123, "k": 456, "seconds": 0.789,
+///    "threads": 4}
 class ReachabilityJson {
  public:
-  explicit ReachabilityJson(std::string default_path = "BENCH_reachability.json") {
-    const char* env = std::getenv("BENCH_JSON");
-    path_ = env != nullptr && env[0] != '\0' ? env : std::move(default_path);
-  }
-  ~ReachabilityJson() { write(); }
+  explicit ReachabilityJson(std::string default_path = "BENCH_reachability.json")
+      : out_(std::move(default_path), "BENCH_JSON") {}
 
-  void record(ReachabilityRecord r) { records_.push_back(std::move(r)); }
-
-  void write() {
-    if (records_.empty()) return;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
-      return;
-    }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const ReachabilityRecord& r = records_[i];
-      std::fprintf(f,
-                   "  {\"bench\": \"%s\", \"states\": %zu, \"k\": %llu, "
-                   "\"seconds\": %.6f, \"threads\": %u}%s\n",
-                   r.bench.c_str(), r.states, static_cast<unsigned long long>(r.k), r.seconds,
-                   r.threads, i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("wrote %zu reachability records to %s\n", records_.size(), path_.c_str());
-    records_.clear();
+  void record(ReachabilityRecord r) {
+    telemetry::BenchRecord rec;
+    rec.bench = std::move(r.bench);
+    rec.add("states", r.states).add("k", r.k).add("seconds", r.seconds).add("threads", r.threads);
+    out_.record(std::move(rec));
   }
+
+  void write() { out_.write(); }
 
  private:
-  std::string path_;
-  std::vector<ReachabilityRecord> records_;
+  telemetry::BenchJson out_;
 };
 
 inline std::string human_bytes(std::size_t bytes) {

@@ -20,7 +20,7 @@
 #include "lang/parser.hpp"
 #include "lang/sema.hpp"
 #include "support/errors.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 
@@ -142,23 +142,16 @@ int main() {
     records.push_back(r);
   }
 
-  std::FILE* f = std::fopen("BENCH_lang.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write BENCH_lang.json\n");
-    return 0;
+  telemetry::BenchJson json("BENCH_lang.json", "BENCH_JSON");
+  for (const Record& r : records) {
+    telemetry::BenchRecord rec;
+    rec.bench = "lang_frontend/W=" + std::to_string(r.workstations);
+    rec.add("states", r.states)
+        .add("parse_seconds", r.parse_seconds)
+        .add("check_seconds", r.check_seconds)
+        .add("build_seconds", r.build_seconds);
+    json.record(std::move(rec));
   }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(f,
-                 "  {\"bench\": \"lang_frontend/W=%u\", \"states\": %zu, "
-                 "\"parse_seconds\": %.6f, \"check_seconds\": %.6f, "
-                 "\"build_seconds\": %.6f}%s\n",
-                 r.workstations, r.states, r.parse_seconds, r.check_seconds, r.build_seconds,
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("wrote %zu records to BENCH_lang.json\n", records.size());
+  json.write();
   return 0;
 }

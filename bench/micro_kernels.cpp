@@ -12,7 +12,7 @@
 #include "ftwc/direct.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/parallel.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 
@@ -105,6 +105,30 @@ void BM_Algorithm1Guarded(benchmark::State& state) {
 BENCHMARK(BM_Algorithm1Guarded)
     ->ArgsProduct({{0, 1}, {1, 0}})
     ->ArgNames({"guarded", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of telemetry in the Algorithm-1 hot loop: an attached registry (the
+/// "reachability" span plus per-worker row counters) versus the null
+/// telemetry path.  Same <2% contract as the guard — instrumentation is one
+/// pointer test per solve plus one relaxed fetch_add per worker per sweep;
+/// metrics are recorded once outside the loop.
+void BM_Algorithm1Telemetry(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = 16;
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  Telemetry telemetry;
+  TimedReachabilityOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.telemetry = state.range(0) != 0 ? &telemetry : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0, options));
+  }
+}
+BENCHMARK(BM_Algorithm1Telemetry)
+    ->ArgsProduct({{0, 1}, {1, 0}})
+    ->ArgNames({"telemetry", "threads"})
     ->Unit(benchmark::kMillisecond);
 
 /// One explicitly timed Algorithm-1 solve per thread count for the

@@ -19,7 +19,7 @@
 #include "core/analysis.hpp"
 #include "ftwc/direct.hpp"
 #include "support/parallel.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "support/errors.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -162,13 +164,18 @@ Partition seed_partition(std::size_t n, const std::vector<std::uint32_t>* labels
 }  // namespace
 
 Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels,
-                              RunGuard* guard) {
+                              RunGuard* guard, Telemetry* telemetry) {
   const std::size_t n = m.num_states();
   Partition p = seed_partition(n, labels);
+  std::optional<Telemetry::Span> span;
+  if (telemetry != nullptr) span.emplace(telemetry->span("bisim"));
   if (n == 0) return p;
 
+  std::uint64_t rounds = 0;
+  std::uint64_t splitters = 0;
   for (;;) {
     if (guard != nullptr) guard->check("strong_bisimulation");
+    ++rounds;
     std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, VecU64Hash> sig_ids;
     std::vector<std::uint32_t> next(n);
     std::vector<std::uint64_t> sig;
@@ -189,24 +196,36 @@ Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* la
     }
     const auto num_blocks = static_cast<std::uint32_t>(sig_ids.size());
     const bool fixpoint = num_blocks == p.num_blocks;
+    if (num_blocks > p.num_blocks) splitters += num_blocks - p.num_blocks;
     p.block_of = std::move(next);
     p.num_blocks = num_blocks;
     if (fixpoint) break;
   }
   p.canonicalize();
+  if (span) {
+    span->metric("states", n);
+    span->metric("rounds", rounds);
+    span->metric("splitters", splitters);
+    span->metric("final_blocks", p.num_blocks);
+  }
   return p;
 }
 
 Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels,
-                                 RunGuard* guard) {
+                                 RunGuard* guard, Telemetry* telemetry) {
   const std::size_t n = m.num_states();
+  std::optional<Telemetry::Span> span;
+  if (telemetry != nullptr) span.emplace(telemetry->span("bisim"));
   if (n == 0) return Partition::trivial(0);
 
   std::vector<std::vector<std::uint64_t>> state_sigs(n);
 
+  std::uint64_t rounds = 0;
+  std::uint64_t splitters = 0;
   Partition p = seed_partition(n, labels);
   for (;;) {
     if (guard != nullptr) guard->check("branching_bisimulation");
+    ++rounds;
     // The inert subgraph (tau edges within one block) changes as the
     // partition refines; its SCC condensation is recomputed every round.
     // Tarjan emits SCCs successors-first, which is the order the closure
@@ -259,11 +278,18 @@ Partition branching_bisimulation(const Imc& m, const std::vector<std::uint32_t>*
     }
     const auto num_blocks = static_cast<std::uint32_t>(sig_ids.size());
     const bool fixpoint = num_blocks == p.num_blocks;
+    if (num_blocks > p.num_blocks) splitters += num_blocks - p.num_blocks;
     p.block_of = std::move(next);
     p.num_blocks = num_blocks;
     if (fixpoint) break;
   }
   p.canonicalize();
+  if (span) {
+    span->metric("states", n);
+    span->metric("rounds", rounds);
+    span->metric("splitters", splitters);
+    span->metric("final_blocks", p.num_blocks);
+  }
   return p;
 }
 

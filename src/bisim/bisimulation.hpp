@@ -27,6 +27,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 /// Coarsest strong bisimulation partition of @p m.  When @p labels is
 /// non-null (one label per state) the partition refines the label classes —
 /// use this to preserve atomic propositions (e.g. goal states) through
@@ -35,14 +37,18 @@ namespace unicon {
 /// @p guard (optional, also on branching_bisimulation) is checked once per
 /// refinement round; partition refinement has no partial-result story, so
 /// a budget stop raises BudgetError.
+///
+/// @p telemetry (optional, also on branching_bisimulation) records a
+/// "bisim" span with refinement rounds, splitter count (blocks created by
+/// splits across all rounds) and the final block count.
 Partition strong_bisimulation(const Imc& m, const std::vector<std::uint32_t>* labels = nullptr,
-                              RunGuard* guard = nullptr);
+                              RunGuard* guard = nullptr, Telemetry* telemetry = nullptr);
 
 /// Coarsest stochastic branching bisimulation partition of @p m, optionally
 /// refining initial label classes (see strong_bisimulation).
 Partition branching_bisimulation(const Imc& m,
                                  const std::vector<std::uint32_t>* labels = nullptr,
-                                 RunGuard* guard = nullptr);
+                                 RunGuard* guard = nullptr, Telemetry* telemetry = nullptr);
 
 /// How inert tau transitions (tau steps inside one block) are treated when
 /// quotienting: Branching drops them (they are stuttering steps), Strong

@@ -13,7 +13,8 @@ UimcAnalysisResult analyze_timed_reachability(const Imc& m, const std::vector<bo
   }
 
   UimcAnalysisResult result;
-  result.transformed = transform_to_ctmdp(m, &goal, options.reachability.guard);
+  result.transformed =
+      transform_to_ctmdp(m, &goal, options.reachability.guard, options.reachability.telemetry);
   result.transform = result.transformed.stats;
 
   const std::vector<bool>& ctmdp_goal =

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/errors.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -87,11 +88,24 @@ Imc make_alternating(const Imc& m) {
 Imc make_markov_alternating(const Imc& m) { return markov_alternating_impl(m).imc; }
 
 TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
-                                   RunGuard* guard) {
+                                   RunGuard* guard, Telemetry* telemetry) {
   if (goal != nullptr && goal->size() != m.num_states()) {
     throw ModelError("transform_to_ctmdp: goal vector size mismatch");
   }
   Stopwatch timer;
+  std::optional<Telemetry::Span> span;
+  Histogram* word_lengths = nullptr;
+  if (telemetry != nullptr) {
+    span.emplace(telemetry->span("transform"));
+    word_lengths = &telemetry->histogram("transform.word_length");
+  }
+
+  std::uint64_t markov_cut = 0;
+  if (telemetry != nullptr) {
+    for (const MarkovTransition& t : m.markov_transitions()) {
+      if (m.has_interactive(t.from)) ++markov_cut;
+    }
+  }
 
   const Imc alternating = make_alternating(m);
   const MarkovAlternating ma = markov_alternating_impl(alternating);
@@ -275,6 +289,7 @@ TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
           continue;
         }
         const WordId label = word.empty() ? tau_word : builder.intern_word(word);
+        if (word_lengths != nullptr) word_lengths->observe(word.size());
         builder.begin_transition(from, label);
         emit_rates(t.to);
         ++stats.interactive_transitions;
@@ -290,6 +305,17 @@ TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
                        stats.markov_transitions * (2 * sizeof(std::uint32_t) + sizeof(double)) +
                        (stats.interactive_states + stats.markov_states) * sizeof(std::uint64_t);
   stats.seconds = timer.seconds();
+  if (span) {
+    span->metric("input_states", m.num_states());
+    span->metric("interactive_states", stats.interactive_states);
+    span->metric("markov_states", stats.markov_states);
+    span->metric("interactive_transitions", stats.interactive_transitions);
+    span->metric("markov_transitions", stats.markov_transitions);
+    span->metric("words_deduplicated", stats.words_deduplicated);
+    span->metric("markov_transitions_cut", markov_cut);
+    span->metric("pair_states_added", ma.pair_target.size());
+    span->metric("memory_bytes", stats.memory_bytes);
+  }
   return result;
 }
 

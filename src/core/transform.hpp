@@ -31,6 +31,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 /// Step (1): cut the Markov transitions of hybrid states.  Closed view
 /// only — do not compose the result further.
 Imc make_alternating(const Imc& m);
@@ -84,7 +86,12 @@ struct TransformResult {
 /// @p guard (optional) is checked once per closure entry; the
 /// transformation has no partial-result story, so a budget stop raises
 /// BudgetError.
+///
+/// @p telemetry (optional) records a "transform" span with the
+/// TransformStats quantities plus the hybrid Markov transitions cut in
+/// step (1) and the fresh tau states added in step (2), and a
+/// "transform.word_length" histogram of the emitted closure words.
 TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal = nullptr,
-                                   RunGuard* guard = nullptr);
+                                   RunGuard* guard = nullptr, Telemetry* telemetry = nullptr);
 
 }  // namespace unicon

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -82,15 +84,20 @@ struct JumpKernel {
   static constexpr std::size_t kGuardBlock = 4096;
 
   // y = x P (forward / distribution step): gather over incoming edges.
+  // @p rows: optional per-worker telemetry row counters (nullptr = off),
+  // batched into one relaxed add per worker per sweep.
   void step_forward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
-                    RunGuard* guard, std::atomic<bool>& aborted) const {
-    pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+                    RunGuard* guard, std::atomic<bool>& aborted,
+                    Counter* const* rows = nullptr) const {
+    pool.run(self_residual.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
+      std::uint64_t swept = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
         if (guard != nullptr && guard->should_abort_sweep()) {
           aborted.store(true, std::memory_order_relaxed);
           break;
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        swept += blk_end - blk;
         for (std::size_t s = blk; s < blk_end; ++s) {
           double acc = x[s] * self_residual[s];
           for (std::uint64_t j = in_first[s]; j < in_first[s + 1]; ++j) {
@@ -99,19 +106,23 @@ struct JumpKernel {
           y[s] = acc;
         }
       }
+      if (rows != nullptr) rows[worker]->add(swept);
     });
   }
 
   // y = P x (backward / value step): gather over outgoing edges.
   void step_backward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
-                     RunGuard* guard, std::atomic<bool>& aborted) const {
-    pool.run(self_residual.size(), [&](unsigned, std::size_t begin, std::size_t end) {
+                     RunGuard* guard, std::atomic<bool>& aborted,
+                     Counter* const* rows = nullptr) const {
+    pool.run(self_residual.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
+      std::uint64_t swept = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
         if (guard != nullptr && guard->should_abort_sweep()) {
           aborted.store(true, std::memory_order_relaxed);
           break;
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        swept += blk_end - blk;
         for (std::size_t s = blk; s < blk_end; ++s) {
           double acc = self_residual[s] * x[s];
           for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
@@ -120,9 +131,22 @@ struct JumpKernel {
           y[s] = acc;
         }
       }
+      if (rows != nullptr) rows[worker]->add(swept);
     });
   }
 };
+
+/// Pre-resolved per-worker row counters (see the matching helper in
+/// ctmdp/reachability.cpp).  Empty (nullptr data) when telemetry is off.
+std::vector<Counter*> worker_row_counters(Telemetry* telemetry, unsigned workers) {
+  std::vector<Counter*> out;
+  if (telemetry == nullptr) return out;
+  out.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    out.push_back(&telemetry->counter("ctmc.rows.worker" + std::to_string(w)));
+  }
+  return out;
+}
 
 void require_finite(const std::vector<double>& values, const char* where) {
   for (std::size_t s = 0; s < values.size(); ++s) {
@@ -149,10 +173,14 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
                                        const TransientOptions& options) {
   if (t < 0.0) throw ModelError("transient: negative time bound");
   const std::size_t n = chain.num_states();
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("transient"));
   const double e = pick_rate(chain, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const JumpKernel p(chain, e);
   WorkerPool pool = make_worker_pool(options.threads, n);
+  const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
   std::vector<double> cur(n, 0.0);
   std::vector<double> next(n, 0.0);
@@ -167,6 +195,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   double residual = 2.0 * options.epsilon;
 
   std::uint64_t executed = 0;
+  std::uint64_t early_step = 0;
   for (std::uint64_t i = 0;; ++i) {
     if (guard != nullptr && guard->poll() != RunStatus::Converged) {
       // Mass of steps [i, right] has not been accumulated yet.
@@ -179,7 +208,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_forward(cur, next, pool, guard, sweep_aborted);
+    p.step_forward(cur, next, pool, guard, sweep_aborted, rows_out);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + 2.0 * options.epsilon;
@@ -199,6 +228,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
       for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
       cur.swap(next);
       residual += options.early_termination_delta;
+      early_step = executed;
       break;
     }
     cur.swap(next);
@@ -214,6 +244,19 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   TransientResult result{std::move(acc), psi.right(), executed, e};
   result.status = status;
   result.residual_bound = residual;
+  if (span) {
+    span->metric("states", n);
+    span->metric("uniform_rate", e);
+    span->metric("lambda", e * t);
+    span->metric("poisson_left", psi.left());
+    span->metric("poisson_right", psi.right());
+    span->metric("poisson_width", psi.right() - psi.left() + 1);
+    span->metric("iterations_planned", psi.right());
+    span->metric("iterations_executed", executed);
+    span->metric("early_termination_step", early_step);
+    span->metric("threads", pool.size());
+    span->metric("residual_bound", residual);
+  }
   return result;
 }
 
@@ -223,12 +266,16 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   if (goal.size() != chain.num_states()) {
     throw ModelError("timed_reachability: goal vector size mismatch");
   }
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("ctmc_reachability"));
   const Ctmc absorbing = chain.make_absorbing(goal);
   const std::size_t n = absorbing.num_states();
   const double e = pick_rate(absorbing, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const JumpKernel p(absorbing, e);
   WorkerPool pool = make_worker_pool(options.threads, n);
+  const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
   // v_i(s) = probability to sit in B after i jumps of the absorbing chain.
   std::vector<double> cur(n, 0.0);
@@ -242,6 +289,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   double residual = options.epsilon;
 
   std::uint64_t executed = 0;
+  std::uint64_t early_step = 0;
   for (std::uint64_t i = 0;; ++i) {
     if (guard != nullptr && guard->poll() != RunStatus::Converged) {
       status = guard->status();
@@ -253,7 +301,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted);
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + options.epsilon;
@@ -271,6 +319,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
       for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
       cur.swap(next);
       residual += options.early_termination_delta;
+      early_step = executed;
       break;
     }
     cur.swap(next);
@@ -281,6 +330,19 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   TransientResult result{std::move(acc), psi.right(), executed, e};
   result.status = status;
   result.residual_bound = residual;
+  if (span) {
+    span->metric("states", n);
+    span->metric("uniform_rate", e);
+    span->metric("lambda", e * t);
+    span->metric("poisson_left", psi.left());
+    span->metric("poisson_right", psi.right());
+    span->metric("poisson_width", psi.right() - psi.left() + 1);
+    span->metric("iterations_planned", psi.right());
+    span->metric("iterations_executed", executed);
+    span->metric("early_termination_step", early_step);
+    span->metric("threads", pool.size());
+    span->metric("residual_bound", residual);
+  }
   return result;
 }
 
@@ -289,6 +351,10 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   if (t1 < 0.0 || t2 < t1) throw ModelError("interval_reachability: need 0 <= t1 <= t2");
   if (goal.size() != chain.num_states()) {
     throw ModelError("interval_reachability: goal vector size mismatch");
+  }
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) {
+    span.emplace(options.telemetry->span("interval_reachability"));
   }
   // Phase A: values w(s) = Pr(s, <= t2 - t1, B), B absorbing.
   TransientResult phase_a = timed_reachability(chain, goal, t2 - t1, options);
@@ -308,6 +374,8 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   const PoissonWindow psi = PoissonWindow::compute(e * t1, options.epsilon);
   const JumpKernel p(chain, e);
   WorkerPool pool = make_worker_pool(options.threads, n);
+  const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
   std::vector<double> cur = std::move(phase_a.probabilities);
   std::vector<double> next(n, 0.0);
@@ -331,7 +399,7 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted);
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + phase_a.residual_bound + options.epsilon;
@@ -358,6 +426,14 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   TransientResult result{std::move(acc), phase_a.iterations + psi.right(), executed, e};
   result.status = status;
   result.residual_bound = residual;
+  if (span) {
+    span->metric("states", n);
+    span->metric("uniform_rate", e);
+    span->metric("iterations_planned", result.iterations);
+    span->metric("iterations_executed", executed);
+    span->metric("threads", pool.size());
+    span->metric("residual_bound", residual);
+  }
   return result;
 }
 

@@ -15,6 +15,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 struct TransientOptions {
   /// Total truncation error budget for the Poisson series.
   double epsilon = 1e-6;
@@ -39,6 +41,12 @@ struct TransientOptions {
   /// (plus the epsilon slop).  Null = unguarded, bit-identical to
   /// pre-guard behaviour.
   RunGuard* guard = nullptr;
+  /// Optional observability: a "transient" / "ctmc_reachability" /
+  /// "interval_reachability" span with the Poisson window, iteration
+  /// counts and early-termination step, plus per-worker row counters
+  /// ("ctmc.rows.worker<i>") batched once per sweep.  A live registry
+  /// only observes — results stay bit-identical with telemetry on or off.
+  Telemetry* telemetry = nullptr;
 };
 
 struct TransientResult {

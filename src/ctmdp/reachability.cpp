@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -106,6 +108,20 @@ double partial_residual(const PoissonWindow& psi, std::uint64_t next_i, double e
   return std::min(bound, 1.0);
 }
 
+/// Pre-resolved per-worker row counters ("<prefix><worker>"), so the sweep
+/// lambdas touch the registry lock-free: one relaxed fetch_add per worker
+/// per sweep.  Empty (nullptr data) when telemetry is off.
+std::vector<Counter*> worker_row_counters(Telemetry* telemetry, const std::string& prefix,
+                                          unsigned workers) {
+  std::vector<Counter*> out;
+  if (telemetry == nullptr) return out;
+  out.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    out.push_back(&telemetry->counter(prefix + std::to_string(w)));
+  }
+  return out;
+}
+
 void require_finite_values(const std::vector<double>& values, const char* where) {
   for (std::size_t s = 0; s < values.size(); ++s) {
     if (!std::isfinite(values[s])) {
@@ -133,6 +149,9 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   TimedReachabilityResult result;
   result.uniform_rate = e;
   result.lambda = e * t;
+
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("reachability"));
 
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const std::uint64_t k = psi.right();
@@ -182,9 +201,13 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
 
   WorkerPool pool = make_worker_pool(options.threads, n);
   std::vector<WorkerPool::Slot> delta_slot(pool.size());
+  const std::vector<Counter*> row_counters =
+      worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
   std::atomic<bool> sweep_aborted{false};
   bool stopped = false;
   bool early_fired = false;
+  std::uint64_t early_step = 0;
 
   for (std::uint64_t i = start_i; i >= 1; --i) {
     if (guard != nullptr && guard->poll() != RunStatus::Converged) {
@@ -196,12 +219,14 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
     pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
       const double* q = q_next.data();
       double local_delta = 0.0;
+      std::uint64_t rows = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
         if (guard != nullptr && guard->should_abort_sweep()) {
           sweep_aborted.store(true, std::memory_order_relaxed);
           break;
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        rows += blk_end - blk;
         for (StateId s = blk; s < blk_end; ++s) {
           if (goal[s]) {
             q_cur[s] = w + q[s];
@@ -232,6 +257,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
         }
       }
       delta_slot[worker].value = local_delta;
+      if (rows_out != nullptr) rows_out[worker]->add(rows);
     });
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       // The sweep for step i was abandoned mid-flight: q_cur is partially
@@ -272,6 +298,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
         if (delta <= options.early_termination_delta) {
           if (options.extract_scheduler) result.initial_decision = decision;
           early_fired = true;
+          early_step = i;
           break;
         }
       }
@@ -291,6 +318,20 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   result.values = std::move(q_next);
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
+  }
+  if (span) {
+    span->metric("states", n);
+    span->metric("transitions", model.num_transitions());
+    span->metric("uniform_rate", e);
+    span->metric("lambda", result.lambda);
+    span->metric("poisson_left", psi.left());
+    span->metric("poisson_right", k);
+    span->metric("poisson_width", k - psi.left() + 1);
+    span->metric("iterations_planned", k);
+    span->metric("iterations_executed", executed);
+    span->metric("early_termination_step", early_step);
+    span->metric("threads", pool.size());
+    span->metric("residual_bound", result.residual_bound);
   }
   return result;
 }
@@ -319,6 +360,10 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
   TimedReachabilityResult result;
   result.uniform_rate = e;
   result.lambda = e * t;
+
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("evaluate_scheduler"));
+
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const std::uint64_t k = psi.right();
   result.iterations_planned = k;
@@ -330,10 +375,14 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 
   WorkerPool pool = make_worker_pool(options.threads, n);
   std::vector<WorkerPool::Slot> delta_slot(pool.size());
+  const std::vector<Counter*> row_counters =
+      worker_row_counters(options.telemetry, "evaluate_scheduler.rows.worker", pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
   RunGuard* const guard = options.guard;
   std::atomic<bool> sweep_aborted{false};
   bool stopped = false;
   bool early_fired = false;
+  std::uint64_t early_step = 0;
 
   std::uint64_t executed = 0;
   for (std::uint64_t i = k; i >= 1; --i) {
@@ -346,12 +395,14 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
     pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
       const double* q = q_next.data();
       double local_delta = 0.0;
+      std::uint64_t rows = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
         if (guard != nullptr && guard->should_abort_sweep()) {
           sweep_aborted.store(true, std::memory_order_relaxed);
           break;
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+        rows += blk_end - blk;
         for (StateId s = blk; s < blk_end; ++s) {
           if (goal[s]) {
             q_cur[s] = w + q[s];
@@ -368,6 +419,7 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
         }
       }
       delta_slot[worker].value = local_delta;
+      if (rows_out != nullptr) rows_out[worker]->add(rows);
     });
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       stopped = true;
@@ -392,6 +444,7 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
     if (options.early_termination && i > 1 && (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) &&
         delta <= options.early_termination_delta) {
       early_fired = true;
+      early_step = i;
       break;
     }
   }
@@ -407,6 +460,20 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
   result.values = std::move(q_next);
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
+  }
+  if (span) {
+    span->metric("states", n);
+    span->metric("transitions", model.num_transitions());
+    span->metric("uniform_rate", e);
+    span->metric("lambda", result.lambda);
+    span->metric("poisson_left", psi.left());
+    span->metric("poisson_right", k);
+    span->metric("poisson_width", k - psi.left() + 1);
+    span->metric("iterations_planned", k);
+    span->metric("iterations_executed", executed);
+    span->metric("early_termination_step", early_step);
+    span->metric("threads", pool.size());
+    span->metric("residual_bound", result.residual_bound);
   }
   return result;
 }

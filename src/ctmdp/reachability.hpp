@@ -26,6 +26,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 enum class Objective : std::uint8_t { Maximize, Minimize };
 
 struct TimedReachabilityResult;
@@ -70,6 +72,13 @@ struct TimedReachabilityOptions {
   /// iterate size).  Iteration continues from the saved raw iterate; an
   /// uninterrupted and a resumed run produce bit-identical values.
   const TimedReachabilityResult* resume = nullptr;
+  /// Optional observability: a "reachability" (or "evaluate_scheduler")
+  /// span with states/transitions, the Poisson window (left/right/width),
+  /// iterations planned/executed and the early-termination step, plus
+  /// per-worker row counters ("reachability.rows.worker<i>") batched once
+  /// per sweep.  A live registry only observes — results stay bit-identical
+  /// with telemetry on or off.
+  Telemetry* telemetry = nullptr;
 };
 
 struct TimedReachabilityResult {

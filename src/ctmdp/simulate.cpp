@@ -1,9 +1,12 @@
 #include "ctmdp/simulate.hpp"
 
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "support/errors.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -50,7 +53,18 @@ SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<boo
   // generator, so the hit count — and hence the estimate — does not depend
   // on how runs are partitioned across workers.
   RunGuard* const guard = options.guard;
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("simulate"));
   WorkerPool pool = make_worker_pool(options.threads, options.num_runs);
+  std::vector<Counter*> run_counters;
+  if (options.telemetry != nullptr) {
+    run_counters.reserve(pool.size());
+    for (unsigned w = 0; w < pool.size(); ++w) {
+      run_counters.push_back(
+          &options.telemetry->counter("simulate.runs.worker" + std::to_string(w)));
+    }
+  }
+  Counter* const* const runs_out = run_counters.empty() ? nullptr : run_counters.data();
   std::vector<std::uint64_t> worker_hits(pool.size(), 0);
   std::vector<std::uint64_t> worker_completed(pool.size(), 0);
   pool.run(options.num_runs, [&](unsigned worker, std::size_t begin, std::size_t end) {
@@ -65,6 +79,7 @@ SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<boo
     }
     worker_hits[worker] = hits;
     worker_completed[worker] = completed;
+    if (runs_out != nullptr) runs_out[worker]->add(completed);
   });
 
   std::uint64_t hits = 0;
@@ -75,14 +90,22 @@ SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<boo
   SimulationResult result;
   result.num_runs = completed;
   if (guard != nullptr) result.status = guard->status();
-  if (completed == 0) {
+  if (completed != 0) {
+    result.estimate = static_cast<double>(hits) / static_cast<double>(completed);
+    const double p = result.estimate;
+    result.half_width = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(completed));
+  } else {
     result.estimate = 0.0;
     result.half_width = 1.0;  // no information
-    return result;
   }
-  result.estimate = static_cast<double>(hits) / static_cast<double>(completed);
-  const double p = result.estimate;
-  result.half_width = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(completed));
+  if (span) {
+    span->metric("runs_requested", options.num_runs);
+    span->metric("runs_completed", completed);
+    span->metric("runs_hit", hits);
+    span->metric("threads", pool.size());
+    span->metric("estimate", result.estimate);
+    span->metric("half_width", result.half_width);
+  }
   return result;
 }
 

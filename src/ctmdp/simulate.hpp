@@ -17,6 +17,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 struct SimulationOptions {
   std::uint64_t num_runs = 10000;
   std::uint64_t seed = 42;
@@ -32,6 +34,10 @@ struct SimulationOptions {
   /// unbiased Monte-Carlo estimate — each run is an independent
   /// replication); num_runs and status report the truncation.
   RunGuard* guard = nullptr;
+  /// Optional observability: a "simulate" span with runs requested /
+  /// completed / hit, plus per-worker run counters
+  /// ("simulate.runs.worker<i>") batched once per run loop.
+  Telemetry* telemetry = nullptr;
 };
 
 struct SimulationResult {

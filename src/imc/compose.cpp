@@ -1,10 +1,12 @@
 #include "imc/compose.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "support/errors.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon {
 
@@ -124,17 +126,28 @@ class ComposeExplorer {
       : expr_(expr), options_(options) {}
 
   Imc run() {
+    std::optional<Telemetry::Span> span;
+    if (options_.telemetry != nullptr) span.emplace(options_.telemetry->span("compose"));
+
     ImcBuilder builder(expr_.actions_);
     if (options_.record_tuples != nullptr) options_.record_tuples->clear();
 
     std::vector<StateId> initial(expr_.leaves_.size());
     for (std::size_t i = 0; i < expr_.leaves_.size(); ++i) initial[i] = expr_.leaves_[i].initial();
 
+    std::uint64_t dedup_hits = 0;
+    std::uint64_t interactive_added = 0;
+    std::uint64_t markov_added = 0;
+    std::size_t peak_frontier = 0;
+
     std::unordered_map<std::vector<StateId>, StateId, TupleHash> ids;
     std::vector<std::vector<StateId>> frontier;
     auto intern_state = [&](const std::vector<StateId>& tuple) -> StateId {
       auto it = ids.find(tuple);
-      if (it != ids.end()) return it->second;
+      if (it != ids.end()) {
+        ++dedup_hits;
+        return it->second;
+      }
       if (ids.size() >= options_.max_states) {
         throw ModelError("CompositionExpr::explore: state limit exceeded");
       }
@@ -153,6 +166,7 @@ class ComposeExplorer {
     std::size_t cursor = 0;
     while (cursor < frontier.size()) {
       if (options_.guard != nullptr) options_.guard->check("compose");
+      peak_frontier = std::max(peak_frontier, frontier.size() - cursor);
       const std::vector<StateId> tuple = frontier[cursor++];
       const StateId from = ids.at(tuple);
 
@@ -162,6 +176,7 @@ class ComposeExplorer {
         std::vector<StateId> next = tuple;
         for (const auto& [leaf, to] : m.updates) next[leaf] = to;
         builder.add_interactive(from, m.action, intern_state(next));
+        ++interactive_added;
       }
 
       if (options_.urgent && !imoves.empty()) continue;
@@ -172,9 +187,18 @@ class ComposeExplorer {
         std::vector<StateId> next = tuple;
         next[m.leaf] = m.to;
         builder.add_markov(from, m.rate, intern_state(next));
+        ++markov_added;
       }
     }
 
+    if (span) {
+      span->metric("leaves", expr_.leaves_.size());
+      span->metric("states", ids.size());
+      span->metric("interactive_transitions", interactive_added);
+      span->metric("markov_transitions", markov_added);
+      span->metric("dedup_hits", dedup_hits);
+      span->metric("peak_frontier", peak_frontier);
+    }
     return builder.build();
   }
 

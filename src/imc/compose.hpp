@@ -25,6 +25,8 @@
 
 namespace unicon {
 
+class Telemetry;
+
 struct ExploreOptions {
   /// Apply the closed-view urgency assumption during generation: states
   /// with an enabled interactive transition contribute no Markov
@@ -44,6 +46,9 @@ struct ExploreOptions {
   /// State-space generation has no partial-result story, so a budget stop
   /// raises BudgetError.
   RunGuard* guard = nullptr;
+  /// Optional observability: explore() opens a "compose" span recording
+  /// product states/transitions, dedup hits and the peak frontier size.
+  Telemetry* telemetry = nullptr;
 };
 
 /// An immutable composition expression.  All leaves must share one

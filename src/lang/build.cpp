@@ -1,6 +1,7 @@
 #include "lang/build.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "imc/compose.hpp"
 #include "imc/elapse.hpp"
 #include "support/errors.hpp"
+#include "support/telemetry.hpp"
 
 namespace unicon::lang {
 
@@ -24,6 +26,9 @@ class Lowering {
       : m_(m), options_(options), actions_(std::make_shared<ActionTable>()) {}
 
   BuiltModel run() {
+    std::optional<Telemetry::Span> span;
+    if (options_.telemetry != nullptr) span.emplace(options_.telemetry->span("build"));
+
     // Global label index in declaration order across components.
     for (const ComponentDecl& c : m_.components) {
       for (const LabelDecl& l : c.labels) {
@@ -39,6 +44,7 @@ class Lowering {
     explore.record_names = options_.record_names;
     explore.max_states = options_.max_states;
     explore.guard = options_.guard;
+    explore.telemetry = options_.telemetry;
     std::vector<std::vector<StateId>> tuples;
     explore.record_tuples = &tuples;
 
@@ -75,6 +81,13 @@ class Lowering {
       std::vector<bool> mask = eval_prop(*p.expr, built, n);
       built.prop_names.push_back(p.name.text);
       built.prop_masks.push_back(std::move(mask));
+    }
+    if (span) {
+      span->metric("states", n);
+      span->metric("leaves", built.num_leaves);
+      span->metric("uniform_rate", built.uniform_rate);
+      span->metric("labels", label_names_.size());
+      span->metric("props", built.prop_names.size());
     }
     return built;
   }
@@ -185,8 +198,10 @@ class Lowering {
 
 }  // namespace
 
-BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard) {
+BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard, Telemetry* telemetry) {
   const std::size_t n = built.system.num_states();
+  std::optional<Telemetry::Span> span;
+  if (telemetry != nullptr) span.emplace(telemetry->span("minimize"));
 
   // Initial label classes = proposition signatures, so the bisimulation
   // never merges states that disagree on any label or prop.
@@ -201,7 +216,7 @@ BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard) {
         classes.emplace(signature, static_cast<std::uint32_t>(classes.size())).first->second;
   }
 
-  const Partition partition = branching_bisimulation(built.system, &labels, guard);
+  const Partition partition = branching_bisimulation(built.system, &labels, guard, telemetry);
 
   BuiltModel out;
   out.system = quotient(built.system, partition);
@@ -216,6 +231,11 @@ BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard) {
     for (std::size_t p = 0; p < built.prop_masks.size(); ++p) {
       if (built.prop_masks[p][s]) out.prop_masks[p][partition.block_of[s]] = true;
     }
+  }
+  if (span) {
+    span->metric("input_states", n);
+    span->metric("output_states", partition.num_blocks);
+    span->metric("prop_classes", classes.size());
   }
   return out;
 }

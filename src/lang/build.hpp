@@ -21,7 +21,13 @@
 #include "lang/ast.hpp"
 #include "support/run_guard.hpp"
 
+namespace unicon {
+class Telemetry;
+}
+
 namespace unicon::lang {
+
+using unicon::Telemetry;
 
 struct BuildOptions {
   /// Record human-readable "(s0,s1,...)" composite state names.
@@ -34,6 +40,10 @@ struct BuildOptions {
   /// Optional execution control, threaded into the state-space exploration
   /// (checked per explored state).  A budget stop raises BudgetError.
   RunGuard* guard = nullptr;
+  /// Optional observability: build_model opens a "build" span (with the
+  /// exploration's "compose" span as its child) recording product size,
+  /// leaves and proposition counts.
+  Telemetry* telemetry = nullptr;
 };
 
 struct BuiltModel {
@@ -63,8 +73,11 @@ BuiltModel build_model(const Model& m, const BuildOptions& options = {});
 /// partition refines the proposition signature, so every label and prop
 /// transfers exactly onto the quotient; timed reachability values are
 /// preserved (Lemma 3 / Corollary 1: quotienting preserves uniformity).
-/// @p guard is checked per refinement round (BudgetError on a stop).
-BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard = nullptr);
+/// @p guard is checked per refinement round (BudgetError on a stop);
+/// @p telemetry records a "minimize" span (with the refinement's "bisim"
+/// span as its child).
+BuiltModel minimize_model(const BuiltModel& built, RunGuard* guard = nullptr,
+                          Telemetry* telemetry = nullptr);
 
 /// The phase-type distribution of a timing declaration.
 PhaseType timing_phase_type(const TimingDecl& t);

@@ -6,6 +6,7 @@
 // reachability to 1e-9.
 #include <cmath>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "lang/printer.hpp"
 #include "lang/sema.hpp"
 #include "lts/lts.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 using namespace unicon::lang;
@@ -491,6 +493,73 @@ TEST(LangFuzz, RoundTripSmoke) {
 TEST(LangFuzz, GeneratorIsDeterministic) {
   EXPECT_EQ(print_model(random_model(42)), print_model(random_model(42)));
   EXPECT_NE(print_model(random_model(42)), print_model(random_model(43)));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline telemetry golden: the quickstart model end to end with a live
+// registry.  Pins the whole observable surface — span tree shape (build >
+// compose, minimize > bisim, transform, reachability), the structural
+// counters of every stage, the word-length histogram and the per-worker
+// row counter.  Everything here is deterministic at threads = 1; only the
+// wall-clock seconds are canonicalized away.
+
+TEST(PipelineTelemetry, QuickstartGoldenSpanTree) {
+  const Model ast = parse_and_check(read_model_file("quickstart.uni"), "quickstart.uni");
+  Telemetry telemetry;
+  BuildOptions build_options;
+  build_options.telemetry = &telemetry;
+  BuiltModel built = build_model(ast, build_options);
+  built = minimize_model(built, nullptr, &telemetry);
+  UimcAnalysisOptions options;
+  options.reachability.threads = 1;
+  options.reachability.telemetry = &telemetry;
+  const auto result =
+      analyze_timed_reachability(built.system, built.mask("goal"), 1.0, options);
+  EXPECT_EQ(result.reachability.status, RunStatus::Converged);
+
+  static const std::regex seconds_re("\"seconds\": [0-9.]+");
+  const std::string json =
+      std::regex_replace(telemetry.to_json(), seconds_re, "\"seconds\": T");
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"unicon-telemetry-v1\",\n"
+      "  \"spans\": [\n"
+      "    {\"name\": \"build\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"states\": 15, \"leaves\": 7, \"uniform_rate\": 1.02, \"labels\": 2, \"props\": 3}, "
+      "\"children\": [\n"
+      "      {\"name\": \"compose\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"leaves\": 7, \"states\": 15, \"interactive_transitions\": 10, "
+      "\"markov_transitions\": 20, \"dedup_hits\": 16, \"peak_frontier\": 4}, "
+      "\"children\": []}\n"
+      "    ]},\n"
+      "    {\"name\": \"minimize\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"input_states\": 15, \"output_states\": 15, \"prop_classes\": 4}, \"children\": [\n"
+      "      {\"name\": \"bisim\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"states\": 15, \"rounds\": 3, \"splitters\": 11, \"final_blocks\": 15}, "
+      "\"children\": []}\n"
+      "    ]},\n"
+      "    {\"name\": \"transform\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"input_states\": 15, \"interactive_states\": 14, \"markov_states\": 5, "
+      "\"interactive_transitions\": 14, \"markov_transitions\": 13, "
+      "\"words_deduplicated\": 0, \"markov_transitions_cut\": 0, \"pair_states_added\": 5, "
+      "\"memory_bytes\": 528}, \"children\": []},\n"
+      "    {\"name\": \"reachability\", \"seconds\": T, \"open\": false, \"metrics\": "
+      "{\"states\": 14, \"transitions\": 14, \"uniform_rate\": 1.02, \"lambda\": 1.02, "
+      "\"poisson_left\": 0, \"poisson_right\": 9, \"poisson_width\": 10, "
+      "\"iterations_planned\": 9, \"iterations_executed\": 9, \"early_termination_step\": 0, "
+      "\"threads\": 1, \"residual_bound\": 9.9999999999999995e-07}, \"children\": []}\n"
+      "  ],\n"
+      "  \"counters\": {\n"
+      "    \"reachability.rows.worker0\": 126\n"
+      "  },\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {\n"
+      "    \"transform.word_length\": {\"count\": 13, \"sum\": 8, \"min\": 0, \"max\": 2, "
+      "\"buckets\": [{\"bucket\": 0, \"count\": 7}, {\"bucket\": 1, \"count\": 4}, "
+      "{\"bucket\": 2, \"count\": 2}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
 }
 
 // ---------------------------------------------------------------------------

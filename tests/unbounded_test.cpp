@@ -235,6 +235,78 @@ TEST(ExpectedTime, RequiresUniformModel) {
   EXPECT_THROW(expected_reachability_time(b.build(), {false, true}), UniformityError);
 }
 
+// ---------------------------------------------------- degenerate inputs
+//
+// Table of boundary models where every objective and every horizon must
+// agree on the exact answer: a goal set covering everything, a goal with
+// no incoming path, and single-state systems.
+
+/// Uniform single-action model: every state has a rate-2 self-loop.
+Ctmdp self_loops(std::size_t n) {
+  CtmdpBuilder b;
+  b.ensure_states(n);
+  for (StateId s = 0; s < n; ++s) {
+    b.begin_transition(s, "stay");
+    b.add_rate(s, 2.0);
+  }
+  return b.build();
+}
+
+struct DegenerateCase {
+  const char* name;
+  Ctmdp model;
+  std::vector<bool> goal;
+  std::vector<double> expected;  // exact value per state, any objective / t
+};
+
+std::vector<DegenerateCase> degenerate_cases() {
+  std::vector<DegenerateCase> cases;
+  cases.push_back({"goal_is_everything", self_loops(3), {true, true, true}, {1.0, 1.0, 1.0}});
+  cases.push_back({"unreachable_goal", self_loops(2), {false, true}, {0.0, 1.0}});
+  cases.push_back({"single_state_goal", self_loops(1), {true}, {1.0}});
+  cases.push_back({"single_state_non_goal", self_loops(1), {false}, {0.0}});
+  return cases;
+}
+
+TEST(DegenerateInputs, UnboundedTimedAndZeroStatesAgreeExactly) {
+  for (const DegenerateCase& c : degenerate_cases()) {
+    SCOPED_TRACE(c.name);
+    for (Objective obj : {Objective::Maximize, Objective::Minimize}) {
+      UnboundedOptions options;
+      options.objective = obj;
+      const auto unbounded = unbounded_reachability(c.model, c.goal, options);
+      const auto zero = zero_states(c.model, c.goal, obj);
+      TimedReachabilityOptions timed_options;
+      timed_options.objective = obj;
+      const auto timed = timed_reachability(c.model, c.goal, 1.0, timed_options);
+      for (StateId s = 0; s < c.model.num_states(); ++s) {
+        SCOPED_TRACE(s);
+        EXPECT_DOUBLE_EQ(unbounded.values[s], c.expected[s]);
+        EXPECT_EQ(zero[s], c.expected[s] == 0.0);
+        EXPECT_DOUBLE_EQ(timed.values[s], c.expected[s]);
+      }
+    }
+  }
+}
+
+TEST(DegenerateInputs, TransitionlessSingleState) {
+  CtmdpBuilder b;
+  b.ensure_states(1);
+  const Ctmdp c = b.build();
+  EXPECT_DOUBLE_EQ(unbounded_reachability(c, {true}).values[0], 1.0);
+  EXPECT_DOUBLE_EQ(unbounded_reachability(c, {false}).values[0], 0.0);
+  EXPECT_FALSE(zero_states(c, {true}, Objective::Maximize)[0]);
+  EXPECT_TRUE(zero_states(c, {false}, Objective::Minimize)[0]);
+}
+
+TEST(DegenerateInputs, TimeZeroIsTheGoalIndicator) {
+  const Ctmdp c = escape_model();
+  const std::vector<bool> goal{false, false, true, false};
+  const auto r = timed_reachability(c, goal, 0.0);
+  EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 1.0);
+}
+
 class UnboundedConsistency : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(UnboundedConsistency, StepBoundedConvergesToUnbounded) {

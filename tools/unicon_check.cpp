@@ -12,6 +12,9 @@
 //   --deadline S       wall-clock budget in seconds
 //   --mem-budget B     heap budget in bytes (K/M/G suffixes accepted)
 //   --json-errors      machine-readable error/partial diagnostics on stderr
+//   --telemetry PATH   write pipeline telemetry JSON to PATH ("-" = stderr);
+//                      flushed on every exit path, so a budget-tripped run
+//                      still emits its partial span tree
 //
 // The "model" mode drives the whole uniform-by-construction pipeline from a
 // UNI source file: parse -> semantic check -> compose/elapse -> branching
@@ -46,7 +49,7 @@
 #include "lang/parser.hpp"
 #include "support/errors.hpp"
 #include "support/run_guard.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 using namespace unicon;
 
@@ -58,11 +61,34 @@ RunGuard g_guard;
 
 extern "C" void handle_sigint(int) { g_guard.request_cancel(); }
 
+/// Process-wide telemetry registry; armed (threaded into the pipeline and
+/// flushed) only when --telemetry is given.
+Telemetry g_telemetry;
+
 /// Execution-control options shared by every mode.
 struct GuardFlags {
   double deadline = 0.0;        // seconds; 0 = none
   std::uint64_t mem_budget = 0; // bytes; 0 = none
   bool json_errors = false;
+  std::string telemetry_path;   // empty = telemetry off; "-" = stderr
+};
+
+/// The registry to thread through the pipeline: null when --telemetry was
+/// not given, so the unobserved path stays branch-per-site cheap.
+Telemetry* telemetry_of(const GuardFlags& flags) {
+  return flags.telemetry_path.empty() ? nullptr : &g_telemetry;
+}
+
+/// Flushes the telemetry JSON on destruction — every exit path of a mode,
+/// including exception unwinding (the stage spans RAII-close first, and
+/// write_json_file emits still-open spans with elapsed-so-far time), so a
+/// budget-tripped or failed run still writes a truthful partial tree.
+struct TelemetryFlusher {
+  explicit TelemetryFlusher(const GuardFlags& f) : flags(f) {}
+  ~TelemetryFlusher() {
+    if (!flags.telemetry_path.empty()) g_telemetry.write_json_file(flags.telemetry_path);
+  }
+  const GuardFlags& flags;
 };
 
 [[noreturn]] void usage() {
@@ -73,7 +99,8 @@ struct GuardFlags {
                "[--early] [--scheduler] [common]\n"
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
                "[common]\n"
-               "common: [--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors]\n");
+               "common: [--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors] "
+               "[--telemetry PATH]\n");
   std::exit(2);
 }
 
@@ -133,30 +160,14 @@ bool parse_common_flag(int argc, char** argv, int& i, GuardFlags& flags) {
     flags.json_errors = true;
     return true;
   }
+  if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+    flags.telemetry_path = argv[++i];
+    return true;
+  }
   return false;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using telemetry::json_escape;
 
 /// Prints the error (JSON or plain) and returns its stable exit code.
 int report_error(const Error& e, const GuardFlags& flags) {
@@ -183,10 +194,21 @@ int report_partial(RunStatus status, double residual_bound, const GuardFlags& fl
 }
 
 /// Arms g_guard per the flags and opens the accounting scope a heap budget
-/// needs.  SIGINT cancellation is armed unconditionally.
+/// needs.  SIGINT cancellation is armed unconditionally.  With --telemetry
+/// the solver checkpoints also update live progress gauges, so a budget- or
+/// signal-tripped run's flushed JSON records how far Algorithm 1 got.
 std::unique_ptr<MemoryAccountingScope> arm_guard(const GuardFlags& flags) {
   std::signal(SIGINT, handle_sigint);
   if (flags.deadline > 0.0) g_guard.set_deadline(flags.deadline);
+  if (!flags.telemetry_path.empty()) {
+    g_guard.set_checkpoint(
+        [](const RunCheckpoint& cp) {
+          g_telemetry.gauge("checkpoint.step").set(static_cast<double>(cp.step));
+          g_telemetry.gauge("checkpoint.planned").set(static_cast<double>(cp.planned));
+          g_telemetry.gauge("checkpoint.residual_bound").set(cp.residual_bound);
+        },
+        32);
+  }
   if (flags.mem_budget > 0) {
     g_guard.set_memory_budget(flags.mem_budget);
     return std::make_unique<MemoryAccountingScope>(g_guard);
@@ -212,17 +234,22 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
               bool minimize, double eps, bool early, const std::string& export_prefix,
               const GuardFlags& flags) {
   Stopwatch total;
+  Telemetry* const tel = telemetry_of(flags);
+  std::optional<Telemetry::Span> parse_span;
+  if (tel != nullptr) parse_span.emplace(tel->span("parse"));
   const lang::Model ast = lang::parse_and_check(read_file(path), path);
+  parse_span.reset();
 
   lang::BuildOptions build_options;
   build_options.guard = &g_guard;
+  build_options.telemetry = tel;
   lang::BuiltModel built = lang::build_model(ast, build_options);
   std::printf("system: %zu states, %zu interactive + %zu Markov transitions, "
               "uniform rate %.6f (%zu leaves)\n",
               built.system.num_states(), built.system.num_interactive_transitions(),
               built.system.num_markov_transitions(), built.uniform_rate, built.num_leaves);
   if (minimize) {
-    built = lang::minimize_model(built, &g_guard);
+    built = lang::minimize_model(built, &g_guard, tel);
     std::printf("minimized: %zu states, %zu interactive + %zu Markov transitions\n",
                 built.system.num_states(), built.system.num_interactive_transitions(),
                 built.system.num_markov_transitions());
@@ -255,6 +282,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
   options.reachability.early_termination = early;
   options.reachability.guard = &g_guard;
+  options.reachability.telemetry = tel;
   const auto result = analyze_timed_reachability(built.system, built.mask(goal_name), t, options);
   std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
               result.transformed.ctmdp.num_transitions());
@@ -302,6 +330,7 @@ int main(int argc, char** argv) {
     }
     try {
       const auto accounting = arm_guard(flags);
+      const TelemetryFlusher flusher(flags);
       return run_model(model_path, t, goal_name, minimize_objective, minimize, eps, early,
                        export_prefix, flags);
     } catch (const Error& e) {
@@ -339,6 +368,7 @@ int main(int argc, char** argv) {
 
   try {
     const auto accounting = arm_guard(flags);
+    const TelemetryFlusher flusher(flags);
     if (kind == "ctmdp") {
       const Ctmdp model = io::load_ctmdp(model_path);
       const std::vector<bool> goal = load_goal(goal_path, model.num_states());
@@ -348,6 +378,7 @@ int main(int argc, char** argv) {
       options.early_termination = early;
       options.extract_scheduler = scheduler;
       options.guard = &g_guard;
+      options.telemetry = telemetry_of(flags);
       Stopwatch timer;
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniform rate %.6f\n", model.num_states(),
@@ -375,6 +406,7 @@ int main(int argc, char** argv) {
       options.epsilon = eps;
       options.early_termination = early;
       options.guard = &g_guard;
+      options.telemetry = telemetry_of(flags);
       Stopwatch timer;
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniformized at %.6f\n", model.num_states(),

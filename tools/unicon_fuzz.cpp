@@ -34,7 +34,7 @@
 #include <string>
 
 #include "lang/fuzz.hpp"
-#include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 #include "testing/differential.hpp"
 #include "testing/fault_injection.hpp"
 
