@@ -73,6 +73,31 @@ BENCHMARK(BM_Algorithm1)
     ->ArgNames({"N", "threads"})
     ->Unit(benchmark::kMillisecond);
 
+/// Single-thread backend comparison on the value-iteration sweep: the
+/// historical serial engine versus the dense SIMD kernel (AVX2 when
+/// compiled in and supported, portable striped lanes otherwise).  The N=64
+/// row is the tentpole speedup pin (>=2x, DESIGN.md Sec. 10).
+void BM_Algorithm1Backend(benchmark::State& state) {
+  ftwc::Parameters params;
+  params.n = static_cast<unsigned>(state.range(0));
+  const auto built = ftwc::build_direct(params);
+  const auto transformed = transform_to_ctmdp(built.uimc, &built.goal);
+  const Backend backends[] = {Backend::Serial, Backend::Simd, Backend::SimdPortable};
+  TimedReachabilityOptions options;
+  options.threads = 1;
+  options.backend = backends[state.range(1)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timed_reachability(transformed.ctmdp, transformed.goal, 100.0, options));
+  }
+  state.counters["states"] = static_cast<double>(transformed.ctmdp.num_states());
+  state.SetLabel(backend_name(options.backend));
+}
+BENCHMARK(BM_Algorithm1Backend)
+    ->ArgsProduct({{16, 64}, {0, 1, 2}})  // backend: 0 = serial, 1 = simd, 2 = simd-portable
+    ->ArgNames({"N", "backend"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CtmcTransient(benchmark::State& state) {
   ftwc::Parameters params;
   params.n = static_cast<unsigned>(state.range(0));
@@ -163,6 +188,40 @@ void emit_reachability_json() {
       timed_reachability(transformed.ctmdp, transformed.goal, 100.0, guarded_options);
   json.record({"micro_kernels/algorithm1/N=16/serial-guarded",
                transformed.ctmdp.num_states(), r.iterations_planned, timer.seconds(), 1});
+
+  // Serial-vs-SIMD pin at N=64, single thread: the two rows share one model
+  // and horizon, so serial seconds / simd seconds is the backend speedup the
+  // tentpole promises (>=2x; FP tolerance in DESIGN.md Sec. 10).  Best of
+  // three solves per backend to keep the record robust against scheduler
+  // noise on shared runners.
+  ftwc::Parameters big;
+  big.n = 64;
+  const auto big_built = ftwc::build_direct(big);
+  const auto big_transformed = transform_to_ctmdp(big_built.uimc, &big_built.goal);
+  double backend_seconds[2] = {0.0, 0.0};
+  const Backend backends[] = {Backend::Serial, Backend::Simd};
+  const char* labels[] = {"micro_kernels/algorithm1/N=64/serial",
+                          "micro_kernels/algorithm1/N=64/simd"};
+  for (int bi = 0; bi < 2; ++bi) {
+    TimedReachabilityOptions backend_options;
+    backend_options.threads = 1;
+    backend_options.backend = backends[bi];
+    double best = 0.0;
+    std::uint64_t k = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch solve_timer;
+      const auto solve =
+          timed_reachability(big_transformed.ctmdp, big_transformed.goal, 100.0, backend_options);
+      const double seconds = solve_timer.seconds();
+      if (rep == 0 || seconds < best) best = seconds;
+      k = solve.iterations_planned;
+    }
+    backend_seconds[bi] = best;
+    json.record({labels[bi], big_transformed.ctmdp.num_states(), k, best, 1});
+  }
+  std::fprintf(stderr, "N=64 serial-vs-simd (%s): %.3fs / %.3fs = %.2fx\n",
+               simd_uses_avx2() ? "avx2" : "portable", backend_seconds[0], backend_seconds[1],
+               backend_seconds[0] / backend_seconds[1]);
 }
 
 }  // namespace

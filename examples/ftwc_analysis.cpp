@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   params.n = n;
 
   Imc model;
-  std::vector<bool> goal;
+  BitVector goal;
   double rate = 0.0;
   if (compositional) {
     std::printf("building FTWC N=%u compositionally (elapse + parallel + minimize)...\n", n);

@@ -116,7 +116,7 @@ int main() {
 
   // Safety-critical: a train on the crossing while the gate is broken or
   // both (redundant) sensors are down.
-  std::vector<bool> unsafe(system.num_states());
+  BitVector unsafe(system.num_states());
   for (StateId s = 0; s < system.num_states(); ++s) {
     const std::string& name = system.state_name(s);
     const bool crossing = name.find("crossing") != std::string::npos;
@@ -132,7 +132,7 @@ int main() {
 
   // Query layer on the transformed model.
   LabelSet labels(transformed.ctmdp.num_states());
-  labels.define("unsafe", transformed.goal);
+  labels.define("unsafe", transformed.goal.to_vector_bool());
 
   std::printf("%-44s %14s\n", "query", "value");
   for (const char* query :

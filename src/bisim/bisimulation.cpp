@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "support/errors.hpp"
+#include "support/bit_vector.hpp"
 #include "support/telemetry.hpp"
 
 namespace unicon {
@@ -93,7 +94,7 @@ TauSccResult tau_sccs(const Imc& m, const std::vector<std::uint32_t>* blocks = n
 
   constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
   std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
-  std::vector<bool> on_stack(n, false);
+  BitVector on_stack(n, false);
   std::vector<StateId> scc_stack;
   std::uint32_t next_index = 0;
 
@@ -320,7 +321,7 @@ Imc quotient(const Imc& m, const Partition& partition, QuotientStyle style) {
 
   // Markov transitions: lumped vector of the first stable member of each
   // block; blocks without stable members carry none (maximal progress).
-  std::vector<bool> done(k, false);
+  BitVector done(k, false);
   for (StateId s = 0; s < m.num_states(); ++s) {
     const std::uint32_t blk = partition.block_of[s];
     if (done[blk] || !m.stable(s)) continue;

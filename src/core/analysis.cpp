@@ -4,7 +4,7 @@
 
 namespace unicon {
 
-UimcAnalysisResult analyze_timed_reachability(const Imc& m, const std::vector<bool>& goal,
+UimcAnalysisResult analyze_timed_reachability(const Imc& m, const BitVector& goal,
                                               double t, const UimcAnalysisOptions& options) {
   if (options.check_uniformity && !m.is_uniform(UniformityView::Closed, 1e-6)) {
     throw UniformityError(
@@ -17,7 +17,7 @@ UimcAnalysisResult analyze_timed_reachability(const Imc& m, const std::vector<bo
       transform_to_ctmdp(m, &goal, options.reachability.guard, options.reachability.telemetry);
   result.transform = result.transformed.stats;
 
-  const std::vector<bool>& ctmdp_goal =
+  const BitVector& ctmdp_goal =
       options.reachability.objective == Objective::Maximize ? result.transformed.goal
                                                             : result.transformed.goal_universal;
   result.reachability =

@@ -35,7 +35,7 @@ struct UimcAnalysisResult {
 /// @p m.  @p goal flags states of @p m; it is transferred through the
 /// transformation automatically (existential transfer for sup, universal
 /// for inf).
-UimcAnalysisResult analyze_timed_reachability(const Imc& m, const std::vector<bool>& goal,
+UimcAnalysisResult analyze_timed_reachability(const Imc& m, const BitVector& goal,
                                               double t, const UimcAnalysisOptions& options = {});
 
 }  // namespace unicon

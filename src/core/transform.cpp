@@ -87,7 +87,7 @@ Imc make_alternating(const Imc& m) {
 
 Imc make_markov_alternating(const Imc& m) { return markov_alternating_impl(m).imc; }
 
-TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
+TransformResult transform_to_ctmdp(const Imc& m, const BitVector* goal,
                                    RunGuard* guard, Telemetry* telemetry) {
   if (goal != nullptr && goal->size() != m.num_states()) {
     throw ModelError("transform_to_ctmdp: goal vector size mismatch");
@@ -127,7 +127,7 @@ TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal,
   // is a zero-time deadlock.  Both are rejected (Sec. 4.1).
   enum class Color : std::uint8_t { White, Grey, Black };
   std::vector<Color> color(n2, Color::White);
-  std::vector<bool> exists_hit(n2, false), all_hit(n2, false);
+  BitVector exists_hit(n2, false), all_hit(n2, false);
 
   auto successor_hits = [&](StateId w, bool& ex, bool& all) {
     // Contribution of successor w (any kind) to its predecessor's flags.

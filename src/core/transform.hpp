@@ -27,6 +27,7 @@
 
 #include "ctmdp/ctmdp.hpp"
 #include "imc/imc.hpp"
+#include "support/bit_vector.hpp"
 #include "support/run_guard.hpp"
 
 namespace unicon {
@@ -70,8 +71,8 @@ struct TransformResult {
   /// goal set (correct for sup/maximal reachability);
   /// goal_universal[x] — every zero-time resolution from x hits it
   /// (correct for inf/minimal reachability).
-  std::vector<bool> goal;
-  std::vector<bool> goal_universal;
+  BitVector goal;
+  BitVector goal_universal;
 };
 
 /// Full transformation pipeline: steps (1)-(3) plus CTMDP interpretation.
@@ -91,7 +92,7 @@ struct TransformResult {
 /// TransformStats quantities plus the hybrid Markov transitions cut in
 /// step (1) and the fresh tau states added in step (2), and a
 /// "transform.word_length" histogram of the emitted closure words.
-TransformResult transform_to_ctmdp(const Imc& m, const std::vector<bool>* goal = nullptr,
+TransformResult transform_to_ctmdp(const Imc& m, const BitVector* goal = nullptr,
                                    RunGuard* guard = nullptr, Telemetry* telemetry = nullptr);
 
 }  // namespace unicon

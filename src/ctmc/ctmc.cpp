@@ -43,7 +43,7 @@ Ctmc Ctmc::uniformize(double rate) const {
   return b.build();
 }
 
-Ctmc Ctmc::make_absorbing(const std::vector<bool>& absorbing) const {
+Ctmc Ctmc::make_absorbing(const BitVector& absorbing) const {
   CtmcBuilder b(num_states());
   b.ensure_states(num_states());
   b.set_initial(initial_);

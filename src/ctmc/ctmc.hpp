@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "support/bit_vector.hpp"
 #include "support/sparse.hpp"
 #include "support/symbols.hpp"
 
@@ -50,7 +51,7 @@ class Ctmc {
 
   /// Returns a copy in which every state flagged in @p absorbing has all
   /// outgoing transitions removed.  Used for time-bounded reachability.
-  Ctmc make_absorbing(const std::vector<bool>& absorbing) const;
+  Ctmc make_absorbing(const BitVector& absorbing) const;
 
   std::size_t memory_bytes() const { return rates_.memory_bytes(); }
 

@@ -134,8 +134,8 @@ Ctmc PhaseType::to_ctmc() const {
 double PhaseType::cdf(double t, double epsilon) const {
   if (t < 0.0) return 0.0;
   const Ctmc chain = to_ctmc();
-  std::vector<bool> goal(chain.num_states(), false);
-  goal.back() = true;
+  BitVector goal(chain.num_states());
+  goal.set(chain.num_states() - 1);
   const auto result = timed_reachability(chain, goal, t, TransientOptions{epsilon});
   return result.probabilities[0];
 }

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "support/backend.hpp"
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
@@ -83,12 +84,36 @@ struct JumpKernel {
   /// constant in ctmdp/reachability.cpp).
   static constexpr std::size_t kGuardBlock = 4096;
 
+  /// The incoming (forward) rows as a backend GatherView.
+  GatherView forward_view() const {
+    GatherView v;
+    v.num_rows = self_residual.size();
+    v.diag = self_residual.data();
+    v.row_first = in_first.data();
+    v.prob = in_prob.data();
+    v.col = in_col.data();
+    return v;
+  }
+
+  /// The outgoing (backward) rows as a backend GatherView.
+  GatherView backward_view() const {
+    GatherView v;
+    v.num_rows = self_residual.size();
+    v.diag = self_residual.data();
+    v.row_first = out_first.data();
+    v.prob = out_prob.data();
+    v.col = out_col.data();
+    return v;
+  }
+
   // y = x P (forward / distribution step): gather over incoming edges.
   // @p rows: optional per-worker telemetry row counters (nullptr = off),
-  // batched into one relaxed add per worker per sweep.
+  // batched into one relaxed add per worker per sweep.  @p ops: simd kernel
+  // table, or nullptr for the historical sequential accumulation.
   void step_forward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
                     RunGuard* guard, std::atomic<bool>& aborted,
-                    Counter* const* rows = nullptr) const {
+                    Counter* const* rows = nullptr, const KernelOps* ops = nullptr) const {
+    const GatherView view = forward_view();
     pool.run(self_residual.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
       std::uint64_t swept = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
@@ -98,6 +123,10 @@ struct JumpKernel {
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
         swept += blk_end - blk;
+        if (ops != nullptr) {
+          ops->gather_rows(view, x.data(), y.data(), blk, blk_end);
+          continue;
+        }
         for (std::size_t s = blk; s < blk_end; ++s) {
           double acc = x[s] * self_residual[s];
           for (std::uint64_t j = in_first[s]; j < in_first[s + 1]; ++j) {
@@ -113,7 +142,8 @@ struct JumpKernel {
   // y = P x (backward / value step): gather over outgoing edges.
   void step_backward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
                      RunGuard* guard, std::atomic<bool>& aborted,
-                     Counter* const* rows = nullptr) const {
+                     Counter* const* rows = nullptr, const KernelOps* ops = nullptr) const {
+    const GatherView view = backward_view();
     pool.run(self_residual.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
       std::uint64_t swept = 0;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
@@ -123,6 +153,10 @@ struct JumpKernel {
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
         swept += blk_end - blk;
+        if (ops != nullptr) {
+          ops->gather_rows(view, x.data(), y.data(), blk, blk_end);
+          continue;
+        }
         for (std::size_t s = blk; s < blk_end; ++s) {
           double acc = self_residual[s] * x[s];
           for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
@@ -133,6 +167,12 @@ struct JumpKernel {
       }
       if (rows != nullptr) rows[worker]->add(swept);
     });
+  }
+
+  /// The ops table for a resolved backend: nullptr selects the serial
+  /// open-coded loops above.
+  static const KernelOps* ops_for(Backend resolved) {
+    return resolved == Backend::Serial ? nullptr : &kernel_ops(resolved);
   }
 };
 
@@ -178,6 +218,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   const double e = pick_rate(chain, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const JumpKernel p(chain, e);
+  const KernelOps* const ops = JumpKernel::ops_for(resolve_backend(options.backend));
   WorkerPool pool = make_worker_pool(options.threads, n);
   const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
   Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
@@ -208,7 +249,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_forward(cur, next, pool, guard, sweep_aborted, rows_out);
+    p.step_forward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + 2.0 * options.epsilon;
@@ -260,7 +301,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
   return result;
 }
 
-TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
                                    double t, const TransientOptions& options) {
   if (t < 0.0) throw ModelError("timed_reachability: negative time bound");
   if (goal.size() != chain.num_states()) {
@@ -273,6 +314,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   const double e = pick_rate(absorbing, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
   const JumpKernel p(absorbing, e);
+  const KernelOps* const ops = JumpKernel::ops_for(resolve_backend(options.backend));
   WorkerPool pool = make_worker_pool(options.threads, n);
   const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
   Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
@@ -301,7 +343,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out);
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + options.epsilon;
@@ -346,7 +388,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
   return result;
 }
 
-TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+TransientResult interval_reachability(const Ctmc& chain, const BitVector& goal,
                                       double t1, double t2, const TransientOptions& options) {
   if (t1 < 0.0 || t2 < t1) throw ModelError("interval_reachability: need 0 <= t1 <= t2");
   if (goal.size() != chain.num_states()) {
@@ -373,6 +415,7 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
   const double e = pick_rate(chain, options);
   const PoissonWindow psi = PoissonWindow::compute(e * t1, options.epsilon);
   const JumpKernel p(chain, e);
+  const KernelOps* const ops = JumpKernel::ops_for(resolve_backend(options.backend));
   WorkerPool pool = make_worker_pool(options.threads, n);
   const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
   Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
@@ -399,7 +442,7 @@ TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out);
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
       residual = psi.tail_mass(i + 1) + phase_a.residual_bound + options.epsilon;

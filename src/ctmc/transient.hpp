@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "support/backend.hpp"
+#include "support/bit_vector.hpp"
 #include "support/run_guard.hpp"
 
 namespace unicon {
@@ -34,6 +36,13 @@ struct TransientOptions {
   /// directions are gathers over precomputed rows with a fixed
   /// accumulation order per state.
   unsigned threads = 0;
+  /// Compute backend for the matrix sweeps.  Auto resolves via
+  /// UNICON_BACKEND (else Serial).  Serial keeps the historical sequential
+  /// per-row accumulation; Simd runs the striped-lane gather kernel (AVX2
+  /// when available, portable stripes otherwise) and differs from Serial
+  /// by FP reassociation only (DESIGN.md Sec. 10).  Every backend is
+  /// bit-identical to itself across all thread counts.
+  Backend backend = Backend::Auto;
   /// Optional execution control, polled per uniformization step and every
   /// ~2k states inside parallel sweeps.  On a stop the solver returns a
   /// partial result: `status` names the cause, `residual_bound` bounds
@@ -76,7 +85,7 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
 /// For every state s: probability to reach (and possibly leave again —
 /// prevented by making @p goal absorbing internally) a goal state within
 /// @p t time units, Pr(s, <=t, B).
-TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
                                    double t, const TransientOptions& options = {});
 
 /// Interval reachability Pr(s, [t1, t2], B): the probability that the chain
@@ -84,7 +93,7 @@ TransientResult timed_reachability(const Ctmc& chain, const std::vector<bool>& g
 /// with a trivial left argument).  Computed by the standard two-phase
 /// uniformization: reach-within-(t2 - t1) values with B absorbing, then
 /// propagated backward for t1 over the *unmodified* chain.
-TransientResult interval_reachability(const Ctmc& chain, const std::vector<bool>& goal,
+TransientResult interval_reachability(const Ctmc& chain, const BitVector& goal,
                                       double t1, double t2,
                                       const TransientOptions& options = {});
 

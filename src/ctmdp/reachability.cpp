@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "ctmdp/backend.hpp"
 #include "support/errors.hpp"
 #include "support/fox_glynn.hpp"
 #include "support/numerics.hpp"
@@ -16,64 +17,7 @@ namespace unicon {
 
 namespace {
 
-/// Flat, precomputed discrete kernel of the uniform CTMDP: the branching
-/// probabilities Pr_R(s, s') = R(s') / E_R fused with their target columns,
-/// per-transition entry ranges, per-state transition ranges, and the
-/// per-transition goal mass Pr_R(s, B).  Built once per solve; the sweeps
-/// then run on plain index arithmetic instead of re-deriving span offsets
-/// from the model's entry storage each iteration (which also dereferenced
-/// `rates(0)` as a base pointer — out of range on a model without
-/// transitions).
-struct DiscreteKernel {
-  std::vector<std::uint64_t> state_first;  // per state: first transition index
-  std::vector<std::uint64_t> entry_first;  // per transition: first prob/col index
-  std::vector<double> prob;                // fused branching probabilities
-  std::vector<std::uint32_t> col;          // fused target states
-  std::vector<double> goal_pr;             // per transition
-
-  DiscreteKernel(const Ctmdp& model, const std::vector<bool>& goal) {
-    const std::size_t n = model.num_states();
-    const std::size_t m = model.num_transitions();
-    state_first.resize(n + 1);
-    entry_first.resize(m + 1);
-    prob.reserve(model.num_rate_entries());
-    col.reserve(model.num_rate_entries());
-    goal_pr.assign(m, 0.0);
-    state_first[0] = 0;
-    for (StateId s = 0; s < n; ++s) state_first[s + 1] = model.transition_range(s).second;
-    for (std::uint64_t t = 0; t < m; ++t) {
-      entry_first[t] = prob.size();
-      const double e = model.exit_rate(t);
-      if (!std::isfinite(e) || e <= 0.0) {
-        throw NumericError("DiscreteKernel: non-finite or non-positive exit rate on transition " +
-                           std::to_string(t));
-      }
-      double g = 0.0;
-      for (const SparseEntry& entry : model.rates(t)) {
-        const double p = entry.value / e;
-        if (!std::isfinite(p) || p < 0.0) {
-          throw NumericError("DiscreteKernel: non-finite branching probability on transition " +
-                             std::to_string(t));
-        }
-        prob.push_back(p);
-        col.push_back(entry.col);
-        if (goal[entry.col]) g += p;
-      }
-      goal_pr[t] = g;
-    }
-    entry_first[m] = prob.size();
-  }
-
-  /// psi-weighted one-step value of transition @p tr against values @p q.
-  double transition_value(std::uint64_t tr, double w, const double* q) const {
-    double acc = w * goal_pr[tr];
-    const std::uint64_t last = entry_first[tr + 1];
-    for (std::uint64_t j = entry_first[tr]; j < last; ++j) acc += prob[j] * q[col[j]];
-    return acc;
-  }
-};
-
-void check_inputs(const Ctmdp& model, const std::vector<bool>& goal) {
+void check_inputs(const Ctmdp& model, const BitVector& goal) {
   if (goal.size() != model.num_states()) {
     throw ModelError("timed_reachability: goal vector size mismatch");
   }
@@ -131,9 +75,54 @@ void require_finite_values(const std::vector<double>& values, const char* where)
   }
 }
 
+/// The dense (simd) engine's bridge between its compacted iterate and the
+/// full-state vectors of the external contract (checkpoint spans, resume
+/// iterates, final values).  The dense iterate holds only the relaxed rows;
+/// all goal states share the scalar goal value G (uniform by construction,
+/// see DenseKernel's header comment) and avoided states are pinned 0.0.
+struct DenseBridge {
+  const DenseKernel& kernel;
+  const BitVector& goal;
+
+  /// full[s] = G for goal states, dq[row(s)] for dense states, 0 otherwise.
+  void materialize(const std::vector<double>& dq, double goal_value,
+                   std::vector<double>& full) const {
+    const std::size_t n = kernel.dense_index.size();
+    for (std::size_t s = 0; s < n; ++s) full[s] = goal[s] ? goal_value : 0.0;
+    for (std::uint64_t r = 0; r < kernel.num_rows(); ++r) {
+      full[kernel.dense_state[r]] = dq[r];
+    }
+  }
+
+  /// Inverse of materialize on an externally writable full vector (resume
+  /// input, post-checkpoint iterate).  The goal value is read back from the
+  /// lowest-indexed goal state: the engine maintains the goal iterate as a
+  /// single scalar, so a checkpoint writer that splits the goal states
+  /// apart is collapsed onto that representative (the serial engine would
+  /// propagate such a split per state; DESIGN.md Sec. 10 records this
+  /// contract difference).
+  double ingest(const std::vector<double>& full, std::vector<double>& dq) const {
+    for (std::uint64_t r = 0; r < kernel.num_rows(); ++r) {
+      dq[r] = full[kernel.dense_state[r]];
+    }
+    const std::size_t g0 = goal.next_set(0);
+    return g0 == BitVector::npos ? 0.0 : full[g0];
+  }
+
+  /// Scatters a dense decision row (original transition ids) into a
+  /// full-state row; goal/avoided states keep kNoTransition.
+  std::vector<std::uint64_t> expand_decisions(const std::vector<std::uint64_t>& ddec) const {
+    std::vector<std::uint64_t> full(kernel.dense_index.size(), kNoTransition);
+    for (std::uint64_t r = 0; r < kernel.num_rows(); ++r) {
+      full[kernel.dense_state[r]] = ddec[r];
+    }
+    return full;
+  }
+};
+
 }  // namespace
 
-TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& goal,
                                            double t, const TimedReachabilityOptions& options) {
   check_inputs(model, goal);
   if (t < 0.0) throw ModelError("timed_reachability: negative time bound");
@@ -145,6 +134,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
   const double e = *uniform;
   const std::size_t n = model.num_states();
   const bool maximize = options.objective == Objective::Maximize;
+  const Backend backend = resolve_backend(options.backend);
 
   TimedReachabilityResult result;
   result.uniform_rate = e;
@@ -164,20 +154,16 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
     return !options.avoid.empty() && options.avoid[s] && !goal[s];
   };
 
-  const DiscreteKernel kernel(model, goal);
-
+  // The product k * n can overflow for pathological horizons (k grows with
+  // lambda without bound); a wrapped product below the cap would commit to
+  // allocating the astronomically large true table, so saturate instead.
   const bool record_all_decisions =
       options.extract_scheduler &&
-      k * static_cast<std::uint64_t>(n) <= options.max_decision_entries;
+      saturating_mul(k, static_cast<std::uint64_t>(n)) <= options.max_decision_entries;
   if (options.extract_scheduler) {
     result.initial_decision.assign(n, kNoTransition);
     if (record_all_decisions) result.decisions.resize(k);
   }
-
-  // q_next = q_{i+1}, q_cur = q_i.
-  std::vector<double> q_next(n, 0.0);
-  std::vector<double> q_cur(n, 0.0);
-  std::vector<std::uint64_t> decision(options.extract_scheduler ? n : 0, kNoTransition);
 
   RunGuard* const guard = options.guard;
   std::uint64_t executed = 0;
@@ -190,132 +176,276 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
     if (prior.iterations_planned != k || prior.iterations_executed >= k) {
       throw ModelError("timed_reachability: resume horizon mismatch (model, t or epsilon changed)");
     }
-    q_next = prior.iterate;
-    // A resume iterate is external input just like a checkpoint write; a
-    // non-finite entry would corrupt the result without tripping the
-    // per-sweep delta check (see the checkpoint validation below).
-    require_finite_values(q_next, "timed_reachability resume");
     executed = prior.iterations_executed;
     start_i = k - executed;
+    // The steps the prior run already executed recorded their decision rows
+    // into its partial result; a resumed run only sweeps i = start_i..1, so
+    // without this merge the resumed scheduler artifact would silently lose
+    // every pre-interruption row (indices [start_i, k)) and disagree with
+    // an uninterrupted run.
+    if (record_all_decisions && prior.decisions.size() == k) {
+      for (std::uint64_t j = start_i; j < k; ++j) result.decisions[j] = prior.decisions[j];
+    }
   }
 
-  WorkerPool pool = make_worker_pool(options.threads, n);
-  std::vector<WorkerPool::Slot> delta_slot(pool.size());
-  const std::vector<Counter*> row_counters =
-      worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
-  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
   std::atomic<bool> sweep_aborted{false};
   bool stopped = false;
   bool early_fired = false;
   std::uint64_t early_step = 0;
+  unsigned pool_size = 0;
 
-  for (std::uint64_t i = start_i; i >= 1; --i) {
-    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
-      stopped = true;
-      result.residual_bound = partial_residual(psi, i, options.epsilon);
-      break;
+  if (backend == Backend::Serial) {
+    // ---- Serial engine: the historical flat sweep, bit-identical to the
+    // pre-backend solver (strictly sequential per-transition accumulation).
+    const DiscreteKernel kernel(model, goal);
+
+    // q_next = q_{i+1}, q_cur = q_i.
+    std::vector<double> q_next(n, 0.0);
+    std::vector<double> q_cur(n, 0.0);
+    std::vector<std::uint64_t> decision(options.extract_scheduler ? n : 0, kNoTransition);
+    if (options.resume != nullptr) {
+      q_next = options.resume->iterate;
+      // A resume iterate is external input just like a checkpoint write; a
+      // non-finite entry would corrupt the result without tripping the
+      // per-sweep delta check (see the checkpoint validation below).
+      require_finite_values(q_next, "timed_reachability resume");
     }
-    const double w = psi.psi(i);
-    pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
-      const double* q = q_next.data();
-      double local_delta = 0.0;
-      std::uint64_t rows = 0;
-      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
-        if (guard != nullptr && guard->should_abort_sweep()) {
-          sweep_aborted.store(true, std::memory_order_relaxed);
-          break;
-        }
-        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-        rows += blk_end - blk;
-        for (StateId s = blk; s < blk_end; ++s) {
-          if (goal[s]) {
-            q_cur[s] = w + q[s];
-            if (options.extract_scheduler) decision[s] = kNoTransition;
-          } else if (avoided(s)) {
-            q_cur[s] = 0.0;
-            if (options.extract_scheduler) decision[s] = kNoTransition;
-          } else {
-            const std::uint64_t first = kernel.state_first[s];
-            const std::uint64_t last = kernel.state_first[s + 1];
-            double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
-            std::uint64_t best_t = kNoTransition;
-            for (std::uint64_t tr = first; tr < last; ++tr) {
-              const double acc = kernel.transition_value(tr, w, q);
-              if (maximize ? acc > best : acc < best) {
-                best = acc;
-                best_t = tr;
+
+    WorkerPool pool = make_worker_pool(options.threads, n);
+    pool_size = pool.size();
+    std::vector<WorkerPool::Slot> delta_slot(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    for (std::uint64_t i = start_i; i >= 1; --i) {
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double w = psi.psi(i);
+      pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        const double* q = q_next.data();
+        double local_delta = 0.0;
+        std::uint64_t rows = 0;
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          rows += blk_end - blk;
+          for (StateId s = blk; s < blk_end; ++s) {
+            if (goal[s]) {
+              q_cur[s] = w + q[s];
+              if (options.extract_scheduler) decision[s] = kNoTransition;
+            } else if (avoided(s)) {
+              q_cur[s] = 0.0;
+              if (options.extract_scheduler) decision[s] = kNoTransition;
+            } else {
+              const std::uint64_t first = kernel.state_first[s];
+              const std::uint64_t last = kernel.state_first[s + 1];
+              double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+              std::uint64_t best_t = kNoTransition;
+              for (std::uint64_t tr = first; tr < last; ++tr) {
+                const double acc = kernel.transition_value(tr, w, q);
+                if (maximize ? acc > best : acc < best) {
+                  best = acc;
+                  best_t = tr;
+                }
               }
+              // NaN-capturing max: identical to std::max for finite deltas
+              // (bit-identical results) but latches NaN, which std::max
+              // would silently drop.
+              const double dev = std::fabs(best - q[s]);
+              if (!(dev <= local_delta)) local_delta = dev;
+              q_cur[s] = best;
+              if (options.extract_scheduler) decision[s] = best_t;
             }
-            // NaN-capturing max: identical to std::max for finite deltas
-            // (bit-identical results) but latches NaN, which std::max
-            // would silently drop.
-            const double dev = std::fabs(best - q[s]);
-            if (!(dev <= local_delta)) local_delta = dev;
-            q_cur[s] = best;
-            if (options.extract_scheduler) decision[s] = best_t;
+          }
+        }
+        delta_slot[worker].value = local_delta;
+        if (rows_out != nullptr) rows_out[worker]->add(rows);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        // The sweep for step i was abandoned mid-flight: q_cur is partially
+        // written, so the partial result is the last *completed* iterate in
+        // q_next and step i counts as unconsumed.
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double delta = WorkerPool::reduce_max(delta_slot);
+      if (!std::isfinite(delta)) {
+        throw NumericError("timed_reachability: non-finite update at step " + std::to_string(i) +
+                           " (NaN/Inf reached the iterate)");
+      }
+      q_cur.swap(q_next);  // q_next now holds q_i for the next round
+      ++executed;
+
+      if (record_all_decisions) result.decisions[i - 1] = decision;
+      if (options.extract_scheduler && i == 1) result.initial_decision = decision;
+
+      if (guard != nullptr && guard->wants_checkpoint(executed)) {
+        guard->checkpoint("timed_reachability", executed, k,
+                          partial_residual(psi, i - 1, options.epsilon),
+                          std::span<double>(q_next.data(), q_next.size()));
+        // The callback writes through the span (checkpoint persistence, fault
+        // injection), so the iterate is untrusted on return.  A non-finite
+        // entry would be silently dropped by the action comparisons above —
+        // NaN compares false both ways — leaving finite wrong values, so it
+        // must be rejected here at the trust boundary.
+        require_finite_values(q_next, "timed_reachability checkpoint");
+      }
+
+      if (options.early_termination && i > 1) {
+        // Below the Poisson window no further psi mass arrives; once the
+        // vector stops moving the remaining iterations are no-ops up to
+        // early_termination_delta.  Gate on the window bound only: inside
+        // the window every stored weight is strictly positive by
+        // construction (PoissonWindow::compute throws at the underflow
+        // frontier), so a psi(i-1) == 0.0 test is at best redundant — and
+        // if an interior weight ever *could* underflow, firing on it would
+        // silently skip steps that still carry mass, widening the achieved
+        // epsilon without being reported in residual_bound.
+        if (i - 1 < psi.left()) {
+          if (delta <= options.early_termination_delta) {
+            if (options.extract_scheduler) result.initial_decision = decision;
+            early_fired = true;
+            early_step = i;
+            break;
           }
         }
       }
-      delta_slot[worker].value = local_delta;
-      if (rows_out != nullptr) rows_out[worker]->add(rows);
-    });
-    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
-      // The sweep for step i was abandoned mid-flight: q_cur is partially
-      // written, so the partial result is the last *completed* iterate in
-      // q_next and step i counts as unconsumed.
-      stopped = true;
-      result.residual_bound = partial_residual(psi, i, options.epsilon);
-      break;
     }
-    const double delta = WorkerPool::reduce_max(delta_slot);
-    if (!std::isfinite(delta)) {
-      throw NumericError("timed_reachability: non-finite update at step " + std::to_string(i) +
-                         " (NaN/Inf reached the iterate)");
-    }
-    q_cur.swap(q_next);  // q_next now holds q_i for the next round
-    ++executed;
+    result.iterations_executed = executed;
 
-    if (record_all_decisions) result.decisions[i - 1] = decision;
-    if (options.extract_scheduler && i == 1) result.initial_decision = decision;
-
-    if (guard != nullptr && guard->wants_checkpoint(executed)) {
-      guard->checkpoint("timed_reachability", executed, k,
-                        partial_residual(psi, i - 1, options.epsilon),
-                        std::span<double>(q_next.data(), q_next.size()));
-      // The callback writes through the span (checkpoint persistence, fault
-      // injection), so the iterate is untrusted on return.  A non-finite
-      // entry would be silently dropped by the action comparisons above —
-      // NaN compares false both ways — leaving finite wrong values, so it
-      // must be rejected here at the trust boundary.
-      require_finite_values(q_next, "timed_reachability checkpoint");
+    if (stopped) {
+      result.status = guard->status();
+      result.iterate = q_next;  // raw iterate, resumable
+    } else {
+      result.residual_bound =
+          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
     }
 
-    if (options.early_termination && i > 1) {
-      // Below the Poisson window no further psi mass arrives; once the
-      // vector stops moving the remaining iterations are no-ops up to
-      // early_termination_delta.
-      if (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) {
-        if (delta <= options.early_termination_delta) {
-          if (options.extract_scheduler) result.initial_decision = decision;
-          early_fired = true;
-          early_step = i;
-          break;
+    require_finite_values(q_next, "timed_reachability");
+    result.values = std::move(q_next);
+  } else {
+    // ---- Dense (simd) engine: sweep only the non-goal, non-avoided rows
+    // with the branching mass into B folded into the scalar goal iterate
+    // G_i = psi(i) + G_{i+1} (see DenseKernel).  Same guard blocks,
+    // checkpoint points and delta semantics as the serial engine; the
+    // external contract (checkpoint spans, resume iterates) stays in
+    // full-state vectors via DenseBridge, so partial results interoperate
+    // across backends.
+    const DenseKernel kernel(model, goal, options.avoid);
+    const KernelOps& ops = kernel_ops(backend);
+    const DenseKernelView view = kernel.view();
+    const DenseBridge bridge{kernel, goal};
+    const std::uint64_t rows = kernel.num_rows();
+
+    std::vector<double> dq_next(rows, 0.0);
+    std::vector<double> dq_cur(rows, 0.0);
+    std::vector<std::uint64_t> ddec(options.extract_scheduler ? rows : 0, kNoTransition);
+    std::uint64_t* const ddec_ptr = options.extract_scheduler ? ddec.data() : nullptr;
+    std::vector<double> q_full(n, 0.0);
+    double goal_value = 0.0;  // G_{i+1}, starting from q_{k+1} = 0
+
+    if (options.resume != nullptr) {
+      q_full = options.resume->iterate;
+      require_finite_values(q_full, "timed_reachability resume");
+      goal_value = bridge.ingest(q_full, dq_next);
+    }
+
+    WorkerPool pool = make_worker_pool(options.threads, rows);
+    pool_size = pool.size();
+    std::vector<WorkerPool::Slot> delta_slot(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    for (std::uint64_t i = start_i; i >= 1; --i) {
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double gi = psi.psi(i) + goal_value;  // G_i, the goal value of q_i
+      pool.run(rows, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        const double* q = dq_next.data();
+        double local_delta = 0.0;
+        std::uint64_t swept = 0;
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          swept += blk_end - blk;
+          const double d =
+              ops.relax_rows(view, gi, maximize, q, dq_cur.data(), ddec_ptr, blk, blk_end);
+          if (!(d <= local_delta)) local_delta = d;  // NaN-capturing max
         }
+        delta_slot[worker].value = local_delta;
+        if (rows_out != nullptr) rows_out[worker]->add(swept);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double delta = WorkerPool::reduce_max(delta_slot);
+      if (!std::isfinite(delta)) {
+        throw NumericError("timed_reachability: non-finite update at step " + std::to_string(i) +
+                           " (NaN/Inf reached the iterate)");
+      }
+      dq_cur.swap(dq_next);
+      goal_value = gi;
+      ++executed;
+
+      if (record_all_decisions) result.decisions[i - 1] = bridge.expand_decisions(ddec);
+      if (options.extract_scheduler && i == 1) {
+        result.initial_decision = bridge.expand_decisions(ddec);
+      }
+
+      if (guard != nullptr && guard->wants_checkpoint(executed)) {
+        bridge.materialize(dq_next, goal_value, q_full);
+        guard->checkpoint("timed_reachability", executed, k,
+                          partial_residual(psi, i - 1, options.epsilon),
+                          std::span<double>(q_full.data(), q_full.size()));
+        // Same trust boundary as the serial engine: the span is writable by
+        // external code, so validate and re-ingest whatever came back.
+        require_finite_values(q_full, "timed_reachability checkpoint");
+        goal_value = bridge.ingest(q_full, dq_next);
+      }
+
+      // Window-bound-only gate; see the serial engine for why psi == 0 must
+      // not participate.
+      if (options.early_termination && i > 1 && i - 1 < psi.left() &&
+          delta <= options.early_termination_delta) {
+        if (options.extract_scheduler) result.initial_decision = bridge.expand_decisions(ddec);
+        early_fired = true;
+        early_step = i;
+        break;
       }
     }
-  }
-  result.iterations_executed = executed;
+    result.iterations_executed = executed;
 
-  if (stopped) {
-    result.status = guard->status();
-    result.iterate = q_next;  // raw iterate, resumable
-  } else {
-    result.residual_bound =
-        options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+    bridge.materialize(dq_next, goal_value, q_full);
+    if (stopped) {
+      result.status = guard->status();
+      result.iterate = q_full;  // full-state raw iterate, resumable by any backend
+    } else {
+      result.residual_bound =
+          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+    }
+
+    require_finite_values(q_full, "timed_reachability");
+    result.values = std::move(q_full);
+    if (span) span->metric("dense_rows", rows);
   }
 
-  require_finite_values(q_next, "timed_reachability");
-  result.values = std::move(q_next);
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
   }
@@ -330,13 +460,13 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
     span->metric("iterations_planned", k);
     span->metric("iterations_executed", executed);
     span->metric("early_termination_step", early_step);
-    span->metric("threads", pool.size());
+    span->metric("threads", pool_size);
     span->metric("residual_bound", result.residual_bound);
   }
   return result;
 }
 
-TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector<bool>& goal,
+TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const BitVector& goal,
                                            double t, const std::vector<std::uint64_t>& choice,
                                            const TimedReachabilityOptions& options) {
   check_inputs(model, goal);
@@ -347,6 +477,7 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
   if (!uniform) throw UniformityError("evaluate_scheduler: model is not uniform");
   const double e = *uniform;
   const std::size_t n = model.num_states();
+  const Backend backend = resolve_backend(options.backend);
 
   for (StateId s = 0; s < n; ++s) {
     if (goal[s]) continue;
@@ -368,96 +499,201 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
   const std::uint64_t k = psi.right();
   result.iterations_planned = k;
 
-  const DiscreteKernel kernel(model, goal);
-
-  std::vector<double> q_next(n, 0.0);
-  std::vector<double> q_cur(n, 0.0);
-
-  WorkerPool pool = make_worker_pool(options.threads, n);
-  std::vector<WorkerPool::Slot> delta_slot(pool.size());
-  const std::vector<Counter*> row_counters =
-      worker_row_counters(options.telemetry, "evaluate_scheduler.rows.worker", pool.size());
-  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
   RunGuard* const guard = options.guard;
   std::atomic<bool> sweep_aborted{false};
   bool stopped = false;
   bool early_fired = false;
   std::uint64_t early_step = 0;
-
   std::uint64_t executed = 0;
-  for (std::uint64_t i = k; i >= 1; --i) {
-    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
-      stopped = true;
-      result.residual_bound = partial_residual(psi, i, options.epsilon);
-      break;
-    }
-    const double w = psi.psi(i);
-    pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
-      const double* q = q_next.data();
-      double local_delta = 0.0;
-      std::uint64_t rows = 0;
-      for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
-        if (guard != nullptr && guard->should_abort_sweep()) {
-          sweep_aborted.store(true, std::memory_order_relaxed);
-          break;
-        }
-        const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-        rows += blk_end - blk;
-        for (StateId s = blk; s < blk_end; ++s) {
-          if (goal[s]) {
-            q_cur[s] = w + q[s];
-            continue;
-          }
-          if (kernel.state_first[s] == kernel.state_first[s + 1]) {
-            q_cur[s] = 0.0;
-            continue;
-          }
-          const double acc = kernel.transition_value(choice[s], w, q);
-          const double dev = std::fabs(acc - q[s]);
-          if (!(dev <= local_delta)) local_delta = dev;  // NaN-capturing max
-          q_cur[s] = acc;
-        }
+  unsigned pool_size = 0;
+
+  if (backend == Backend::Serial) {
+    const DiscreteKernel kernel(model, goal);
+
+    std::vector<double> q_next(n, 0.0);
+    std::vector<double> q_cur(n, 0.0);
+
+    WorkerPool pool = make_worker_pool(options.threads, n);
+    pool_size = pool.size();
+    std::vector<WorkerPool::Slot> delta_slot(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "evaluate_scheduler.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    for (std::uint64_t i = k; i >= 1; --i) {
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
       }
-      delta_slot[worker].value = local_delta;
-      if (rows_out != nullptr) rows_out[worker]->add(rows);
-    });
-    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
-      stopped = true;
-      result.residual_bound = partial_residual(psi, i, options.epsilon);
-      break;
+      const double w = psi.psi(i);
+      pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        const double* q = q_next.data();
+        double local_delta = 0.0;
+        std::uint64_t rows = 0;
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          rows += blk_end - blk;
+          for (StateId s = blk; s < blk_end; ++s) {
+            if (goal[s]) {
+              q_cur[s] = w + q[s];
+              continue;
+            }
+            if (kernel.state_first[s] == kernel.state_first[s + 1]) {
+              q_cur[s] = 0.0;
+              continue;
+            }
+            const double acc = kernel.transition_value(choice[s], w, q);
+            const double dev = std::fabs(acc - q[s]);
+            if (!(dev <= local_delta)) local_delta = dev;  // NaN-capturing max
+            q_cur[s] = acc;
+          }
+        }
+        delta_slot[worker].value = local_delta;
+        if (rows_out != nullptr) rows_out[worker]->add(rows);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double delta = WorkerPool::reduce_max(delta_slot);
+      if (!std::isfinite(delta)) {
+        throw NumericError("evaluate_scheduler: non-finite update at step " + std::to_string(i) +
+                           " (NaN/Inf reached the iterate)");
+      }
+      q_cur.swap(q_next);
+      ++executed;
+      if (guard != nullptr && guard->wants_checkpoint(executed)) {
+        guard->checkpoint("evaluate_scheduler", executed, k,
+                          partial_residual(psi, i - 1, options.epsilon),
+                          std::span<double>(q_next.data(), q_next.size()));
+        // Same trust boundary as in timed_reachability: the span is writable
+        // by external code, so reject non-finite entries immediately.
+        require_finite_values(q_next, "evaluate_scheduler checkpoint");
+      }
+      // Window-bound-only gate (see timed_reachability): an interior
+      // psi == 0 cannot occur by construction, and firing on one would
+      // silently skip mass-carrying steps.
+      if (options.early_termination && i > 1 && i - 1 < psi.left() &&
+          delta <= options.early_termination_delta) {
+        early_fired = true;
+        early_step = i;
+        break;
+      }
     }
-    const double delta = WorkerPool::reduce_max(delta_slot);
-    if (!std::isfinite(delta)) {
-      throw NumericError("evaluate_scheduler: non-finite update at step " + std::to_string(i) +
-                         " (NaN/Inf reached the iterate)");
+    result.iterations_executed = executed;
+    if (stopped) {
+      result.status = guard->status();
+      result.iterate = q_next;
+    } else {
+      result.residual_bound =
+          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
     }
-    q_cur.swap(q_next);
-    ++executed;
-    if (guard != nullptr && guard->wants_checkpoint(executed)) {
-      guard->checkpoint("evaluate_scheduler", executed, k,
-                        partial_residual(psi, i - 1, options.epsilon),
-                        std::span<double>(q_next.data(), q_next.size()));
-      // Same trust boundary as in timed_reachability: the span is writable
-      // by external code, so reject non-finite entries immediately.
-      require_finite_values(q_next, "evaluate_scheduler checkpoint");
-    }
-    if (options.early_termination && i > 1 && (i - 1 < psi.left() || psi.psi(i - 1) == 0.0) &&
-        delta <= options.early_termination_delta) {
-      early_fired = true;
-      early_step = i;
-      break;
-    }
-  }
-  result.iterations_executed = executed;
-  if (stopped) {
-    result.status = guard->status();
-    result.iterate = q_next;
+    require_finite_values(q_next, "evaluate_scheduler");
+    result.values = std::move(q_next);
   } else {
-    result.residual_bound =
-        options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+    // Dense engine: evaluate ignores `avoid` exactly as the serial path
+    // does, so the kernel is built without an avoid mask.
+    const DenseKernel kernel(model, goal, BitVector{});
+    const KernelOps& ops = kernel_ops(backend);
+    const DenseKernelView view = kernel.view();
+    const DenseBridge bridge{kernel, goal};
+    const std::uint64_t rows = kernel.num_rows();
+
+    // Map the per-state choice onto dense transition indices once;
+    // transitionless states keep the 0-pinned sentinel.
+    std::vector<std::uint64_t> dchoice(rows, kNoTransition);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const StateId s = kernel.dense_state[r];
+      const auto [first, last] = model.transition_range(s);
+      if (first == last) continue;
+      dchoice[r] = kernel.row_first[r] + (choice[s] - first);
+    }
+
+    std::vector<double> dq_next(rows, 0.0);
+    std::vector<double> dq_cur(rows, 0.0);
+    std::vector<double> q_full(n, 0.0);
+    double goal_value = 0.0;
+
+    WorkerPool pool = make_worker_pool(options.threads, rows);
+    pool_size = pool.size();
+    std::vector<WorkerPool::Slot> delta_slot(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "evaluate_scheduler.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    for (std::uint64_t i = k; i >= 1; --i) {
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double gi = psi.psi(i) + goal_value;
+      pool.run(rows, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        const double* q = dq_next.data();
+        double local_delta = 0.0;
+        std::uint64_t swept = 0;
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          swept += blk_end - blk;
+          const double d =
+              ops.choice_rows(view, gi, q, dchoice.data(), dq_cur.data(), blk, blk_end);
+          if (!(d <= local_delta)) local_delta = d;  // NaN-capturing max
+        }
+        delta_slot[worker].value = local_delta;
+        if (rows_out != nullptr) rows_out[worker]->add(swept);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        stopped = true;
+        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        break;
+      }
+      const double delta = WorkerPool::reduce_max(delta_slot);
+      if (!std::isfinite(delta)) {
+        throw NumericError("evaluate_scheduler: non-finite update at step " + std::to_string(i) +
+                           " (NaN/Inf reached the iterate)");
+      }
+      dq_cur.swap(dq_next);
+      goal_value = gi;
+      ++executed;
+      if (guard != nullptr && guard->wants_checkpoint(executed)) {
+        bridge.materialize(dq_next, goal_value, q_full);
+        guard->checkpoint("evaluate_scheduler", executed, k,
+                          partial_residual(psi, i - 1, options.epsilon),
+                          std::span<double>(q_full.data(), q_full.size()));
+        require_finite_values(q_full, "evaluate_scheduler checkpoint");
+        goal_value = bridge.ingest(q_full, dq_next);
+      }
+      if (options.early_termination && i > 1 && i - 1 < psi.left() &&
+          delta <= options.early_termination_delta) {
+        early_fired = true;
+        early_step = i;
+        break;
+      }
+    }
+    result.iterations_executed = executed;
+    bridge.materialize(dq_next, goal_value, q_full);
+    if (stopped) {
+      result.status = guard->status();
+      result.iterate = q_full;
+    } else {
+      result.residual_bound =
+          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+    }
+    require_finite_values(q_full, "evaluate_scheduler");
+    result.values = std::move(q_full);
+    if (span) span->metric("dense_rows", rows);
   }
-  require_finite_values(q_next, "evaluate_scheduler");
-  result.values = std::move(q_next);
+
   for (StateId s = 0; s < n; ++s) {
     result.values[s] = goal[s] ? 1.0 : clamp01(result.values[s]);
   }
@@ -472,46 +708,77 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
     span->metric("iterations_planned", k);
     span->metric("iterations_executed", executed);
     span->metric("early_termination_step", early_step);
-    span->metric("threads", pool.size());
+    span->metric("threads", pool_size);
     span->metric("residual_bound", result.residual_bound);
   }
   return result;
 }
 
-std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+std::vector<double> step_bounded_reachability(const Ctmdp& model, const BitVector& goal,
                                               std::uint64_t steps, Objective objective,
-                                              unsigned threads, RunGuard* guard) {
+                                              unsigned threads, RunGuard* guard,
+                                              Backend backend_option) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
   const bool maximize = objective == Objective::Maximize;
-  const DiscreteKernel kernel(model, goal);
+  const Backend backend = resolve_backend(backend_option);
 
-  std::vector<double> v(n, 0.0);
-  std::vector<double> next(n, 0.0);
-  for (StateId s = 0; s < n; ++s) v[s] = goal[s] ? 1.0 : 0.0;
+  if (backend == Backend::Serial) {
+    const DiscreteKernel kernel(model, goal);
 
-  WorkerPool pool = make_worker_pool(threads, n);
+    std::vector<double> v(n, 0.0);
+    std::vector<double> next(n, 0.0);
+    for (StateId s = 0; s < n; ++s) v[s] = goal[s] ? 1.0 : 0.0;
+
+    WorkerPool pool = make_worker_pool(threads, n);
+    for (std::uint64_t step = 0; step < steps; ++step) {
+      if (guard != nullptr) guard->check("step_bounded_reachability");
+      pool.run(n, [&](unsigned, std::size_t begin, std::size_t end) {
+        const double* q = v.data();
+        for (StateId s = begin; s < end; ++s) {
+          if (goal[s]) {
+            next[s] = 1.0;
+            continue;
+          }
+          const std::uint64_t first = kernel.state_first[s];
+          const std::uint64_t last = kernel.state_first[s + 1];
+          double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+          for (std::uint64_t tr = first; tr < last; ++tr) {
+            const double acc = kernel.transition_value(tr, 0.0, q);
+            best = maximize ? std::max(best, acc) : std::min(best, acc);
+          }
+          next[s] = best;
+        }
+      });
+      v.swap(next);
+    }
+    return v;
+  }
+
+  // Dense engine: goal states are pinned at 1.0 for every step, so the goal
+  // iterate is the constant 1 and the psi weight is 0 — relax with
+  // gval = 1.0 reproduces transition_value(tr, 0.0, q) with the goal mass
+  // folded.
+  const DenseKernel kernel(model, goal, BitVector{});
+  const KernelOps& ops = kernel_ops(backend);
+  const DenseKernelView view = kernel.view();
+  const DenseBridge bridge{kernel, goal};
+  const std::uint64_t rows = kernel.num_rows();
+
+  std::vector<double> dq(rows, 0.0);
+  std::vector<double> dnext(rows, 0.0);
+
+  WorkerPool pool = make_worker_pool(threads, rows);
   for (std::uint64_t step = 0; step < steps; ++step) {
     if (guard != nullptr) guard->check("step_bounded_reachability");
-    pool.run(n, [&](unsigned, std::size_t begin, std::size_t end) {
-      const double* q = v.data();
-      for (StateId s = begin; s < end; ++s) {
-        if (goal[s]) {
-          next[s] = 1.0;
-          continue;
-        }
-        const std::uint64_t first = kernel.state_first[s];
-        const std::uint64_t last = kernel.state_first[s + 1];
-        double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
-        for (std::uint64_t tr = first; tr < last; ++tr) {
-          const double acc = kernel.transition_value(tr, 0.0, q);
-          best = maximize ? std::max(best, acc) : std::min(best, acc);
-        }
-        next[s] = best;
-      }
+    pool.run(rows, [&](unsigned, std::size_t begin, std::size_t end) {
+      ops.relax_rows(view, 1.0, maximize, dq.data(), dnext.data(), nullptr, begin, end);
     });
-    v.swap(next);
+    dq.swap(dnext);
   }
+
+  std::vector<double> v(n, 0.0);
+  bridge.materialize(dq, 1.0, v);
   return v;
 }
 

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "ctmdp/ctmdp.hpp"
+#include "support/backend.hpp"
+#include "support/bit_vector.hpp"
 #include "support/run_guard.hpp"
 
 namespace unicon {
@@ -40,7 +42,15 @@ struct TimedReachabilityOptions {
   /// visited before the goal (their value is pinned to 0, the absorbing
   /// treatment of phi U<=t psi model checking).  Goal membership wins when
   /// a state is flagged in both.  Must be empty or num_states() long.
-  std::vector<bool> avoid;
+  BitVector avoid;
+  /// Compute backend for the sweep.  Auto resolves via UNICON_BACKEND
+  /// (else Serial).  Serial is the historical scalar engine, bit-identical
+  /// to the pre-backend solver; Simd runs the dense goal-folded kernel
+  /// (AVX2 inner loop when available, portable striped lanes otherwise)
+  /// and differs from Serial by FP reassociation only — see DESIGN.md
+  /// Sec. 10 for the exact contract.  Each backend is bit-identical to
+  /// itself across all thread counts.
+  Backend backend = Backend::Auto;
   /// Stop iterating once the Poisson window is exhausted (no further psi
   /// mass below the current step) and the value vector has converged to
   /// within early_termination_delta in sup norm.  The faithful iteration
@@ -114,7 +124,7 @@ inline constexpr std::uint64_t kNoTransition = static_cast<std::uint64_t>(-1);
 
 /// Runs Algorithm 1.  Requires a uniform CTMDP (throws UniformityError
 /// otherwise) and goal.size() == num_states().
-TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& goal,
                                            double t, const TimedReachabilityOptions& options = {});
 
 /// Policy evaluation: the same backward iteration but following the fixed
@@ -123,7 +133,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const std::vector
 /// uniform CTMC, so this equals CTMC timed reachability and serves as a
 /// cross-check in the tests.  Honours options.guard (partial results as in
 /// timed_reachability) but not options.resume.
-TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector<bool>& goal,
+TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const BitVector& goal,
                                            double t, const std::vector<std::uint64_t>& choice,
                                            const TimedReachabilityOptions& options = {});
 
@@ -132,10 +142,12 @@ TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const std::vector
 /// independently checkable special case.  @p threads as in
 /// TimedReachabilityOptions (0 = hardware_concurrency, 1 = serial).  The
 /// step count carries no Poisson mass, so there is no partial-result
-/// story: a guard stop raises BudgetError instead.
-std::vector<double> step_bounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+/// story: a guard stop raises BudgetError instead.  @p backend as in
+/// TimedReachabilityOptions.
+std::vector<double> step_bounded_reachability(const Ctmdp& model, const BitVector& goal,
                                               std::uint64_t steps,
                                               Objective objective = Objective::Maximize,
-                                              unsigned threads = 0, RunGuard* guard = nullptr);
+                                              unsigned threads = 0, RunGuard* guard = nullptr,
+                                              Backend backend = Backend::Auto);
 
 }  // namespace unicon

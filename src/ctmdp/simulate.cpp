@@ -14,7 +14,7 @@ namespace {
 
 /// One trajectory under the stationary scheduler; true iff the goal set is
 /// reached within the time bound.
-bool simulate_run(const Ctmdp& model, const std::vector<bool>& goal, double t,
+bool simulate_run(const Ctmdp& model, const BitVector& goal, double t,
                   const std::vector<std::uint64_t>& choice, std::uint64_t max_jumps, Rng& rng,
                   std::vector<double>& weights) {
   StateId s = model.initial();
@@ -39,7 +39,7 @@ bool simulate_run(const Ctmdp& model, const std::vector<bool>& goal, double t,
 
 }  // namespace
 
-SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+SimulationResult simulate_reachability(const Ctmdp& model, const BitVector& goal,
                                        double t, const std::vector<std::uint64_t>& choice,
                                        const SimulationOptions& options) {
   if (goal.size() != model.num_states()) {

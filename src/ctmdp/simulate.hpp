@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ctmdp/ctmdp.hpp"
+#include "support/bit_vector.hpp"
 #include "support/rng.hpp"
 #include "support/run_guard.hpp"
 
@@ -55,7 +56,7 @@ struct SimulationResult {
 /// Estimates Pr(reach goal within t) from the initial state under the
 /// stationary scheduler @p choice (transition index per state; must be
 /// valid for every reachable non-goal state with transitions).
-SimulationResult simulate_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+SimulationResult simulate_reachability(const Ctmdp& model, const BitVector& goal,
                                        double t, const std::vector<std::uint64_t>& choice,
                                        const SimulationOptions& options = {});
 

@@ -12,7 +12,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-void check_inputs(const Ctmdp& model, const std::vector<bool>& goal) {
+void check_inputs(const Ctmdp& model, const BitVector& goal) {
   if (goal.size() != model.num_states()) {
     throw ModelError("unbounded analysis: goal vector size mismatch");
   }
@@ -20,7 +20,7 @@ void check_inputs(const Ctmdp& model, const std::vector<bool>& goal) {
 
 /// One optimizing sweep of the embedded jump chain; returns the sup-norm
 /// change over finite entries.
-double sweep(const Ctmdp& model, const std::vector<bool>& goal, const std::vector<bool>& frozen,
+double sweep(const Ctmdp& model, const BitVector& goal, const BitVector& frozen,
              bool maximize, double step_cost, std::vector<double>& x) {
   double delta = 0.0;
   const std::size_t n = model.num_states();
@@ -49,7 +49,7 @@ double sweep(const Ctmdp& model, const std::vector<bool>& goal, const std::vecto
 
 }  // namespace
 
-std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
+BitVector zero_states(const Ctmdp& model, const BitVector& goal,
                               Objective objective) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
@@ -57,7 +57,7 @@ std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
   if (objective == Objective::Maximize) {
     // Backward reachability: states with some path into B have positive
     // maximal probability; the rest are zero.
-    std::vector<bool> can_reach = goal;
+    BitVector can_reach = goal;
     bool changed = true;
     while (changed) {
       changed = false;
@@ -75,7 +75,7 @@ std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
         }
       }
     }
-    std::vector<bool> zero(n);
+    BitVector zero(n);
     for (StateId s = 0; s < n; ++s) zero[s] = !can_reach[s];
     return zero;
   }
@@ -83,7 +83,7 @@ std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
   // Minimize: greatest fixpoint of "can stay outside B forever": a state
   // avoids B if it is not in B and either has no transitions or some
   // transition whose entire support avoids B.
-  std::vector<bool> avoid(n);
+  BitVector avoid(n);
   for (StateId s = 0; s < n; ++s) avoid[s] = !goal[s];
   bool changed = true;
   while (changed) {
@@ -112,7 +112,7 @@ std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
   return avoid;
 }
 
-std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>& goal,
+BitVector almost_sure_states(const Ctmdp& model, const BitVector& goal,
                                      Objective objective) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
@@ -122,8 +122,8 @@ std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>
     // and without touching B, enter the avoid-forever region (from which B
     // is dodged surely).  Positive probability of such an excursion only
     // needs a B-free path in the transition graph.
-    const std::vector<bool> bad = zero_states(model, goal, Objective::Minimize);
-    std::vector<bool> can_escape = bad;  // B-free path into `bad`
+    const BitVector bad = zero_states(model, goal, Objective::Minimize);
+    BitVector can_escape = bad;  // B-free path into `bad`
     bool changed = true;
     while (changed) {
       changed = false;
@@ -141,7 +141,7 @@ std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>
         }
       }
     }
-    std::vector<bool> result(n);
+    BitVector result(n);
     for (StateId s = 0; s < n; ++s) result[s] = goal[s] || !can_escape[s];
     return result;
   }
@@ -149,9 +149,9 @@ std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>
   // Prob1E (de Alfaro): greatest fixpoint over candidate sets U.  Inside
   // the loop a least fixpoint R collects the states that can reach B while
   // staying in U with some transition whose entire support remains in U.
-  std::vector<bool> u(n, true);
+  BitVector u(n, true);
   for (;;) {
-    std::vector<bool> r = goal;
+    BitVector r = goal;
     bool grew = true;
     while (grew) {
       grew = false;
@@ -177,7 +177,7 @@ std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>
   }
 }
 
-UnboundedResult unbounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+UnboundedResult unbounded_reachability(const Ctmdp& model, const BitVector& goal,
                                        const UnboundedOptions& options) {
   check_inputs(model, goal);
   const std::size_t n = model.num_states();
@@ -185,7 +185,7 @@ UnboundedResult unbounded_reachability(const Ctmdp& model, const std::vector<boo
     throw ModelError("unbounded_reachability: avoid vector size mismatch");
   }
   const bool maximize = options.objective == Objective::Maximize;
-  const std::vector<bool> zero = zero_states(model, goal, options.objective);
+  const BitVector zero = zero_states(model, goal, options.objective);
 
   UnboundedResult result;
   result.values.assign(n, 0.0);
@@ -195,7 +195,7 @@ UnboundedResult unbounded_reachability(const Ctmdp& model, const std::vector<boo
 
   // Freeze goal, zero and avoided states; also freeze transitionless
   // states (their value is the indicator already set above).
-  std::vector<bool> frozen(n, false);
+  BitVector frozen(n, false);
   for (StateId s = 0; s < n; ++s) {
     const auto [first, last] = model.transition_range(s);
     frozen[s] = zero[s] || first == last ||
@@ -211,7 +211,7 @@ UnboundedResult unbounded_reachability(const Ctmdp& model, const std::vector<boo
   return result;
 }
 
-ExpectedTimeResult expected_reachability_time(const Ctmdp& model, const std::vector<bool>& goal,
+ExpectedTimeResult expected_reachability_time(const Ctmdp& model, const BitVector& goal,
                                               const UnboundedOptions& options) {
   check_inputs(model, goal);
   const auto uniform = model.uniform_rate(1e-6);
@@ -225,12 +225,12 @@ ExpectedTimeResult expected_reachability_time(const Ctmdp& model, const std::vec
   // Finiteness region, decided graph-theoretically: sup E[time] is finite
   // iff even the *minimizing* reachability scheduler hits B almost surely
   // (Prob1A); inf E[time] is finite iff some scheduler does (Prob1E).
-  const std::vector<bool> almost_sure = almost_sure_states(
+  const BitVector almost_sure = almost_sure_states(
       model, goal, maximize ? Objective::Minimize : Objective::Maximize);
 
   ExpectedTimeResult result;
   result.values.assign(n, 0.0);
-  std::vector<bool> frozen(n, false);
+  BitVector frozen(n, false);
   for (StateId s = 0; s < n; ++s) {
     if (goal[s]) continue;
     const auto [first, last] = model.transition_range(s);

@@ -16,6 +16,7 @@
 
 #include "ctmdp/ctmdp.hpp"
 #include "ctmdp/reachability.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon {
 
@@ -27,7 +28,7 @@ struct UnboundedOptions {
   /// Optional until-style constraint: states flagged here (and not in the
   /// goal) are losing — their value is pinned to 0.  Empty or
   /// num_states() long.
-  std::vector<bool> avoid;
+  BitVector avoid;
 };
 
 struct UnboundedResult {
@@ -38,7 +39,7 @@ struct UnboundedResult {
 /// States from which B is reached with probability zero under the
 /// objective: for Maximize, no scheduler reaches B at all (no path into B);
 /// for Minimize, some scheduler avoids B forever.
-std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
+BitVector zero_states(const Ctmdp& model, const BitVector& goal,
                               Objective objective);
 
 /// Qualitative almost-sure reachability:
@@ -46,12 +47,12 @@ std::vector<bool> zero_states(const Ctmdp& model, const std::vector<bool>& goal,
 ///    (classical nested fixpoint).
 ///  - Minimize: Prob1A — EVERY scheduler reaches B with probability 1
 ///    (equivalently: no B-free path into the avoid-forever region).
-std::vector<bool> almost_sure_states(const Ctmdp& model, const std::vector<bool>& goal,
+BitVector almost_sure_states(const Ctmdp& model, const BitVector& goal,
                                      Objective objective);
 
 /// sup/inf over schedulers of Pr(eventually reach B), by value iteration
 /// over the embedded jump chain with qualitative precomputation.
-UnboundedResult unbounded_reachability(const Ctmdp& model, const std::vector<bool>& goal,
+UnboundedResult unbounded_reachability(const Ctmdp& model, const BitVector& goal,
                                        const UnboundedOptions& options = {});
 
 struct ExpectedTimeResult {
@@ -71,7 +72,7 @@ struct ExpectedTimeResult {
 /// UniformityError otherwise).  Maximize gives the worst-case expected
 /// hitting time; states that can avoid B (Maximize) or cannot reach it
 /// (either) get infinity.
-ExpectedTimeResult expected_reachability_time(const Ctmdp& model, const std::vector<bool>& goal,
+ExpectedTimeResult expected_reachability_time(const Ctmdp& model, const BitVector& goal,
                                               const UnboundedOptions& options = {});
 
 }  // namespace unicon

@@ -76,7 +76,7 @@ Imc minimize_renamed(const Imc& m, const std::function<std::string(const std::st
   const Partition p = branching_bisimulation(m, &labels);
 
   std::vector<std::string> block_key(p.num_blocks);
-  std::vector<bool> seen(p.num_blocks, false);
+  BitVector seen(p.num_blocks, false);
   for (StateId s = 0; s < m.num_states(); ++s) {
     const std::string k = key(m.state_name(s));
     const std::uint32_t blk = p.block_of[s];

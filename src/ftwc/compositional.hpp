@@ -15,6 +15,7 @@
 
 #include "ftwc/parameters.hpp"
 #include "imc/imc.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon::ftwc {
 
@@ -38,7 +39,7 @@ struct CompositionalResult {
   /// The closed FTWC uIMC (urgency applied during the final exploration).
   Imc uimc;
   /// Goal mask: premium service NOT guaranteed.
-  std::vector<bool> goal;
+  BitVector goal;
   /// Uniform rate (closed view) — the sum of the component elapse rates.
   double uniform_rate = 0.0;
   std::vector<StageStats> stages;

@@ -11,13 +11,14 @@
 
 #include "ctmc/ctmc.hpp"
 #include "ftwc/parameters.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon::ftwc {
 
 struct CtmcResult {
   Ctmc ctmc;
   /// Goal mask per state: premium service not guaranteed.
-  std::vector<bool> goal;
+  BitVector goal;
   std::vector<Config> configs;
 };
 

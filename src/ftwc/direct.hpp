@@ -10,6 +10,7 @@
 
 #include "ftwc/parameters.hpp"
 #include "imc/imc.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon::ftwc {
 
@@ -18,7 +19,7 @@ struct DirectResult {
   /// states carry no Markov transitions).
   Imc uimc;
   /// Goal mask per state: premium service not guaranteed.
-  std::vector<bool> goal;
+  BitVector goal;
   /// Semantic configuration per state (for property evaluation and tests).
   std::vector<Config> configs;
   /// The uniform rate E (maximal exit rate before padding).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/errors.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon {
 
@@ -69,7 +70,7 @@ double Imc::rate(StateId s, StateId to) const {
 std::optional<double> Imc::uniform_rate(UniformityView view, double tol) const {
   // Determine reachable states first; unreachable states may carry arbitrary
   // rates without affecting behaviour (Sec. 3).
-  std::vector<bool> reach(num_states_, false);
+  BitVector reach(num_states_, false);
   std::vector<StateId> stack{initial_};
   reach[initial_] = true;
   while (!stack.empty()) {
@@ -187,7 +188,7 @@ Imc Imc::reachable() const {
 }
 
 std::vector<Action> Imc::visible_alphabet() const {
-  std::vector<bool> seen(actions_->size(), false);
+  BitVector seen(actions_->size(), false);
   for (const auto& t : itrans_) {
     if (t.action != kTau) seen[t.action] = true;
   }

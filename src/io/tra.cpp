@@ -295,15 +295,15 @@ LabelMasks read_labels(std::istream& in, std::size_t num_states) {
   return labels;
 }
 
-void write_goal(std::ostream& out, const std::vector<bool>& goal) {
-  write_labels(out, {{"goal", goal}});
+void write_goal(std::ostream& out, const BitVector& goal) {
+  write_labels(out, {{"goal", goal.to_vector_bool()}});
 }
 
-std::vector<bool> read_goal(std::istream& in, std::size_t num_states) {
+BitVector read_goal(std::istream& in, std::size_t num_states) {
   for (auto& [name, mask] : read_labels(in, num_states)) {
-    if (name == "goal") return std::move(mask);
+    if (name == "goal") return BitVector(mask);
   }
-  return std::vector<bool>(num_states, false);
+  return BitVector(num_states);
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "support/bit_vector.hpp"
 #include "ctmdp/ctmdp.hpp"
 #include "imc/imc.hpp"
 
@@ -49,8 +50,8 @@ LabelMasks read_labels(std::istream& in, std::size_t num_states);
 /// Thin wrappers for the single proposition "goal" (the CLI's default):
 /// write_goal emits only the goal mask, read_goal extracts it (all-false
 /// when the file does not mention "goal").
-void write_goal(std::ostream& out, const std::vector<bool>& goal);
-std::vector<bool> read_goal(std::istream& in, std::size_t num_states);
+void write_goal(std::ostream& out, const BitVector& goal);
+BitVector read_goal(std::istream& in, std::size_t num_states);
 
 // File-path convenience wrappers (throw ParseError / ModelError).
 void save_ctmc(const std::string& path, const Ctmc& chain);

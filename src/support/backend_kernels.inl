@@ -1,0 +1,76 @@
+// Backend kernel bodies shared by the portable and AVX2 translation units.
+//
+// Included (never compiled standalone) after the including TU defines, in
+// the current namespace, the single point of divergence:
+//
+//   inline double dot_entries(const double* prob, const std::uint32_t* col,
+//                             const double* q, std::uint64_t first,
+//                             std::uint64_t last);
+//
+// dot_entries must implement the striped-lane contract from backend.hpp —
+// four accumulator lanes over groups of four entries, combined as
+// (a0 + a2) + (a1 + a3), then a sequential scalar tail — so that every
+// implementation of it yields bit-identical sums.  Everything above the dot
+// (transition iteration, max/min reduction, tie-breaking, delta latching)
+// lives here exactly once, so the two simd backends cannot drift apart.
+
+static double relax_rows(const DenseKernelView& k, double gval, bool maximize,
+                         const double* q, double* out, std::uint64_t* decisions,
+                         std::uint64_t begin, std::uint64_t end) {
+  double delta = 0.0;
+  for (std::uint64_t r = begin; r < end; ++r) {
+    const std::uint64_t first_t = k.row_first[r];
+    const std::uint64_t last_t = k.row_first[r + 1];
+    // Same init as the serial sweep: probabilities live in [0, 1], so -1/2
+    // lose against any real transition value; a transitionless row is 0.
+    double best = first_t == last_t ? 0.0 : (maximize ? -1.0 : 2.0);
+    std::uint64_t best_t = kNoKernelChoice;
+    for (std::uint64_t t = first_t; t < last_t; ++t) {
+      const double base = k.goal_pr[t] * gval;
+      const double acc =
+          base + dot_entries(k.prob, k.col, q, k.entry_first[t], k.entry_first[t + 1]);
+      if (maximize ? acc > best : acc < best) {
+        best = acc;
+        best_t = t;
+      }
+    }
+    // NaN-capturing max, as in the serial sweep: identical to std::max for
+    // finite deviations but latches NaN so the caller's finiteness check
+    // fires instead of silently dropping a poisoned update.
+    const double dev = best - q[r] < 0.0 ? q[r] - best : best - q[r];
+    if (!(dev <= delta)) delta = dev;
+    out[r] = best;
+    if (decisions != nullptr) {
+      decisions[r] = best_t == kNoKernelChoice
+                         ? kNoKernelChoice
+                         : k.orig_trans_first[r] + (best_t - first_t);
+    }
+  }
+  return delta;
+}
+
+static double choice_rows(const DenseKernelView& k, double gval, const double* q,
+                          const std::uint64_t* choice, double* out,
+                          std::uint64_t begin, std::uint64_t end) {
+  double delta = 0.0;
+  for (std::uint64_t r = begin; r < end; ++r) {
+    const std::uint64_t t = choice[r];
+    double acc = 0.0;
+    if (t != kNoKernelChoice) {
+      acc = k.goal_pr[t] * gval +
+            dot_entries(k.prob, k.col, q, k.entry_first[t], k.entry_first[t + 1]);
+    }
+    const double dev = acc - q[r] < 0.0 ? q[r] - acc : acc - q[r];
+    if (!(dev <= delta)) delta = dev;  // NaN-capturing max
+    out[r] = acc;
+  }
+  return delta;
+}
+
+static void gather_rows(const GatherView& g, const double* x, double* out,
+                        std::uint64_t begin, std::uint64_t end) {
+  for (std::uint64_t r = begin; r < end; ++r) {
+    const double diag = g.diag[r] * x[r];
+    out[r] = diag + dot_entries(g.prob, g.col, x, g.row_first[r], g.row_first[r + 1]);
+  }
+}

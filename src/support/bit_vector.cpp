@@ -1,0 +1,157 @@
+#include "support/bit_vector.hpp"
+
+#include <bit>
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+namespace {
+
+std::size_t words_for(std::size_t n) { return (n + 63) / 64; }
+
+}  // namespace
+
+BitVector::BitVector(std::initializer_list<bool> bits) {
+  assign(bits.size(), false);
+  std::size_t i = 0;
+  for (bool b : bits) set(i++, b);
+}
+
+BitVector::BitVector(const std::vector<bool>& bits) {
+  assign(bits.size(), false);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+}
+
+void BitVector::assign(std::size_t n, bool value) {
+  size_ = n;
+  words_.assign(words_for(n), value ? ~std::uint64_t{0} : 0);
+  clear_tail();
+}
+
+void BitVector::resize(std::size_t n, bool value) {
+  if (n < size_) {
+    size_ = n;
+    words_.resize(words_for(n));
+    clear_tail();
+    return;
+  }
+  const std::size_t old = size_;
+  size_ = n;
+  words_.resize(words_for(n), value ? ~std::uint64_t{0} : 0);
+  if (value) {
+    // Fill the gap bits inside the old last word.
+    for (std::size_t i = old; i < n && (i >> 6) < words_.size() && (i >> 6) == (old >> 6); ++i) {
+      words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
+  clear_tail();
+}
+
+void BitVector::push_back(bool value) {
+  const std::size_t i = size_;
+  if (words_for(i + 1) > words_.size()) words_.push_back(0);
+  size_ = i + 1;
+  if (value) words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+std::size_t BitVector::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BitVector::all() const {
+  if (size_ == 0) return true;
+  const std::size_t full = size_ / 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    if (words_[w] != ~std::uint64_t{0}) return false;
+  }
+  const std::size_t rem = size_ & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    if ((words_[full] & mask) != mask) return false;
+  }
+  return true;
+}
+
+std::size_t BitVector::next_set(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      const std::size_t i = (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      return i < size_ ? i : npos;
+    }
+    if (++w >= words_.size()) return npos;
+    bits = words_[w];
+  }
+}
+
+std::size_t BitVector::next_unset(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t bits = ~words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      const std::size_t i = (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      return i < size_ ? i : npos;
+    }
+    if (++w >= words_.size()) return npos;
+    bits = ~words_[w];
+  }
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  if (other.size_ != size_) throw ModelError("BitVector: size mismatch in &=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  if (other.size_ != size_) throw ModelError("BitVector: size mismatch in |=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (other.size_ != size_) throw ModelError("BitVector: size mismatch in ^=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::and_not(const BitVector& other) {
+  if (other.size_ != size_) throw ModelError("BitVector: size mismatch in and_not");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  return *this;
+}
+
+void BitVector::flip() {
+  for (std::uint64_t& w : words_) w = ~w;
+  clear_tail();
+}
+
+std::vector<bool> BitVector::to_vector_bool() const {
+  std::vector<bool> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+  return out;
+}
+
+void BitVector::clear_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace unicon

@@ -1,0 +1,150 @@
+// Packed bit set over 64-bit words for the solver hot paths.
+//
+// The goal/avoid/locked/partition sets used throughout the analyses were
+// historically std::vector<bool>, whose per-element proxy (shift + mask +
+// bound branch through a byte-addressed word) is hostile to the value
+// iteration inner loop and invisible to vectorizers.  BitVector stores the
+// same sets as packed std::uint64_t words (Storm's storage/BitVector is the
+// proven idiom): membership tests compile to one shift and mask on a word
+// kept in register, whole-word operations (and/or/andNot, count, next_set)
+// process 64 states per step, and the word array is what the SIMD backend
+// dispatches on.
+//
+// Interop: implicit conversion from std::vector<bool> (and an
+// initializer_list<bool> constructor) keeps the long tail of callers —
+// language frontend masks, .lab readers, tests — source-compatible; the
+// solver-facing producers build BitVector natively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace unicon {
+
+class BitVector {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  BitVector() = default;
+  explicit BitVector(std::size_t n, bool value = false) { assign(n, value); }
+  BitVector(std::initializer_list<bool> bits);
+  /// Implicit bridge from the historical representation.
+  BitVector(const std::vector<bool>& bits);  // NOLINT(google-explicit-constructor)
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Membership test: one shift and mask.
+  bool operator[](std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1u; }
+  bool get(std::size_t i) const { return (*this)[i]; }
+
+  void set(std::size_t i, bool value = true) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Writable proxy so `mask[i] = flag;` call sites keep working.  The hot
+  /// paths use the const operator[] (a plain bool); the proxy is a
+  /// construction-time convenience only.
+  class Reference {
+   public:
+    Reference(BitVector& v, std::size_t i) : v_(v), i_(i) {}
+    Reference& operator=(bool value) {
+      v_.set(i_, value);
+      return *this;
+    }
+    Reference& operator=(const Reference& other) { return *this = static_cast<bool>(other); }
+    operator bool() const { return static_cast<const BitVector&>(v_)[i_]; }
+
+   private:
+    BitVector& v_;
+    std::size_t i_;
+  };
+  Reference operator[](std::size_t i) { return Reference(*this, i); }
+
+  void assign(std::size_t n, bool value);
+  void resize(std::size_t n, bool value = false);
+  void clear() {
+    size_ = 0;
+    words_.clear();
+  }
+  void push_back(bool value);
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+  /// True when every bit is set (vacuously true when empty).
+  bool all() const;
+
+  /// Index of the first set bit at or after @p from; npos when none.
+  /// Word-level scan: the iteration idiom for sparse sets is
+  ///   for (auto i = v.next_set(0); i != BitVector::npos; i = v.next_set(i + 1))
+  std::size_t next_set(std::size_t from) const;
+  /// Index of the first clear bit at or after @p from; npos when none.
+  std::size_t next_unset(std::size_t from) const;
+
+  /// Word-level combination; sizes must match (ModelError otherwise).
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator^=(const BitVector& other);
+  /// this := this & ~other.
+  BitVector& and_not(const BitVector& other);
+  /// Flips every bit (tail bits beyond size stay clear).
+  void flip();
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const BitVector& a, const BitVector& b) { return !(a == b); }
+
+  /// Packed words, least-significant bit of words()[0] = element 0.  Bits at
+  /// and beyond size() are guaranteed clear (the class maintains this after
+  /// every mutation), so word-level consumers never need a tail mask.
+  std::span<const std::uint64_t> words() const { return {words_.data(), words_.size()}; }
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  /// Round-trip back to the historical representation (tests, io).
+  std::vector<bool> to_vector_bool() const;
+
+  /// Read-only iteration over bools, for range-for compatibility.
+  class const_iterator {
+   public:
+    using value_type = bool;
+    const_iterator(const BitVector* v, std::size_t i) : v_(v), i_(i) {}
+    bool operator*() const { return (*v_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const BitVector* v_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  /// Clears bits at positions >= size_ in the last word.
+  void clear_tail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace unicon

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <span>
 
 namespace unicon {
@@ -33,6 +35,15 @@ inline double clamp01(double p) {
   if (p < 0.0) return 0.0;
   if (p > 1.0) return 1.0;
   return p;
+}
+
+/// a * b saturated to UINT64_MAX on overflow.  Budget-style comparisons
+/// ("is k * n under the cap?") must not wrap: a wrapped product can land
+/// below the cap and green-light an allocation of astronomical true size.
+inline std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (b != 0 && a > kMax / b) return kMax;
+  return a * b;
 }
 
 /// Maximum absolute difference between two equally sized vectors.

@@ -110,7 +110,7 @@ double vector_diff(const std::vector<double>& a, const std::vector<double>& b) {
 }
 
 /// The optimized solve under test, with the configured bug injected.
-TimedReachabilityResult mutated_solve(const Ctmdp& model, std::vector<bool> goal, double t,
+TimedReachabilityResult mutated_solve(const Ctmdp& model, BitVector goal, double t,
                                       TimedReachabilityOptions options, Mutation mutation) {
   if (mutation == Mutation::SwapObjective) {
     options.objective = options.objective == Objective::Maximize ? Objective::Minimize
@@ -150,13 +150,14 @@ std::vector<std::uint64_t> complete_choice(const Ctmdp& model,
 /// The full solver battery on one uniform CTMDP.  Returns the primary
 /// (mutated) sup result so callers can compare pipeline variants against it.
 TimedReachabilityResult solver_checks(const Ctx& ctx, const Ctmdp& model,
-                                      const std::vector<bool>& goal_sup,
-                                      const std::vector<bool>& goal_inf, bool with_mc) {
+                                      const BitVector& goal_sup,
+                                      const BitVector& goal_inf, bool with_mc) {
   const DifferentialConfig& config = ctx.config;
   const double t = config.time;
   TimedReachabilityOptions serial;
   serial.epsilon = config.epsilon;
   serial.threads = 1;
+  serial.backend = config.backend;
 
   const TimedReachabilityResult sup = mutated_solve(model, goal_sup, t, serial, config.mutation);
 
@@ -244,6 +245,7 @@ TimedReachabilityResult solver_checks(const Ctx& ctx, const Ctmdp& model,
     TransientOptions transient;
     transient.epsilon = config.epsilon;
     transient.threads = 1;
+    transient.backend = config.backend;
     const TransientResult chain_result = timed_reachability(chain, goal_sup, t, transient);
     const double chain_diff = vector_diff(chain_result.probabilities, eval.values);
     ctx.require(chain_diff <= config.tolerance, "induced-ctmc",
@@ -280,11 +282,12 @@ TimedReachabilityResult solver_checks(const Ctx& ctx, const Ctmdp& model,
 /// Transforms a pipeline variant of the original uIMC and checks that its
 /// initial sup value agrees with the primary's.
 void variant_check(const Ctx& ctx, const char* name, const Imc& variant,
-                   const std::vector<bool>& goal, double primary_value) {
+                   const BitVector& goal, double primary_value) {
   const TransformResult tr = transform_to_ctmdp(variant, &goal);
   TimedReachabilityOptions options;
   options.epsilon = ctx.config.epsilon;
   options.threads = 1;
+  options.backend = ctx.config.backend;
   const TimedReachabilityResult result =
       timed_reachability(tr.ctmdp, tr.goal, ctx.config.time, options);
   const double value = result.values[tr.ctmdp.initial()];
@@ -292,7 +295,7 @@ void variant_check(const Ctx& ctx, const char* name, const Imc& variant,
               num(value) + " vs primary " + num(primary_value));
 }
 
-void bisim_checks(const Ctx& ctx, const Imc& m, const std::vector<bool>& goal,
+void bisim_checks(const Ctx& ctx, const Imc& m, const BitVector& goal,
                   double primary_value) {
   // Label classes preserve the goal mask through minimization.
   std::vector<std::uint32_t> labels(m.num_states(), 0);
@@ -300,7 +303,7 @@ void bisim_checks(const Ctx& ctx, const Imc& m, const std::vector<bool>& goal,
 
   const Partition strong = strong_bisimulation(m, &labels);
   const Imc strong_q = quotient(m, strong, QuotientStyle::Strong);
-  std::vector<bool> strong_goal(strong.num_blocks, false);
+  BitVector strong_goal(strong.num_blocks, false);
   for (StateId s = 0; s < m.num_states(); ++s) {
     if (goal[s]) strong_goal[strong.block_of[s]] = true;
   }
@@ -308,7 +311,7 @@ void bisim_checks(const Ctx& ctx, const Imc& m, const std::vector<bool>& goal,
 
   const Partition branching = branching_bisimulation(m, &labels);
   const Imc branching_q = quotient(m, branching, QuotientStyle::Branching);
-  std::vector<bool> branching_goal(branching.num_blocks, false);
+  BitVector branching_goal(branching.num_blocks, false);
   for (StateId s = 0; s < m.num_states(); ++s) {
     if (goal[s]) branching_goal[branching.block_of[s]] = true;
   }
@@ -320,7 +323,7 @@ void bisim_checks(const Ctx& ctx, const Imc& m, const std::vector<bool>& goal,
 void scenario_imc(const Ctx& ctx, const Scaled& cfg) {
   Rng rng(derive_seed(ctx.seed, kStreamImc));
   const Imc m = random_uniform_imc(rng, cfg.imc);
-  const std::vector<bool> goal = random_goal(rng, m.num_states());
+  const BitVector goal = random_goal(rng, m.num_states());
 
   const UniformityAudit audit = audit_uniformity(m, UniformityView::Closed, 1e-9);
   ctx.require(audit.uniform, "uniformity-audit",
@@ -375,19 +378,20 @@ void scenario_composed(const Ctx& ctx, const Scaled& cfg) {
 void scenario_ctmdp(const Ctx& ctx, const Scaled& cfg) {
   Rng rng(derive_seed(ctx.seed, kStreamCtmdp));
   const Ctmdp model = random_uniform_ctmdp(rng, cfg.ctmdp);
-  const std::vector<bool> goal = random_goal(rng, model.num_states());
+  const BitVector goal = random_goal(rng, model.num_states());
   solver_checks(ctx, model, goal, goal, /*with_mc=*/true);
 }
 
 void scenario_ctmc(const Ctx& ctx, const Scaled& cfg) {
   Rng rng(derive_seed(ctx.seed, kStreamCtmc));
   const Ctmc chain = random_ctmc(rng, cfg.ctmc);
-  const std::vector<bool> goal = random_goal(rng, chain.num_states());
+  const BitVector goal = random_goal(rng, chain.num_states());
   const double t = ctx.config.time;
 
   TransientOptions serial;
   serial.epsilon = ctx.config.epsilon;
   serial.threads = 1;
+  serial.backend = ctx.config.backend;
   const TransientResult direct = timed_reachability(chain, goal, t, serial);
 
   // Jensen uniformization is transparent to transient behaviour.
@@ -410,6 +414,7 @@ void scenario_ctmc(const Ctx& ctx, const Scaled& cfg) {
   TimedReachabilityOptions solver;
   solver.epsilon = ctx.config.epsilon;
   solver.threads = 1;
+  solver.backend = ctx.config.backend;
   const TimedReachabilityResult alg1 = timed_reachability(embedded, goal, t, solver);
   {
     const double diff = vector_diff(alg1.values, direct.probabilities);
@@ -429,7 +434,7 @@ void scenario_zeno(const Ctx& ctx, const Scaled& cfg) {
   RandomImcConfig zeno_cfg = cfg.imc;
   zeno_cfg.tau_cycle_density = 0.4;
   const Imc m = random_uniform_imc(rng, zeno_cfg);
-  const std::vector<bool> goal = random_goal(rng, m.num_states());
+  const BitVector goal = random_goal(rng, m.num_states());
 
   // 0 = accepted, 1 = rejected.  The *first* rejection reason may depend on
   // exploration order, so only acceptance must agree.
@@ -497,7 +502,7 @@ std::vector<std::string> write_artifacts(const Failure& failure,
                         : failure.scenario == "zeno"                 ? kStreamZeno
                                                                      : kStreamImc));
     Imc m;
-    std::vector<bool> goal;
+    BitVector goal;
     if (failure.scenario == "composed") {
       ComposedModel cm = random_composed_uimc(rng, cfg.composed);
       m = std::move(cm.system);
@@ -513,13 +518,13 @@ std::vector<std::string> write_artifacts(const Failure& failure,
   } else if (failure.scenario == "ctmdp") {
     Rng rng(derive_seed(failure.seed, kStreamCtmdp));
     const Ctmdp model = random_uniform_ctmdp(rng, cfg.ctmdp);
-    const std::vector<bool> goal = random_goal(rng, model.num_states());
+    const BitVector goal = random_goal(rng, model.num_states());
     emit(stem + ".ctmdp", [&](std::ostream& out) { io::write_ctmdp(out, model); });
     emit(stem + ".lab", [&](std::ostream& out) { io::write_goal(out, goal); });
   } else if (failure.scenario == "ctmc") {
     Rng rng(derive_seed(failure.seed, kStreamCtmc));
     const Ctmc chain = random_ctmc(rng, cfg.ctmc);
-    const std::vector<bool> goal = random_goal(rng, chain.num_states());
+    const BitVector goal = random_goal(rng, chain.num_states());
     emit(stem + ".tra", [&](std::ostream& out) { io::write_ctmc(out, chain); });
     emit(stem + ".lab", [&](std::ostream& out) { io::write_goal(out, goal); });
   }

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "support/backend.hpp"
+
 namespace unicon::testing {
 
 /// Deliberate bugs injected into the optimized solve path, used to verify
@@ -60,6 +62,10 @@ struct DifferentialConfig {
   /// Monte-Carlo runs of the first attempt; a failed CI check is retried
   /// once with 4x the runs and a fresh derived seed before counting.
   std::uint64_t mc_runs = 4000;
+  /// Compute backend forced into every solver run (Auto = UNICON_BACKEND /
+  /// serial).  Lets the self-check corpus exercise each kernel
+  /// implementation against the oracles (unicon_fuzz --backend).
+  Backend backend = Backend::Auto;
   /// CI z-score (2.5758 = 99%).
   double mc_z = 2.5758;
   /// Shrink failing seeds down the config ladder.

@@ -71,7 +71,7 @@ double max_deviation(const std::vector<double>& a, const std::vector<double>& b)
 /// mask, plus its unfaulted reference solve.
 struct SolveCase {
   Ctmdp model;
-  std::vector<bool> goal;
+  BitVector goal;
   TimedReachabilityOptions options;
   TimedReachabilityResult reference;
 };
@@ -85,6 +85,11 @@ SolveCase make_solve_case(const Ctx& ctx) {
   c.goal = random_goal(rng, c.model.num_states());
   c.options.epsilon = ctx.config->epsilon;
   c.options.threads = ctx.config->threads;
+  c.options.backend = ctx.config->backend;
+  // The reference run records the full scheduler artifact so the cancel
+  // scenario can assert that a resumed run reconstructs it exactly
+  // (pre-interruption decision rows included).
+  c.options.extract_scheduler = true;
   c.options.objective = rng.next_below(2) == 0 ? Objective::Maximize : Objective::Minimize;
   c.reference = timed_reachability(c.model, c.goal, ctx.config->time, c.options);
   return c;
@@ -136,6 +141,15 @@ void run_cancel(Ctx& ctx, const SolveCase& c) {
                   bitwise_equal(resumed.values, c.reference.values),
               "cancel", "resume from poll " + std::to_string(p) +
                             " is not bit-identical to the uninterrupted run");
+    // Regression: the resumed run must merge the partial result's decision
+    // table — without the merge, rows recorded before the interruption
+    // (steps [start, k)) would come back empty and the extracted scheduler
+    // would silently disagree with an uninterrupted run.
+    ctx.check(resumed.initial_decision == c.reference.initial_decision, "cancel",
+              "resumed initial_decision differs from the uninterrupted run");
+    ctx.check(resumed.decisions == c.reference.decisions, "cancel",
+              "resumed decision table dropped or altered pre-interruption rows (poll " +
+                  std::to_string(p) + ")");
     if (ctx.failure) return;
   }
 }

@@ -20,7 +20,7 @@ Imc random_uniform_imc(Rng& rng, const RandomImcConfig& config) {
   b.set_initial(0);
 
   // Decide kinds: last state is Markov so interactive chains terminate.
-  std::vector<bool> interactive(n, false);
+  BitVector interactive(n, false);
   for (std::size_t s = 0; s + 1 < n; ++s) {
     interactive[s] = rng.next_double() < config.interactive_bias;
   }
@@ -213,8 +213,8 @@ Ctmc random_ctmc(Rng& rng, const RandomCtmcConfig& config) {
   return b.build();
 }
 
-std::vector<bool> random_goal(Rng& rng, std::size_t num_states, double density) {
-  std::vector<bool> goal(num_states, false);
+BitVector random_goal(Rng& rng, std::size_t num_states, double density) {
+  BitVector goal(num_states, false);
   bool any = false;
   for (std::size_t s = 1; s < num_states; ++s) {
     if (rng.next_double() < density) {

@@ -25,6 +25,7 @@
 #include "ctmc/ctmc.hpp"
 #include "ctmdp/ctmdp.hpp"
 #include "imc/imc.hpp"
+#include "support/bit_vector.hpp"
 #include "support/rng.hpp"
 
 namespace unicon::testing {
@@ -88,7 +89,7 @@ struct RandomComposedConfig {
 
 struct ComposedModel {
   Imc system;
-  std::vector<bool> goal;
+  BitVector goal;
   /// Common uniform rate the construction guarantees (sum of the
   /// constraint rates) — what Imc::uniform_rate must rediscover.
   double expected_rate = 0.0;
@@ -133,6 +134,6 @@ Ctmc random_ctmc(Rng& rng, const RandomCtmcConfig& config = {});
 
 /// Random goal mask with roughly the given density (at least one goal
 /// state, never the initial state).
-std::vector<bool> random_goal(Rng& rng, std::size_t num_states, double density = 0.25);
+BitVector random_goal(Rng& rng, std::size_t num_states, double density = 0.25);
 
 }  // namespace unicon::testing

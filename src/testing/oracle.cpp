@@ -54,7 +54,7 @@ std::uint64_t naive_truncation_point(double lambda, double eps) {
 }
 
 double sweep_value(const std::vector<std::vector<double>>& state_choices,
-                   const std::vector<double>& q, const std::vector<bool>& goal, double w,
+                   const std::vector<double>& q, const BitVector& goal, double w,
                    bool maximize) {
   double best = maximize ? -1.0 : 2.0;
   for (const std::vector<double>& row : state_choices) {
@@ -72,7 +72,7 @@ double sweep_value(const std::vector<std::vector<double>>& state_choices,
 }  // namespace
 
 std::vector<double> naive_timed_reachability(const DenseModel& model,
-                                             const std::vector<bool>& goal, double t, double eps,
+                                             const BitVector& goal, double t, double eps,
                                              Objective objective) {
   if (goal.size() != model.num_states) {
     throw ModelError("naive_timed_reachability: goal vector size mismatch");
@@ -107,7 +107,7 @@ std::vector<double> naive_timed_reachability(const DenseModel& model,
   return q;
 }
 
-std::vector<double> naive_step_bounded(const DenseModel& model, const std::vector<bool>& goal,
+std::vector<double> naive_step_bounded(const DenseModel& model, const BitVector& goal,
                                        std::uint64_t steps, Objective objective) {
   if (goal.size() != model.num_states) {
     throw ModelError("naive_step_bounded: goal vector size mismatch");
@@ -158,7 +158,7 @@ struct Closure {
 
 }  // namespace
 
-BruteTransform bruteforce_transform(const Imc& closed, const std::vector<bool>& goal) {
+BruteTransform bruteforce_transform(const Imc& closed, const BitVector& goal) {
   if (goal.size() != closed.num_states()) {
     throw ModelError("bruteforce_transform: goal vector size mismatch");
   }
@@ -326,7 +326,7 @@ BruteTransform bruteforce_transform(const Imc& closed, const std::vector<bool>& 
   return result;
 }
 
-std::optional<std::string> check_transform(const Imc& closed, const std::vector<bool>& goal,
+std::optional<std::string> check_transform(const Imc& closed, const BitVector& goal,
                                            const TransformResult& transformed) {
   const BruteTransform brute = bruteforce_transform(closed, goal);
   const Ctmdp& c = transformed.ctmdp;
@@ -363,9 +363,7 @@ std::optional<std::string> check_transform(const Imc& closed, const std::vector<
     return mismatch("uniform rate", brute.model.uniform_rate, *optimized_rate);
   }
 
-  auto count = [](const std::vector<bool>& mask) {
-    return static_cast<double>(std::count(mask.begin(), mask.end(), true));
-  };
+  auto count = [](const BitVector& mask) { return static_cast<double>(mask.count()); };
   if (count(transformed.goal) != count(brute.goal_exists)) {
     return mismatch("existential goal count", count(brute.goal_exists), count(transformed.goal));
   }
@@ -378,7 +376,7 @@ std::optional<std::string> check_transform(const Imc& closed, const std::vector<
 
 UniformityAudit audit_uniformity(const Imc& m, UniformityView view, double tol) {
   // Own reachability sweep over both transition relations.
-  std::vector<bool> reachable(m.num_states(), false);
+  BitVector reachable(m.num_states(), false);
   std::deque<StateId> queue{m.initial()};
   reachable[m.initial()] = true;
   while (!queue.empty()) {

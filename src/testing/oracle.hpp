@@ -22,6 +22,7 @@
 #include "ctmdp/ctmdp.hpp"
 #include "ctmdp/reachability.hpp"
 #include "imc/imc.hpp"
+#include "support/bit_vector.hpp"
 
 namespace unicon::testing {
 
@@ -45,12 +46,12 @@ DenseModel dense_from_ctmdp(const Ctmdp& model);
 /// the pmf (right tail mass <= eps).  Returns the per-state optimal
 /// probability of reaching @p goal within @p t.
 std::vector<double> naive_timed_reachability(const DenseModel& model,
-                                             const std::vector<bool>& goal, double t, double eps,
+                                             const BitVector& goal, double t, double eps,
                                              Objective objective = Objective::Maximize);
 
 /// Naive dense step-bounded reachability (no timing): optimal probability
 /// of reaching @p goal within at most @p steps jumps.
-std::vector<double> naive_step_bounded(const DenseModel& model, const std::vector<bool>& goal,
+std::vector<double> naive_step_bounded(const DenseModel& model, const BitVector& goal,
                                        std::uint64_t steps,
                                        Objective objective = Objective::Maximize);
 
@@ -59,8 +60,8 @@ struct BruteTransform {
   DenseModel model;
   /// Existential / universal goal transfer (Sec. 4.1), recomputed by direct
   /// closure folds.
-  std::vector<bool> goal_exists;
-  std::vector<bool> goal_universal;
+  BitVector goal_exists;
+  BitVector goal_universal;
   /// Per-state choice counts, sorted — a state-mapping-free fingerprint to
   /// compare against the optimized Ctmdp.
   std::vector<std::size_t> sorted_choice_counts;
@@ -73,13 +74,13 @@ struct BruteTransform {
 /// closure per decision state.  Throws ZenoError / ModelError exactly where
 /// transform_to_ctmdp must (interactive cycles, zero-time deadlocks,
 /// absorbing initial state).
-BruteTransform bruteforce_transform(const Imc& closed, const std::vector<bool>& goal);
+BruteTransform bruteforce_transform(const Imc& closed, const BitVector& goal);
 
 /// Compares transform_to_ctmdp output against the brute-force oracle on
 /// state-mapping-free invariants: state/transition/entry counts, goal-mask
 /// cardinalities, uniform rates.  Returns a description of the first
 /// mismatch, or nullopt when everything agrees.
-std::optional<std::string> check_transform(const Imc& closed, const std::vector<bool>& goal,
+std::optional<std::string> check_transform(const Imc& closed, const BitVector& goal,
                                            const TransformResult& transformed);
 
 /// Direct Def.-4 audit: recomputes the exit rate of every constrained

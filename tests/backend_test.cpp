@@ -1,0 +1,478 @@
+// Backend and BitVector test suite.
+//
+// Three concerns live here:
+//  * unit coverage for support/bit_vector (the packed set type the solvers
+//    migrated to) and the saturating decision-table sizing,
+//  * the bit-consistency matrix: for every solver entry point, each backend
+//    must be bit-identical to itself across all thread counts, the AVX2 and
+//    portable SIMD kernels must agree bitwise with each other, and SIMD
+//    must agree with the historical serial engine up to the FP-reassociation
+//    tolerance documented in DESIGN.md Sec. 10,
+//  * regressions for the scheduler-resume decision merge and the
+//    early-termination window gate at huge Poisson parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/reachability.hpp"
+#include "support/backend.hpp"
+#include "support/bit_vector.hpp"
+#include "support/errors.hpp"
+#include "support/numerics.hpp"
+#include "support/rng.hpp"
+#include "support/run_guard.hpp"
+#include "testing/generate.hpp"
+#include "test_util.hpp"
+
+namespace unicon {
+namespace {
+
+// ------------------------------------------------------------- BitVector
+
+TEST(BitVector, ConstructionAndBasicAccess) {
+  BitVector empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.none());
+  EXPECT_TRUE(empty.all());  // vacuously
+
+  BitVector zeros(70);
+  EXPECT_EQ(zeros.size(), 70u);
+  EXPECT_EQ(zeros.count(), 0u);
+  EXPECT_FALSE(zeros.any());
+
+  BitVector ones(70, true);
+  EXPECT_EQ(ones.count(), 70u);
+  EXPECT_TRUE(ones.all());
+
+  const BitVector lit{true, false, true, true};
+  EXPECT_EQ(lit.size(), 4u);
+  EXPECT_TRUE(lit[0]);
+  EXPECT_FALSE(lit[1]);
+  EXPECT_EQ(lit.count(), 3u);
+}
+
+TEST(BitVector, VectorBoolBridgeRoundTrips) {
+  std::vector<bool> src(131);
+  for (std::size_t i = 0; i < src.size(); i += 7) src[i] = true;
+  const BitVector v = src;  // implicit bridge
+  EXPECT_EQ(v.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(v[i], src[i]) << i;
+  EXPECT_EQ(v.to_vector_bool(), src);
+  EXPECT_TRUE(v == src);  // mixed comparison through the implicit ctor
+}
+
+TEST(BitVector, SetGetAndReferenceProxy) {
+  BitVector v(130);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v[0] && v[63] && v[64] && v[129]);
+  EXPECT_EQ(v.count(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  v[7] = true;  // proxy write
+  EXPECT_TRUE(v[7]);
+  v[7] = false;
+  EXPECT_FALSE(v[7]);
+}
+
+TEST(BitVector, NextSetAndNextUnsetScanWordBoundaries) {
+  BitVector v(200);
+  for (std::size_t i : {0u, 5u, 63u, 64u, 127u, 128u, 199u}) v.set(i);
+  std::vector<std::size_t> seen;
+  for (std::size_t i = v.next_set(0); i != BitVector::npos; i = v.next_set(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 5, 63, 64, 127, 128, 199}));
+  EXPECT_EQ(v.next_set(200), BitVector::npos);
+
+  EXPECT_EQ(v.next_unset(0), 1u);
+  EXPECT_EQ(v.next_unset(63), 65u);
+  BitVector full(64, true);
+  EXPECT_EQ(full.next_unset(0), BitVector::npos);
+  EXPECT_EQ(full.next_set(0), 0u);
+}
+
+TEST(BitVector, WordOpsAndTailInvariant) {
+  BitVector a(70, true);
+  BitVector b(70);
+  for (std::size_t i = 0; i < 70; i += 2) b.set(i);
+
+  BitVector and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result, b);
+
+  BitVector or_result = b;
+  or_result |= a;
+  EXPECT_EQ(or_result, a);
+
+  BitVector xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.count(), 70u - b.count());
+
+  BitVector diff = a;
+  diff.and_not(b);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_EQ(diff[i], i % 2 == 1) << i;
+
+  // flip keeps the tail bits beyond size() clear — word-level consumers
+  // (the SIMD backend) rely on this.
+  BitVector f(70);
+  f.flip();
+  EXPECT_TRUE(f.all());
+  ASSERT_EQ(f.num_words(), 2u);
+  EXPECT_EQ(f.word(1) >> (70 - 64), 0u);
+
+  BitVector wrong_size(69);
+  EXPECT_THROW(a &= wrong_size, ModelError);
+  EXPECT_THROW(a |= wrong_size, ModelError);
+  EXPECT_THROW(a ^= wrong_size, ModelError);
+  EXPECT_THROW(a.and_not(wrong_size), ModelError);
+}
+
+TEST(BitVector, ResizePushBackAndTailClearing) {
+  BitVector v;
+  for (std::size_t i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 34u);
+
+  v.resize(64);  // shrink across a word boundary
+  EXPECT_EQ(v.size(), 64u);
+  v.resize(128, true);
+  EXPECT_EQ(v.count(), 22u + 64u);
+
+  // Shrinking must clear the abandoned tail so a later grow sees zeros.
+  BitVector w(70, true);
+  w.resize(3);
+  w.resize(70);
+  EXPECT_EQ(w.count(), 3u);
+  for (std::size_t word = 0; word < w.num_words(); ++word) {
+    if (word == 0) {
+      EXPECT_EQ(w.word(0), 0b111u);
+    } else {
+      EXPECT_EQ(w.word(word), 0u);
+    }
+  }
+}
+
+TEST(BitVector, EqualityAndAssign) {
+  BitVector a(65);
+  a.set(64);
+  BitVector b(65);
+  EXPECT_NE(a, b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+  b.assign(65, false);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, BitVector(64));  // same prefix, different size
+}
+
+// ------------------------------------------- decision-table sizing satellite
+
+TEST(SaturatingMul, BoundaryCases) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_mul(0, 0), 0u);
+  EXPECT_EQ(saturating_mul(0, kMax), 0u);
+  EXPECT_EQ(saturating_mul(kMax, 0), 0u);
+  EXPECT_EQ(saturating_mul(1, kMax), kMax);
+  EXPECT_EQ(saturating_mul(kMax, 1), kMax);
+  EXPECT_EQ(saturating_mul(2, kMax / 2), kMax - 1);  // exact, just below the edge
+  EXPECT_EQ(saturating_mul(2, kMax / 2 + 1), kMax);  // first overflowing product
+  EXPECT_EQ(saturating_mul(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_mul(1u << 31, 1u << 31), std::uint64_t{1} << 62);
+  EXPECT_EQ(saturating_mul(std::uint64_t{1} << 32, std::uint64_t{1} << 32), kMax);
+}
+
+TEST(DecisionTable, OversizedTableDegradesToInitialDecisionOnly) {
+  Rng rng(7);
+  const Ctmdp model = testing::random_uniform_ctmdp(rng, {.num_states = 12});
+  const BitVector goal = testing::random_goal(rng, model.num_states());
+
+  TimedReachabilityOptions options;
+  options.extract_scheduler = true;
+  const auto full = timed_reachability(model, goal, 1.5, options);
+  ASSERT_GT(full.iterations_planned, 1u);
+  EXPECT_EQ(full.decisions.size(), full.iterations_planned);
+  EXPECT_EQ(full.initial_decision.size(), model.num_states());
+
+  // A cap below k*n disables the full table but must keep the i = 1 row,
+  // and must not wrap around: a cap that an overflowing k*n product would
+  // appear to satisfy stays disabled thanks to the saturating multiply.
+  options.max_decision_entries = full.iterations_planned;  // < k*n for n > 1
+  const auto capped = timed_reachability(model, goal, 1.5, options);
+  EXPECT_TRUE(capped.decisions.empty());
+  EXPECT_EQ(capped.initial_decision, full.initial_decision);
+  EXPECT_EQ(capped.values, full.values);
+}
+
+// ------------------------------------------------------ bit-consistency suite
+
+/// Sizes chosen to cover every residue that matters to the kernels: the
+/// 4-lane stripes (n mod 4), the AVX2 gather width (n mod 8) and the
+/// cache-block granularity (n mod 16), plus the single-word and
+/// word-boundary BitVector cases.
+const std::size_t kSizes[] = {1, 3, 4, 5, 7, 8, 12, 13, 16, 17, 29, 33, 64, 67};
+
+const Backend kBackends[] = {Backend::Serial, Backend::Simd, Backend::SimdPortable};
+const unsigned kThreadCounts[] = {1, 2, 3, 8};
+
+/// Absolute tolerance for serial-vs-SIMD value differences.  Values live in
+/// [0, 1]; the reassociation error of the striped dot product is a few ulps
+/// per step and the sweeps run O(100) steps here (DESIGN.md Sec. 10).
+constexpr double kReassocTol = 1e-12;
+
+double max_abs_diff_vec(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+struct CtmdpCase {
+  Ctmdp model;
+  BitVector goal;
+  BitVector avoid;
+};
+
+CtmdpCase make_ctmdp_case(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  CtmdpCase c;
+  c.model = testing::random_uniform_ctmdp(
+      rng, {.num_states = n, .uniform_rate = 2.0, .max_transitions_per_state = 3});
+  n = c.model.num_states();  // the generator clamps tiny sizes up to 2
+  c.goal = testing::random_goal(rng, n);
+  c.avoid = BitVector(n);
+  // Sparse avoid set disjoint from the goal, never the initial state.
+  for (std::size_t s = 1; s < n; ++s) {
+    if (!c.goal[s] && rng.next_double() < 0.15) c.avoid.set(s);
+  }
+  return c;
+}
+
+TEST(BitConsistency, TimedReachabilityAcrossBackendsAndThreads) {
+  for (std::size_t n : kSizes) {
+    const CtmdpCase c = make_ctmdp_case(1000 + n, n);
+    std::vector<std::vector<double>> per_backend;
+    for (Backend backend : kBackends) {
+      TimedReachabilityOptions options;
+      options.backend = backend;
+      options.avoid = c.avoid;
+      options.threads = 1;
+      const auto reference = timed_reachability(c.model, c.goal, 1.25, options);
+      for (unsigned threads : kThreadCounts) {
+        options.threads = threads;
+        const auto run = timed_reachability(c.model, c.goal, 1.25, options);
+        EXPECT_EQ(run.values, reference.values)
+            << "thread-variance in " << backend_name(backend) << " n=" << n
+            << " threads=" << threads;
+      }
+      per_backend.push_back(reference.values);
+    }
+    // Simd and SimdPortable share the striped-lane contract bit-for-bit.
+    EXPECT_EQ(per_backend[1], per_backend[2]) << "simd vs simd-portable, n=" << n;
+    // Serial differs by reassociation only.
+    EXPECT_LE(max_abs_diff_vec(per_backend[0], per_backend[1]), kReassocTol) << "n=" << n;
+  }
+}
+
+TEST(BitConsistency, EvaluateSchedulerAcrossBackendsAndThreads) {
+  for (std::size_t n : kSizes) {
+    const CtmdpCase c = make_ctmdp_case(2000 + n, n);
+    TimedReachabilityOptions extract;
+    extract.extract_scheduler = true;
+    const auto optimal = timed_reachability(c.model, c.goal, 1.0, extract);
+    std::vector<std::uint64_t> choice = optimal.initial_decision;
+    for (auto& t : choice) {
+      if (t == kNoTransition) t = 0;
+    }
+
+    std::vector<std::vector<double>> per_backend;
+    for (Backend backend : kBackends) {
+      TimedReachabilityOptions options;
+      options.backend = backend;
+      options.threads = 1;
+      const auto reference = evaluate_scheduler(c.model, c.goal, 1.0, choice, options);
+      for (unsigned threads : kThreadCounts) {
+        options.threads = threads;
+        const auto run = evaluate_scheduler(c.model, c.goal, 1.0, choice, options);
+        EXPECT_EQ(run.values, reference.values)
+            << "thread-variance in " << backend_name(backend) << " n=" << n
+            << " threads=" << threads;
+      }
+      per_backend.push_back(reference.values);
+    }
+    EXPECT_EQ(per_backend[1], per_backend[2]) << "simd vs simd-portable, n=" << n;
+    EXPECT_LE(max_abs_diff_vec(per_backend[0], per_backend[1]), kReassocTol) << "n=" << n;
+  }
+}
+
+TEST(BitConsistency, StepBoundedReachabilityAcrossBackendsAndThreads) {
+  for (std::size_t n : kSizes) {
+    const CtmdpCase c = make_ctmdp_case(3000 + n, n);
+    std::vector<std::vector<double>> per_backend;
+    for (Backend backend : kBackends) {
+      const auto reference = step_bounded_reachability(c.model, c.goal, 25, Objective::Maximize,
+                                                       /*threads=*/1, nullptr, backend);
+      for (unsigned threads : kThreadCounts) {
+        const auto run = step_bounded_reachability(c.model, c.goal, 25, Objective::Maximize,
+                                                   threads, nullptr, backend);
+        EXPECT_EQ(run, reference) << "thread-variance in " << backend_name(backend) << " n=" << n
+                                  << " threads=" << threads;
+      }
+      per_backend.push_back(reference);
+    }
+    EXPECT_EQ(per_backend[1], per_backend[2]) << "simd vs simd-portable, n=" << n;
+    EXPECT_LE(max_abs_diff_vec(per_backend[0], per_backend[1]), kReassocTol) << "n=" << n;
+  }
+}
+
+TEST(BitConsistency, CtmcReachabilityAndTransientAcrossBackendsAndThreads) {
+  for (std::size_t n : kSizes) {
+    Rng rng(4000 + n);
+    const Ctmc chain = testing::random_ctmc(rng, {.num_states = n});
+    const BitVector goal = testing::random_goal(rng, chain.num_states());
+
+    std::vector<std::vector<double>> reach_per_backend;
+    std::vector<std::vector<double>> trans_per_backend;
+    for (Backend backend : kBackends) {
+      TransientOptions options;
+      options.backend = backend;
+      options.threads = 1;
+      const auto reach_ref = timed_reachability(chain, goal, 0.8, options);
+      const auto trans_ref = transient_distribution(chain, 0.8, options);
+      for (unsigned threads : kThreadCounts) {
+        options.threads = threads;
+        const auto reach = timed_reachability(chain, goal, 0.8, options);
+        const auto trans = transient_distribution(chain, 0.8, options);
+        EXPECT_EQ(reach.probabilities, reach_ref.probabilities)
+            << "thread-variance in " << backend_name(backend) << " n=" << n
+            << " threads=" << threads;
+        EXPECT_EQ(trans.probabilities, trans_ref.probabilities)
+            << "thread-variance in " << backend_name(backend) << " n=" << n
+            << " threads=" << threads;
+      }
+      reach_per_backend.push_back(reach_ref.probabilities);
+      trans_per_backend.push_back(trans_ref.probabilities);
+    }
+    EXPECT_EQ(reach_per_backend[1], reach_per_backend[2]) << "simd vs simd-portable, n=" << n;
+    EXPECT_EQ(trans_per_backend[1], trans_per_backend[2]) << "simd vs simd-portable, n=" << n;
+    EXPECT_LE(max_abs_diff_vec(reach_per_backend[0], reach_per_backend[1]), kReassocTol)
+        << "n=" << n;
+    EXPECT_LE(max_abs_diff_vec(trans_per_backend[0], trans_per_backend[1]), kReassocTol)
+        << "n=" << n;
+  }
+}
+
+TEST(BitConsistency, AvxKernelReportsAvailability) {
+  // On an AVX2 host with UNICON_AVX2 compiled in, Backend::Simd must use the
+  // vector kernel (otherwise the benchmark record would silently measure
+  // the portable stripes).  Elsewhere it must fall back, not fail.
+  if (cpu_supports_avx2()) {
+    EXPECT_EQ(simd_uses_avx2(), avx2_kernel_ops() != nullptr);
+  } else {
+    EXPECT_FALSE(simd_uses_avx2());
+  }
+  EXPECT_THROW(kernel_ops(Backend::Serial), ModelError);
+  EXPECT_NE(kernel_ops(Backend::SimdPortable).relax_rows, nullptr);
+  EXPECT_NE(kernel_ops(Backend::Simd).gather_rows, nullptr);
+}
+
+// --------------------------------------------- scheduler-resume regression
+
+TEST(SchedulerResume, MergesPreInterruptionDecisions) {
+  Rng rng(99);
+  const Ctmdp model = testing::random_uniform_ctmdp(rng, {.num_states = 14});
+  const BitVector goal = testing::random_goal(rng, model.num_states());
+
+  TimedReachabilityOptions options;
+  options.extract_scheduler = true;
+  const auto reference = timed_reachability(model, goal, 2.0, options);
+  ASSERT_EQ(reference.status, RunStatus::Converged);
+  ASSERT_EQ(reference.decisions.size(), reference.iterations_planned);
+
+  // Interrupt mid-iteration at several depths; the resumed run must
+  // reconstruct the identical artifact, including the decision rows
+  // recorded before the interruption.
+  for (std::uint64_t polls : {2u, 5u, 9u}) {
+    RunGuard guard;
+    guard.cancel_after_polls(polls);
+    TimedReachabilityOptions interrupted = options;
+    interrupted.guard = &guard;
+    const auto partial = timed_reachability(model, goal, 2.0, interrupted);
+    if (partial.status == RunStatus::Converged) continue;  // cancelled too late
+    ASSERT_FALSE(partial.iterate.empty());
+
+    TimedReachabilityOptions resume_options = options;
+    resume_options.resume = &partial;
+    const auto resumed = timed_reachability(model, goal, 2.0, resume_options);
+    EXPECT_EQ(resumed.status, RunStatus::Converged);
+    EXPECT_EQ(resumed.values, reference.values) << "polls=" << polls;
+    EXPECT_EQ(resumed.initial_decision, reference.initial_decision) << "polls=" << polls;
+    EXPECT_EQ(resumed.decisions, reference.decisions) << "polls=" << polls;
+  }
+}
+
+// -------------------------------------- early-termination window regression
+
+/// Two-state chain as a CTMDP: 0 -> 1 at half the uniform rate.  At huge
+/// E*t the Poisson window's left truncation point is far above 1, and the
+/// iterate converges long before the window is exhausted — exactly the
+/// regime where a psi-underflow-based early-exit check used to fire inside
+/// the window and truncate real probability mass.
+Ctmdp huge_lambda_model() {
+  CtmdpBuilder b;
+  b.ensure_states(2);
+  b.set_initial(0);
+  b.begin_transition(0, "go");
+  b.add_rate(1, 200.0);
+  b.add_rate(0, 200.0);
+  b.begin_transition(1, "stay");
+  b.add_rate(1, 400.0);
+  return b.build();
+}
+
+TEST(EarlyTermination, GatedOnWindowBoundsAtHugeLambda) {
+  const Ctmdp model = huge_lambda_model();
+  const BitVector goal{false, true};
+  const double t = 10.0;  // lambda = 4000, left bound ~ 3600
+
+  TimedReachabilityOptions full_options;
+  full_options.epsilon = 1e-9;
+  const auto full = timed_reachability(model, goal, t, full_options);
+
+  // An infinite delta makes the window gate the *only* thing standing
+  // between the solver and an immediate bogus exit: if the gate ever fires
+  // with psi mass still below the current step, the value collapses.
+  TimedReachabilityOptions early_options = full_options;
+  early_options.early_termination = true;
+  early_options.early_termination_delta = std::numeric_limits<double>::max();
+  const auto early = timed_reachability(model, goal, t, early_options);
+  EXPECT_LT(early.iterations_executed, early.iterations_planned);  // it did fire
+  EXPECT_NEAR(early.values[0], full.values[0], 1e-8);
+  EXPECT_DOUBLE_EQ(early.values[1], 1.0);
+
+  // Same gate in the policy-evaluation sweep.
+  const std::vector<std::uint64_t> choice{0, 0};
+  const auto eval_full = evaluate_scheduler(model, goal, t, choice, full_options);
+  const auto eval_early = evaluate_scheduler(model, goal, t, choice, early_options);
+  EXPECT_LT(eval_early.iterations_executed, eval_early.iterations_planned);
+  EXPECT_NEAR(eval_early.values[0], eval_full.values[0], 1e-8);
+
+  // With a realistic delta the answer must stay within delta + epsilon of
+  // the exact run on every backend.
+  early_options.early_termination_delta = 1e-9;
+  for (Backend backend : kBackends) {
+    early_options.backend = backend;
+    const auto run = timed_reachability(model, goal, t, early_options);
+    EXPECT_NEAR(run.values[0], full.values[0], 1e-8) << backend_name(backend);
+  }
+}
+
+}  // namespace
+}  // namespace unicon

@@ -256,7 +256,7 @@ TEST_P(MinimizationProperties, QuotientPreservesTimedReachability) {
   config.num_states = 12;
   config.uniform_rate = 2.0;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  const BitVector goal = testutil::random_goal(rng, m.num_states());
 
   std::vector<std::uint32_t> labels(m.num_states());
   for (StateId s = 0; s < m.num_states(); ++s) labels[s] = goal[s] ? 1 : 0;

@@ -61,7 +61,7 @@ TEST(Oracle, BruteforceTransformMatchesLibraryOnRandomModels) {
   Rng rng(515);
   for (int i = 0; i < 20; ++i) {
     const Imc m = random_uniform_imc(rng);
-    const std::vector<bool> goal = random_goal(rng, m.num_states());
+    const BitVector goal = random_goal(rng, m.num_states());
     const TransformResult tr = transform_to_ctmdp(m, &goal);
     const auto brute = bruteforce_transform(m, goal);
     EXPECT_EQ(brute.model.num_states, tr.ctmdp.num_states()) << "model #" << i;

@@ -131,7 +131,7 @@ TEST(Pipeline, HidingDoesNotChangeProbabilities) {
   config.num_states = 14;
   config.tau_bias = 0.3;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  const BitVector goal = testutil::random_goal(rng, m.num_states());
   const Imc hidden = m.hide_all();
   for (double t : {0.5, 3.0}) {
     const double a = analyze_timed_reachability(m, goal, t).value;
@@ -191,8 +191,8 @@ TEST(Pipeline, FtwcExpectedTimeToPremiumLoss) {
 TEST(Pipeline, SupIsMonotoneInGoalSet) {
   Rng rng(5);
   const Imc m = testutil::random_uniform_imc(rng);
-  std::vector<bool> small = testutil::random_goal(rng, m.num_states(), 0.15);
-  std::vector<bool> large = small;
+  BitVector small = testutil::random_goal(rng, m.num_states(), 0.15);
+  BitVector large = small;
   for (std::size_t s = 1; s < large.size(); s += 2) large[s] = true;
   const double t = 1.5;
   const double p_small = analyze_timed_reachability(m, small, t).value;

@@ -75,11 +75,11 @@ TEST(IoRoundtrip, GoalMasksAreByteStable) {
   Rng rng(2027);
   for (int i = 0; i < 25; ++i) {
     const std::size_t n = 1 + rng.next_below(40);
-    const std::vector<bool> goal = random_goal(rng, n, 0.3);
+    const BitVector goal = random_goal(rng, n, 0.3);
     std::ostringstream first;
     io::write_goal(first, goal);
     std::istringstream in(first.str());
-    const std::vector<bool> reloaded = io::read_goal(in, n);
+    const BitVector reloaded = io::read_goal(in, n);
     EXPECT_EQ(goal, reloaded);
     std::ostringstream second;
     io::write_goal(second, reloaded);

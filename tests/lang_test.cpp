@@ -203,7 +203,7 @@ TEST(LangPrinter, ShippedModelsRoundTrip) {
 // ---------------------------------------------------------------------------
 // Golden tests: the shipped .uni files match the programmatic models.
 
-double analyze(const Imc& system, const std::vector<bool>& goal, double t,
+double analyze(const Imc& system, const BitVector& goal, double t,
                Objective objective = Objective::Maximize) {
   UimcAnalysisOptions options;
   options.reachability.epsilon = 1e-12;
@@ -512,6 +512,10 @@ TEST(PipelineTelemetry, QuickstartGoldenSpanTree) {
   built = minimize_model(built, nullptr, &telemetry);
   UimcAnalysisOptions options;
   options.reachability.threads = 1;
+  // The golden tree pins the serial engine's observables (the dense SIMD
+  // backend adds a dense_rows metric and sweeps fewer rows), so the backend
+  // is fixed rather than inherited from UNICON_BACKEND.
+  options.reachability.backend = Backend::Serial;
   options.reachability.telemetry = &telemetry;
   const auto result =
       analyze_timed_reachability(built.system, built.mask("goal"), 1.0, options);

@@ -230,17 +230,22 @@ TEST(TelemetryDeterminism, SolverBitIdenticalOnOffAndAcrossThreads) {
   testutil::RandomImcConfig config;
   config.num_states = 40;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> imc_goal = testutil::random_goal(rng, m.num_states());
+  const BitVector imc_goal = testutil::random_goal(rng, m.num_states());
   const auto transformed = transform_to_ctmdp(m, &imc_goal);
 
   TimedReachabilityOptions base;
   base.threads = 1;
+  // The rows-per-sweep accounting below is the serial engine's (states *
+  // sweeps; the dense SIMD backend sweeps only non-goal rows), so the
+  // backend is fixed rather than inherited from UNICON_BACKEND.
+  base.backend = Backend::Serial;
   const auto reference = timed_reachability(transformed.ctmdp, transformed.goal, 2.5, base);
 
   for (unsigned threads : {1u, 0u}) {
     Telemetry telemetry;
     TimedReachabilityOptions options;
     options.threads = threads;
+    options.backend = Backend::Serial;
     options.telemetry = &telemetry;
     const auto observed = timed_reachability(transformed.ctmdp, transformed.goal, 2.5, options);
     ASSERT_EQ(observed.values.size(), reference.values.size());

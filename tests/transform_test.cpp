@@ -240,7 +240,7 @@ TEST(Transform, GoalTransferExistentialAndUniversal) {
   b.add_interactive(1, "b", 4);
   b.add_markov(3, 1.0, 1);
   b.add_markov(4, 1.0, 1);
-  const std::vector<bool> goal{false, false, false, true, false};
+  const BitVector goal{false, false, false, true, false};
   const auto result = transform_to_ctmdp(b.build(), &goal);
   ASSERT_EQ(result.goal.size(), result.ctmdp.num_states());
   // Find the CTMDP state for original state 1.
@@ -260,7 +260,7 @@ TEST(Transform, GoalOnInteractiveEntryState) {
   b.add_markov(0, 1.0, 1);
   b.add_interactive(1, kTau, 2);
   b.add_markov(2, 1.0, 1);
-  const std::vector<bool> goal{false, true, false};
+  const BitVector goal{false, true, false};
   const auto result = transform_to_ctmdp(b.build(), &goal);
   StateId one = kNoState;
   for (StateId s = 0; s < result.ctmdp.num_states(); ++s) {
@@ -276,7 +276,7 @@ TEST(Transform, GoalSizeMismatchThrows) {
   b.add_state();
   b.add_markov(0, 1.0, 0);
   const Imc m = b.build();
-  const std::vector<bool> goal{true, false};
+  const BitVector goal{true, false};
   EXPECT_THROW(transform_to_ctmdp(m, &goal), ModelError);
 }
 
@@ -294,7 +294,7 @@ TEST_P(TransformCrossCheck, DeterministicUimcMatchesCtmcAnalysis) {
   config.deterministic = true;
   config.uniform_rate = 2.0;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  const BitVector goal = testutil::random_goal(rng, m.num_states());
 
   const auto transformed = transform_to_ctmdp(m, &goal);
   const Ctmc chain = testutil::ctmc_from_deterministic_ctmdp(transformed.ctmdp);
@@ -315,7 +315,7 @@ TEST_P(TransformCrossCheck, SupIsAtLeastInf) {
   testutil::RandomImcConfig config;
   config.num_states = 14;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  const BitVector goal = testutil::random_goal(rng, m.num_states());
   UimcAnalysisOptions options;
   const double sup = analyze_timed_reachability(m, goal, 2.0, options).value;
   options.reachability.objective = Objective::Minimize;

@@ -314,7 +314,7 @@ TEST_P(UnboundedConsistency, StepBoundedConvergesToUnbounded) {
   testutil::RandomImcConfig config;
   config.num_states = 10;
   const Imc m = testutil::random_uniform_imc(rng, config);
-  const std::vector<bool> goal = testutil::random_goal(rng, m.num_states());
+  const BitVector goal = testutil::random_goal(rng, m.num_states());
   const auto transformed = transform_to_ctmdp(m, &goal);
   const Ctmdp& c = transformed.ctmdp;
   for (Objective obj : {Objective::Maximize, Objective::Minimize}) {

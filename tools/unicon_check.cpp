@@ -9,6 +9,9 @@
 //                [common]
 //
 // Common execution-control flags (every mode):
+//   --backend NAME     compute backend for the solver sweeps: auto (default;
+//                      honours UNICON_BACKEND, else serial), serial, simd,
+//                      or simd-portable — see DESIGN.md Sec. 10
 //   --deadline S       wall-clock budget in seconds
 //   --mem-budget B     heap budget in bytes (K/M/G suffixes accepted)
 //   --json-errors      machine-readable error/partial diagnostics on stderr
@@ -42,6 +45,7 @@
 
 #include "core/analysis.hpp"
 #include "ctmc/transient.hpp"
+#include "support/backend.hpp"
 #include "ctmdp/reachability.hpp"
 #include "io/tra.hpp"
 #include "lang/build.hpp"
@@ -71,6 +75,7 @@ struct GuardFlags {
   std::uint64_t mem_budget = 0; // bytes; 0 = none
   bool json_errors = false;
   std::string telemetry_path;   // empty = telemetry off; "-" = stderr
+  Backend backend = Backend::Auto;
 };
 
 /// The registry to thread through the pipeline: null when --telemetry was
@@ -99,8 +104,8 @@ struct TelemetryFlusher {
                "[--early] [--scheduler] [common]\n"
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
                "[common]\n"
-               "common: [--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors] "
-               "[--telemetry PATH]\n");
+               "common: [--backend auto|serial|simd|simd-portable] [--deadline S] "
+               "[--mem-budget BYTES[K|M|G]] [--json-errors] [--telemetry PATH]\n");
   std::exit(2);
 }
 
@@ -164,6 +169,15 @@ bool parse_common_flag(int argc, char** argv, int& i, GuardFlags& flags) {
     flags.telemetry_path = argv[++i];
     return true;
   }
+  if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+    try {
+      flags.backend = parse_backend(argv[++i]);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+    return true;
+  }
   return false;
 }
 
@@ -216,7 +230,7 @@ std::unique_ptr<MemoryAccountingScope> arm_guard(const GuardFlags& flags) {
   return nullptr;
 }
 
-std::vector<bool> load_goal(const std::string& path, std::size_t num_states) {
+BitVector load_goal(const std::string& path, std::size_t num_states) {
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open goal file: " + path);
   return io::read_goal(in, num_states);
@@ -281,6 +295,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.epsilon = eps;
   options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
   options.reachability.early_termination = early;
+  options.reachability.backend = flags.backend;
   options.reachability.guard = &g_guard;
   options.reachability.telemetry = tel;
   const auto result = analyze_timed_reachability(built.system, built.mask(goal_name), t, options);
@@ -371,12 +386,13 @@ int main(int argc, char** argv) {
     const TelemetryFlusher flusher(flags);
     if (kind == "ctmdp") {
       const Ctmdp model = io::load_ctmdp(model_path);
-      const std::vector<bool> goal = load_goal(goal_path, model.num_states());
+      const BitVector goal = load_goal(goal_path, model.num_states());
       TimedReachabilityOptions options;
       options.epsilon = eps;
       options.objective = minimize ? Objective::Minimize : Objective::Maximize;
       options.early_termination = early;
       options.extract_scheduler = scheduler;
+      options.backend = flags.backend;
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;
@@ -401,10 +417,11 @@ int main(int argc, char** argv) {
       return report_partial(result.status, result.residual_bound, flags);
     } else if (kind == "ctmc") {
       const Ctmc model = io::load_ctmc(model_path);
-      const std::vector<bool> goal = load_goal(goal_path, model.num_states());
+      const BitVector goal = load_goal(goal_path, model.num_states());
       TransientOptions options;
       options.epsilon = eps;
       options.early_termination = early;
+      options.backend = flags.backend;
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;

@@ -17,6 +17,10 @@
 //                  must then FAIL, which --self-check automates
 //   --self-check   verify the driver catches every mutation on a small
 //                  corpus, then run the clean corpus
+//   --backend B    force the solver backend (serial, simd, simd-portable;
+//                  default auto = UNICON_BACKEND env or serial) in every
+//                  differential solve — run the self-check once per backend
+//                  to differentially certify each kernel implementation
 //   --out DIR      write shrunk counterexample models (.imc/.ctmdp/.tra +
 //                  .lab + replay note) into DIR
 //   --lang         fuzz the UNI language frontend instead: random generated
@@ -34,6 +38,8 @@
 #include <string>
 
 #include "lang/fuzz.hpp"
+#include "support/backend.hpp"
+#include "support/errors.hpp"
 #include "support/telemetry.hpp"
 #include "testing/differential.hpp"
 #include "testing/fault_injection.hpp"
@@ -50,6 +56,7 @@ namespace {
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
                "                   [--out DIR] [--self-check] [--lang] [--faults]\n"
+               "                   [--backend auto|serial|simd|simd-portable]\n"
                "                   [--threads N] [-v]\n");
   std::exit(2);
 }
@@ -62,6 +69,7 @@ int run_fault_mode(const DifferentialConfig& config, unsigned threads, bool verb
   fault_config.epsilon = config.epsilon;
   fault_config.tolerance = config.tolerance;
   fault_config.threads = threads;
+  fault_config.backend = config.backend;
   fault_config.artifact_dir = config.artifact_dir;
   const FaultLogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
   Stopwatch timer;
@@ -186,6 +194,13 @@ int main(int argc, char** argv) {
       lang_mode = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       fault_mode = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      try {
+        config.backend = parse_backend(value());
+      } catch (const ModelError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage();
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (std::strcmp(argv[i], "-v") == 0) {
