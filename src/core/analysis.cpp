@@ -26,4 +26,30 @@ UimcAnalysisResult analyze_timed_reachability(const Imc& m, const BitVector& goa
   return result;
 }
 
+UimcBatchAnalysisResult analyze_timed_reachability_batch(const Imc& m, const BitVector& goal,
+                                                         const std::vector<double>& times,
+                                                         const UimcAnalysisOptions& options) {
+  if (options.check_uniformity && !m.is_uniform(UniformityView::Closed, 1e-6)) {
+    throw UniformityError(
+        "analyze_timed_reachability_batch: model is not uniform (closed view); "
+        "build it uniformly by construction or uniformize it first");
+  }
+
+  UimcBatchAnalysisResult result;
+  result.transformed =
+      transform_to_ctmdp(m, &goal, options.reachability.guard, options.reachability.telemetry);
+  result.transform = result.transformed.stats;
+
+  const BitVector& ctmdp_goal =
+      options.reachability.objective == Objective::Maximize ? result.transformed.goal
+                                                            : result.transformed.goal_universal;
+  result.reachability =
+      timed_reachability_batch(result.transformed.ctmdp, ctmdp_goal, times, options.reachability);
+  result.values.reserve(times.size());
+  for (const TimedReachabilityResult& r : result.reachability) {
+    result.values.push_back(r.values[result.transformed.ctmdp.initial()]);
+  }
+  return result;
+}
+
 }  // namespace unicon

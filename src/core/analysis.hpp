@@ -38,4 +38,21 @@ struct UimcAnalysisResult {
 UimcAnalysisResult analyze_timed_reachability(const Imc& m, const BitVector& goal,
                                               double t, const UimcAnalysisOptions& options = {});
 
+struct UimcBatchAnalysisResult {
+  /// Probability at the initial state per requested time bound (input order).
+  std::vector<double> values;
+  /// Full per-horizon solver results (timed_reachability_batch contract:
+  /// each bit-identical to its independent single-t solve).
+  std::vector<TimedReachabilityResult> reachability;
+  TransformStats transform;
+  TransformResult transformed;
+};
+
+/// Multi-horizon variant of analyze_timed_reachability: the pipeline up to
+/// the CTMDP runs once, then one fused batch solve answers every bound in
+/// @p times (see ctmdp/reachability.hpp for the batch guarantees).
+UimcBatchAnalysisResult analyze_timed_reachability_batch(const Imc& m, const BitVector& goal,
+                                                         const std::vector<double>& times,
+                                                         const UimcAnalysisOptions& options = {});
+
 }  // namespace unicon

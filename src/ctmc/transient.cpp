@@ -388,6 +388,153 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
   return result;
 }
 
+std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const BitVector& goal,
+                                                      const std::vector<double>& times,
+                                                      const TransientOptions& options) {
+  for (const double t : times) {
+    if (!(t >= 0.0)) throw ModelError("timed_reachability_batch: negative time bound");
+  }
+  if (goal.size() != chain.num_states()) {
+    throw ModelError("timed_reachability_batch: goal vector size mismatch");
+  }
+  const std::size_t num_horizons = times.size();
+  std::vector<TransientResult> results(num_horizons);
+  if (num_horizons == 0) return results;
+
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) {
+    span.emplace(options.telemetry->span("ctmc_reachability_batch"));
+  }
+  const Ctmc absorbing = chain.make_absorbing(goal);
+  const std::size_t n = absorbing.num_states();
+  const double e = pick_rate(absorbing, options);
+  const JumpKernel p(absorbing, e);
+  const KernelOps* const ops = JumpKernel::ops_for(resolve_backend(options.backend));
+  WorkerPool pool = make_worker_pool(options.threads, n);
+  const std::vector<Counter*> row_counters = worker_row_counters(options.telemetry, pool.size());
+  Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+  // The step vectors v_i (probability to sit in B after i jumps of the
+  // absorbing uniformized chain) do not depend on the time bound — only
+  // the Poisson weights do.  One shared sweep sequence therefore serves
+  // every horizon exactly: per horizon and step these are the very
+  // multiply-adds of its single-t run, so batch answers are bit-identical
+  // to single runs while the matrix work is paid once (DESIGN.md Sec. 11).
+  struct Horizon {
+    PoissonWindow psi;
+    bool done = false;
+    std::uint64_t executed = 0;
+    std::uint64_t early_step = 0;
+    double residual = 0.0;
+    RunStatus status = RunStatus::Converged;
+    std::vector<double> acc;
+  };
+  std::vector<Horizon> horizons(num_horizons);
+  std::uint64_t right_max = 0;
+  for (std::size_t j = 0; j < num_horizons; ++j) {
+    Horizon& h = horizons[j];
+    h.psi = PoissonWindow::compute(e * times[j], options.epsilon);
+    h.residual = options.epsilon;
+    h.acc.assign(n, 0.0);
+    right_max = std::max(right_max, h.psi.right());
+  }
+
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) cur[s] = goal[s] ? 1.0 : 0.0;
+
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  std::uint64_t executed = 0;
+  std::size_t remaining = num_horizons;
+  for (std::uint64_t i = 0; remaining > 0; ++i) {
+    if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+      for (Horizon& h : horizons) {
+        if (h.done) continue;
+        h.status = guard->status();
+        h.residual = h.psi.tail_mass(i) + options.epsilon;
+        h.executed = executed;
+        h.done = true;
+      }
+      break;
+    }
+    for (Horizon& h : horizons) {
+      if (h.done) continue;
+      const double w = h.psi.psi(i);
+      if (w > 0.0) {
+        double* acc = h.acc.data();
+        for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
+      }
+      if (i >= h.psi.right()) {
+        h.executed = executed;
+        h.done = true;
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
+    if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+      for (Horizon& h : horizons) {
+        if (h.done) continue;
+        h.status = guard->status();
+        h.residual = h.psi.tail_mass(i + 1) + options.epsilon;
+        h.executed = executed;
+        h.done = true;
+      }
+      break;
+    }
+    ++executed;
+    if (options.early_termination &&
+        max_abs_diff(cur, next) <= options.early_termination_delta) {
+      // Every still-open horizon's single-t run would fire here too: the
+      // shared vector sequence makes the first qualifying step identical.
+      for (Horizon& h : horizons) {
+        if (h.done) continue;
+        const double tail = h.psi.tail_mass(i + 1);
+        double* acc = h.acc.data();
+        for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+        h.residual += options.early_termination_delta;
+        h.early_step = executed;
+        h.executed = executed;
+        h.done = true;
+      }
+      cur.swap(next);
+      break;
+    }
+    cur.swap(next);
+  }
+
+  for (std::size_t j = 0; j < num_horizons; ++j) {
+    Horizon& h = horizons[j];
+    require_finite(h.acc, "timed_reachability");
+    for (std::size_t s = 0; s < n; ++s) h.acc[s] = goal[s] ? 1.0 : clamp01(h.acc[s]);
+    TransientResult r{std::move(h.acc), h.psi.right(), h.executed, e};
+    r.status = h.status;
+    r.residual_bound = h.residual;
+    results[j] = std::move(r);
+  }
+  if (span) {
+    span->metric("states", n);
+    span->metric("uniform_rate", e);
+    span->metric("horizons", num_horizons);
+    span->metric("iterations_planned_max", right_max);
+    span->metric("iterations_executed", executed);
+    span->metric("threads", pool.size());
+    for (std::size_t j = 0; j < num_horizons; ++j) {
+      const Horizon& h = horizons[j];
+      Telemetry::Span hspan = options.telemetry->span("ctmc_reachability_batch.horizon");
+      hspan.metric("t", times[j]);
+      hspan.metric("lambda", e * times[j]);
+      hspan.metric("poisson_left", h.psi.left());
+      hspan.metric("poisson_right", h.psi.right());
+      hspan.metric("iterations_executed", h.executed);
+      hspan.metric("early_termination_step", h.early_step);
+      hspan.metric("residual_bound", results[j].residual_bound);
+    }
+  }
+  return results;
+}
+
 TransientResult interval_reachability(const Ctmc& chain, const BitVector& goal,
                                       double t1, double t2, const TransientOptions& options) {
   if (t1 < 0.0 || t2 < t1) throw ModelError("interval_reachability: need 0 <= t1 <= t2");

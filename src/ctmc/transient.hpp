@@ -88,6 +88,20 @@ TransientResult transient_distribution(const Ctmc& chain, double t,
 TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
                                    double t, const TransientOptions& options = {});
 
+/// Multi-horizon timed reachability: one shared uniformization run
+/// answering every time bound in @p times, results in input order.  The
+/// step vectors v_i of the absorbing uniformized chain do not depend on
+/// the time bound — only the Poisson weights do — so the batch performs
+/// the matrix sweeps once and keeps one weighted accumulator per horizon.
+/// Every answer (values, residual bound, iteration counts, early
+/// termination) is bit-identical to an independent
+/// `timed_reachability(chain, goal, times[j], options)` call.  A guard
+/// stop finalizes the unfinished horizons with their own sound residual
+/// bounds; guard checkpoints are not published from batch solves.
+std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const BitVector& goal,
+                                                      const std::vector<double>& times,
+                                                      const TransientOptions& options = {});
+
 /// Interval reachability Pr(s, [t1, t2], B): the probability that the chain
 /// occupies a goal state at some time within [t1, t2] (CSL interval until
 /// with a trivial left argument).  Computed by the standard two-phase

@@ -197,7 +197,13 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
   if (backend == Backend::Serial) {
     // ---- Serial engine: the historical flat sweep, bit-identical to the
     // pre-backend solver (strictly sequential per-transition accumulation).
-    const DiscreteKernel kernel(model, goal);
+    std::optional<DiscreteKernel> own_kernel;
+    if (options.discrete_kernel == nullptr) own_kernel.emplace(model, goal);
+    const DiscreteKernel& kernel =
+        options.discrete_kernel != nullptr ? *options.discrete_kernel : *own_kernel;
+    if (kernel.state_first.size() != n + 1) {
+      throw ModelError("timed_reachability: injected discrete kernel does not fit the model");
+    }
 
     // q_next = q_{i+1}, q_cur = q_i.
     std::vector<double> q_next(n, 0.0);
@@ -339,7 +345,13 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
     // external contract (checkpoint spans, resume iterates) stays in
     // full-state vectors via DenseBridge, so partial results interoperate
     // across backends.
-    const DenseKernel kernel(model, goal, options.avoid);
+    std::optional<DenseKernel> own_kernel;
+    if (options.dense_kernel == nullptr) own_kernel.emplace(model, goal, options.avoid);
+    const DenseKernel& kernel =
+        options.dense_kernel != nullptr ? *options.dense_kernel : *own_kernel;
+    if (kernel.dense_index.size() != n) {
+      throw ModelError("timed_reachability: injected dense kernel does not fit the model");
+    }
     const KernelOps& ops = kernel_ops(backend);
     const DenseKernelView view = kernel.view();
     const DenseBridge bridge{kernel, goal};
@@ -464,6 +476,421 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
     span->metric("residual_bound", result.residual_bound);
   }
   return result;
+}
+
+std::vector<TimedReachabilityResult> timed_reachability_batch(
+    const Ctmdp& model, const BitVector& goal, const std::vector<double>& times,
+    const TimedReachabilityOptions& options) {
+  check_inputs(model, goal);
+  if (options.resume != nullptr) {
+    throw ModelError(
+        "timed_reachability_batch: resume is not supported for batch solves; resume the "
+        "interrupted horizon via timed_reachability");
+  }
+  for (const double t : times) {
+    if (!(t >= 0.0)) throw ModelError("timed_reachability_batch: negative time bound");
+  }
+  const auto uniform = model.uniform_rate(1e-6);
+  if (!uniform) {
+    throw UniformityError(
+        "timed_reachability_batch: model is not uniform; construct it uniformly or uniformize "
+        "first");
+  }
+  const double e = *uniform;
+  const std::size_t n = model.num_states();
+  const bool maximize = options.objective == Objective::Maximize;
+  const Backend backend = resolve_backend(options.backend);
+  if (!options.avoid.empty() && options.avoid.size() != n) {
+    throw ModelError("timed_reachability_batch: avoid vector size mismatch");
+  }
+  auto avoided = [&](StateId s) {
+    return !options.avoid.empty() && options.avoid[s] && !goal[s];
+  };
+
+  const std::size_t num_horizons = times.size();
+  std::vector<TimedReachabilityResult> results(num_horizons);
+  if (num_horizons == 0) return results;
+
+  std::optional<Telemetry::Span> span;
+  if (options.telemetry != nullptr) span.emplace(options.telemetry->span("reachability_batch"));
+
+  // Every horizon keeps its own window and iterate: the iterate of a larger
+  // horizon is *not* reusable for a smaller one (it weights the m-th future
+  // jump by psi(m + i, lambda_max) where the smaller bound needs
+  // psi(m, lambda_j) — a shifted-weight sum, the same observation behind
+  // partial_residual above).  What the batch shares is everything around
+  // the per-horizon arithmetic: the kernel (built and streamed once per
+  // block for all active horizons), the worker pool, and the guard.
+  struct Horizon {
+    std::size_t idx = 0;  // position in `times` (and the delta-slot index)
+    PoissonWindow psi;
+    std::uint64_t k = 0;
+    bool record_all = false;
+    bool done = false;
+    bool early_fired = false;
+    std::uint64_t early_step = 0;
+    std::uint64_t executed = 0;
+    double weight = 0.0;      // serial: psi(g); dense: G_g
+    double goal_value = 0.0;  // dense engine: G_{g+1}
+    std::vector<double> q_next, q_cur;    // per-horizon iterates
+    std::vector<std::uint64_t> decision;  // per-sweep scheduler scratch
+  };
+
+  std::vector<Horizon> horizons(num_horizons);
+  std::uint64_t k_max = 0;
+  for (std::size_t j = 0; j < num_horizons; ++j) {
+    Horizon& h = horizons[j];
+    h.idx = j;
+    h.psi = PoissonWindow::compute(e * times[j], options.epsilon);
+    h.k = h.psi.right();
+    k_max = std::max(k_max, h.k);
+    h.record_all =
+        options.extract_scheduler &&
+        saturating_mul(h.k, static_cast<std::uint64_t>(n)) <= options.max_decision_entries;
+    TimedReachabilityResult& r = results[j];
+    r.uniform_rate = e;
+    r.lambda = e * times[j];
+    r.iterations_planned = h.k;
+    if (options.extract_scheduler) {
+      r.initial_decision.assign(n, kNoTransition);
+      if (h.record_all) r.decisions.resize(h.k);
+    }
+  }
+
+  // Bottom-aligned fusion: all horizons end at step 1 together, so horizon
+  // j participates in global steps g = k_j .. 1 and its local step index
+  // *is* g — its per-state operation sequence is exactly its single-t
+  // run's.  Descending-k order makes the set of started horizons a prefix.
+  std::vector<Horizon*> by_k(num_horizons);
+  for (std::size_t j = 0; j < num_horizons; ++j) by_k[j] = &horizons[j];
+  std::stable_sort(by_k.begin(), by_k.end(),
+                   [](const Horizon* a, const Horizon* b) { return a->k > b->k; });
+
+  RunGuard* const guard = options.guard;
+  std::atomic<bool> sweep_aborted{false};
+  bool stopped = false;
+  std::uint64_t stop_step = 0;
+  unsigned pool_size = 0;
+  std::vector<Horizon*> active;
+  active.reserve(num_horizons);
+
+  if (backend == Backend::Serial) {
+    std::optional<DiscreteKernel> own_kernel;
+    if (options.discrete_kernel == nullptr) own_kernel.emplace(model, goal);
+    const DiscreteKernel& kernel =
+        options.discrete_kernel != nullptr ? *options.discrete_kernel : *own_kernel;
+    if (kernel.state_first.size() != n + 1) {
+      throw ModelError("timed_reachability_batch: injected discrete kernel does not fit the model");
+    }
+
+    for (Horizon& h : horizons) {
+      h.q_next.assign(n, 0.0);
+      h.q_cur.assign(n, 0.0);
+      if (options.extract_scheduler) h.decision.assign(n, kNoTransition);
+    }
+
+    WorkerPool pool = make_worker_pool(options.threads, n);
+    pool_size = pool.size();
+    std::vector<std::vector<WorkerPool::Slot>> delta_slot(num_horizons);
+    for (auto& slots : delta_slot) slots.resize(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    std::size_t started = 0;  // prefix of by_k with k >= g
+    for (std::uint64_t g = k_max; g >= 1; --g) {
+      while (started < num_horizons && by_k[started]->k >= g) ++started;
+      active.clear();
+      for (std::size_t a = 0; a < started; ++a) {
+        if (!by_k[a]->done) active.push_back(by_k[a]);
+      }
+      if (active.empty()) {
+        // Everything in flight terminated early; fast-forward to the next
+        // (strictly smaller) horizon start, or stop when none remain.
+        if (started == num_horizons) break;
+        g = by_k[started]->k + 1;
+        continue;
+      }
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        stop_step = g;
+        break;
+      }
+      for (Horizon* h : active) h->weight = h->psi.psi(g);
+      Horizon* const* const act = active.data();
+      const std::size_t num_active = active.size();
+      pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        std::uint64_t rows = 0;
+        for (std::size_t a = 0; a < num_active; ++a) {
+          delta_slot[act[a]->idx][worker].value = 0.0;
+        }
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          rows += (blk_end - blk) * num_active;
+          // Kernel rows for this block stay cache-hot across the horizon
+          // loop — the batch streams the kernel once per block, not once
+          // per horizon.
+          for (std::size_t a = 0; a < num_active; ++a) {
+            Horizon& h = *act[a];
+            const double w = h.weight;
+            const double* q = h.q_next.data();
+            double* out = h.q_cur.data();
+            std::uint64_t* dec = options.extract_scheduler ? h.decision.data() : nullptr;
+            double local_delta = delta_slot[h.idx][worker].value;
+            for (StateId s = blk; s < blk_end; ++s) {
+              if (goal[s]) {
+                out[s] = w + q[s];
+                if (dec != nullptr) dec[s] = kNoTransition;
+              } else if (avoided(s)) {
+                out[s] = 0.0;
+                if (dec != nullptr) dec[s] = kNoTransition;
+              } else {
+                const std::uint64_t first = kernel.state_first[s];
+                const std::uint64_t last = kernel.state_first[s + 1];
+                double best = first == last ? 0.0 : (maximize ? -1.0 : 2.0);
+                std::uint64_t best_t = kNoTransition;
+                for (std::uint64_t tr = first; tr < last; ++tr) {
+                  const double acc = kernel.transition_value(tr, w, q);
+                  if (maximize ? acc > best : acc < best) {
+                    best = acc;
+                    best_t = tr;
+                  }
+                }
+                // NaN-capturing max, as in the single-horizon engine.
+                const double dev = std::fabs(best - q[s]);
+                if (!(dev <= local_delta)) local_delta = dev;
+                out[s] = best;
+                if (dec != nullptr) dec[s] = best_t;
+              }
+            }
+            delta_slot[h.idx][worker].value = local_delta;
+          }
+        }
+        if (rows_out != nullptr) rows_out[worker]->add(rows);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        stopped = true;
+        stop_step = g;
+        break;
+      }
+      for (Horizon* hp : active) {
+        Horizon& h = *hp;
+        const double delta = WorkerPool::reduce_max(delta_slot[h.idx]);
+        if (!std::isfinite(delta)) {
+          throw NumericError("timed_reachability: non-finite update at step " +
+                             std::to_string(g) + " (NaN/Inf reached the iterate)");
+        }
+        h.q_cur.swap(h.q_next);
+        ++h.executed;
+        if (h.record_all) results[h.idx].decisions[g - 1] = h.decision;
+        if (options.extract_scheduler && g == 1) results[h.idx].initial_decision = h.decision;
+        if (options.early_termination && g > 1 && g - 1 < h.psi.left() &&
+            delta <= options.early_termination_delta) {
+          if (options.extract_scheduler) results[h.idx].initial_decision = h.decision;
+          h.early_fired = true;
+          h.early_step = g;
+          h.done = true;
+        }
+      }
+    }
+
+    for (Horizon& h : horizons) {
+      TimedReachabilityResult& r = results[h.idx];
+      r.iterations_executed = h.executed;
+      if (!h.done && stopped) {
+        r.status = guard->status();
+        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), options.epsilon);
+        r.iterate = h.q_next;
+      } else {
+        r.residual_bound =
+            options.epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
+      }
+      require_finite_values(h.q_next, "timed_reachability");
+      r.values = std::move(h.q_next);
+      for (StateId s = 0; s < n; ++s) {
+        r.values[s] = goal[s] ? 1.0 : clamp01(r.values[s]);
+      }
+      h.q_cur = std::vector<double>();
+    }
+  } else {
+    std::optional<DenseKernel> own_kernel;
+    if (options.dense_kernel == nullptr) own_kernel.emplace(model, goal, options.avoid);
+    const DenseKernel& kernel =
+        options.dense_kernel != nullptr ? *options.dense_kernel : *own_kernel;
+    if (kernel.dense_index.size() != n) {
+      throw ModelError("timed_reachability_batch: injected dense kernel does not fit the model");
+    }
+    const KernelOps& ops = kernel_ops(backend);
+    const DenseKernelView view = kernel.view();
+    const DenseBridge bridge{kernel, goal};
+    const std::uint64_t rows = kernel.num_rows();
+
+    for (Horizon& h : horizons) {
+      h.q_next.assign(rows, 0.0);
+      h.q_cur.assign(rows, 0.0);
+      if (options.extract_scheduler) h.decision.assign(rows, kNoTransition);
+    }
+
+    WorkerPool pool = make_worker_pool(options.threads, rows);
+    pool_size = pool.size();
+    std::vector<std::vector<WorkerPool::Slot>> delta_slot(num_horizons);
+    for (auto& slots : delta_slot) slots.resize(pool.size());
+    const std::vector<Counter*> row_counters =
+        worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
+    Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
+
+    std::size_t started = 0;
+    for (std::uint64_t g = k_max; g >= 1; --g) {
+      while (started < num_horizons && by_k[started]->k >= g) ++started;
+      active.clear();
+      for (std::size_t a = 0; a < started; ++a) {
+        if (!by_k[a]->done) active.push_back(by_k[a]);
+      }
+      if (active.empty()) {
+        if (started == num_horizons) break;
+        g = by_k[started]->k + 1;
+        continue;
+      }
+      if (guard != nullptr && guard->poll() != RunStatus::Converged) {
+        stopped = true;
+        stop_step = g;
+        break;
+      }
+      for (Horizon* h : active) h->weight = h->psi.psi(g) + h->goal_value;  // G_g
+      Horizon* const* const act = active.data();
+      const std::size_t num_active = active.size();
+      pool.run(rows, [&](unsigned worker, std::size_t begin, std::size_t end) {
+        std::uint64_t swept = 0;
+        for (std::size_t a = 0; a < num_active; ++a) {
+          delta_slot[act[a]->idx][worker].value = 0.0;
+        }
+        for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
+          if (guard != nullptr && guard->should_abort_sweep()) {
+            sweep_aborted.store(true, std::memory_order_relaxed);
+            break;
+          }
+          const std::size_t blk_end = std::min(end, blk + kGuardBlock);
+          swept += (blk_end - blk) * num_active;
+          for (std::size_t a = 0; a < num_active; ++a) {
+            Horizon& h = *act[a];
+            const double d = ops.relax_rows(
+                view, h.weight, maximize, h.q_next.data(), h.q_cur.data(),
+                options.extract_scheduler ? h.decision.data() : nullptr, blk, blk_end);
+            WorkerPool::Slot& slot = delta_slot[h.idx][worker];
+            if (!(d <= slot.value)) slot.value = d;  // NaN-capturing max
+          }
+        }
+        if (rows_out != nullptr) rows_out[worker]->add(swept);
+      });
+      if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
+        stopped = true;
+        stop_step = g;
+        break;
+      }
+      for (Horizon* hp : active) {
+        Horizon& h = *hp;
+        const double delta = WorkerPool::reduce_max(delta_slot[h.idx]);
+        if (!std::isfinite(delta)) {
+          throw NumericError("timed_reachability: non-finite update at step " +
+                             std::to_string(g) + " (NaN/Inf reached the iterate)");
+        }
+        h.q_cur.swap(h.q_next);
+        h.goal_value = h.weight;
+        ++h.executed;
+        if (h.record_all) results[h.idx].decisions[g - 1] = bridge.expand_decisions(h.decision);
+        if (options.extract_scheduler && g == 1) {
+          results[h.idx].initial_decision = bridge.expand_decisions(h.decision);
+        }
+        if (options.early_termination && g > 1 && g - 1 < h.psi.left() &&
+            delta <= options.early_termination_delta) {
+          if (options.extract_scheduler) {
+            results[h.idx].initial_decision = bridge.expand_decisions(h.decision);
+          }
+          h.early_fired = true;
+          h.early_step = g;
+          h.done = true;
+        }
+      }
+    }
+
+    for (Horizon& h : horizons) {
+      TimedReachabilityResult& r = results[h.idx];
+      r.iterations_executed = h.executed;
+      if (!h.done && stopped) {
+        r.status = guard->status();
+        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), options.epsilon);
+        std::vector<double> q_full(n, 0.0);
+        bridge.materialize(h.q_next, h.goal_value, q_full);
+        require_finite_values(q_full, "timed_reachability");
+        r.iterate = q_full;
+        r.values = std::move(q_full);
+        for (StateId s = 0; s < n; ++s) {
+          r.values[s] = goal[s] ? 1.0 : clamp01(r.values[s]);
+        }
+      } else {
+        r.residual_bound =
+            options.epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
+        // Finite check on the dense iterate plus the goal scalar covers every
+        // value the fused write below composes, at dense-row cost instead of
+        // full-state cost.
+        require_finite_values(h.q_next, "timed_reachability");
+        if (!std::isfinite(h.goal_value)) {
+          throw NumericError("timed_reachability: non-finite goal iterate");
+        }
+        // Fused materialize + clamp.  Every state is goal, avoided or a
+        // dense row (DenseKernel's partition), so: fill 1.0 (the clamped
+        // goal value — a vectorized store stream, and on goal-heavy models
+        // like FTWC that is nearly the whole vector), scatter the clamped
+        // dense iterate, then zero the avoided states if a mask exists.
+        // Per converged horizon this is the only full-state pass of the
+        // batch, which matters when 16 horizons finalize against a dense
+        // sweep that touched a few percent of the states.
+        r.values.assign(n, 1.0);
+        double* const out = r.values.data();
+        const std::uint32_t* const dense_state = kernel.dense_state.data();
+        const double* const dq = h.q_next.data();
+        for (std::uint64_t row = 0; row < rows; ++row) {
+          out[dense_state[row]] = clamp01(dq[row]);
+        }
+        if (!options.avoid.empty()) {
+          for (StateId s = 0; s < n; ++s) {
+            if (options.avoid[s] && !goal[s]) out[s] = 0.0;
+          }
+        }
+      }
+      h.q_next = std::vector<double>();
+      h.q_cur = std::vector<double>();
+    }
+    if (span) span->metric("dense_rows", rows);
+  }
+  if (span) {
+    span->metric("states", n);
+    span->metric("transitions", model.num_transitions());
+    span->metric("uniform_rate", e);
+    span->metric("horizons", num_horizons);
+    span->metric("iterations_planned_max", k_max);
+    span->metric("threads", pool_size);
+    // Per-horizon child spans in input order, emitted after the fused loop
+    // (the registry's span stack is coordinating-thread-only, so horizon
+    // spans must not interleave with sweeps).
+    for (std::size_t j = 0; j < num_horizons; ++j) {
+      const Horizon& h = horizons[j];
+      Telemetry::Span hspan = options.telemetry->span("reachability_batch.horizon");
+      hspan.metric("t", times[j]);
+      hspan.metric("lambda", results[j].lambda);
+      hspan.metric("poisson_left", h.psi.left());
+      hspan.metric("poisson_right", h.k);
+      hspan.metric("iterations_planned", h.k);
+      hspan.metric("iterations_executed", h.executed);
+      hspan.metric("early_termination_step", h.early_step);
+      hspan.metric("residual_bound", results[j].residual_bound);
+    }
+  }
+  return results;
 }
 
 TimedReachabilityResult evaluate_scheduler(const Ctmdp& model, const BitVector& goal,

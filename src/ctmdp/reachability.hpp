@@ -29,6 +29,8 @@
 namespace unicon {
 
 class Telemetry;
+struct DiscreteKernel;
+struct DenseKernel;
 
 enum class Objective : std::uint8_t { Maximize, Minimize };
 
@@ -89,6 +91,14 @@ struct TimedReachabilityOptions {
   /// per sweep.  A live registry only observes — results stay bit-identical
   /// with telemetry on or off.
   Telemetry* telemetry = nullptr;
+  /// Optional pre-built kernels (the analysis-server cache amortizes kernel
+  /// construction across queries).  A supplied kernel MUST have been built
+  /// from exactly this (model, goal) — and, for the dense kernel, this
+  /// avoid mask — or the solve is silently wrong; the solver only validates
+  /// the cheap size invariants.  The kernel a backend does not use is
+  /// ignored.  Null = build internally (bit-identical either way).
+  const DiscreteKernel* discrete_kernel = nullptr;
+  const DenseKernel* dense_kernel = nullptr;
 };
 
 struct TimedReachabilityResult {
@@ -126,6 +136,28 @@ inline constexpr std::uint64_t kNoTransition = static_cast<std::uint64_t>(-1);
 /// otherwise) and goal.size() == num_states().
 TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& goal,
                                            double t, const TimedReachabilityOptions& options = {});
+
+/// Multi-horizon Algorithm 1: one fused solve answering every time bound in
+/// @p times against the same (model, goal, options).  Results are returned
+/// in input order and each is *bit-identical* — values, residual bounds,
+/// iteration counts, scheduler tables, early-termination behaviour — to an
+/// independent `timed_reachability(model, goal, times[j], options)` call,
+/// by construction: every horizon keeps its own iterate and Poisson window
+/// and performs exactly the per-state operation sequence of its single-t
+/// run.  The horizons are fused bottom-aligned (all end at step 1
+/// together), so one pass over the shared kernel relaxes every active
+/// horizon per block — the kernel is built and streamed once per step
+/// instead of once per horizon, which is where the batch speedup comes
+/// from (DESIGN.md Sec. 11).
+///
+/// Guard stops produce per-horizon partial results: horizons that already
+/// finished stay Converged, the rest carry their own sound residual bound
+/// and resumable iterate.  options.resume is rejected (resume a horizon via
+/// a single-t call); guard checkpoints are not published from batch solves
+/// (there is no single iterate to publish).
+std::vector<TimedReachabilityResult> timed_reachability_batch(
+    const Ctmdp& model, const BitVector& goal, const std::vector<double>& times,
+    const TimedReachabilityOptions& options = {});
 
 /// Policy evaluation: the same backward iteration but following the fixed
 /// stationary scheduler @p choice (a transition index per state; entries for

@@ -1,0 +1,96 @@
+// Minimal JSON value type for the analysis-server wire protocol.
+//
+// The server speaks newline-delimited JSON (one request or response object
+// per line, see server.hpp), so it needs a parser as well as the emitter
+// the telemetry layer already has.  This is deliberately a small, strict
+// subset implementation rather than a dependency: UTF-8 pass-through,
+// doubles only (integers that fit exactly are re-emitted without a decimal
+// point), objects keep *insertion order* on output so responses serialize
+// deterministically — the golden-session replay test diffs raw bytes.
+//
+// Parsing throws ParseError (stable code 13) with a byte offset, which the
+// session loop maps onto the same error schema unicon_check --json-errors
+// uses.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unicon::server {
+
+class Json;
+
+/// Ordered key -> value map (duplicate keys keep the first occurrence on
+/// lookup; parsing rejects duplicates outright).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double v) : type_(Type::Number), number_(v) {}
+  Json(int v) : type_(Type::Number), number_(v) {}
+  Json(unsigned v) : type_(Type::Number), number_(v) {}
+  Json(std::uint64_t v) : type_(Type::Number), number_(static_cast<double>(v)) {}
+  Json(std::int64_t v) : type_(Type::Number), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw ParseError on a type mismatch (the session loop
+  /// turns that into a per-request "parse" error response).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field lookup; null when absent (or when this is not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Convenience getters with defaults, for optional request fields.
+  bool get_bool(const std::string& key, bool fallback) const;
+  double get_number(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+
+  /// Appends a field (object only; starts one when null).
+  Json& set(std::string key, Json value);
+
+  /// Compact single-line serialization (no trailing newline).  Numbers
+  /// that are exact integers with |v| < 2^53 print without a decimal
+  /// point, everything else via %.17g round-trip formatting.
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON value spanning the whole input
+  /// (trailing whitespace allowed).  Throws ParseError.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace unicon::server

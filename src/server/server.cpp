@@ -1,0 +1,224 @@
+#include "server/server.hpp"
+
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include "server/json.hpp"
+#include "server/service.hpp"
+#include "support/backend.hpp"
+#include "support/errors.hpp"
+
+namespace unicon::server {
+
+namespace {
+
+/// Serialized line output plus the outstanding-async bookkeeping shared
+/// with completion callbacks (which run on service worker threads).
+struct Session {
+  Session(std::ostream& o, SessionOptions opts) : out(o), options(std::move(opts)) {}
+
+  std::ostream& out;
+  SessionOptions options;
+  std::mutex mutex;
+  std::condition_variable idle;
+  std::size_t outstanding = 0;
+
+  void write_line(const Json& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out << response.dump() << '\n';
+    out.flush();
+  }
+
+  void finish_async(const Json& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out << response.dump() << '\n';
+    out.flush();
+    --outstanding;
+    idle.notify_all();
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return outstanding == 0; });
+  }
+};
+
+Json error_json(const std::string& id, ErrorCode code, const std::string& message) {
+  Json error;
+  error.set("code", error_code_name(code));
+  error.set("exit", static_cast<int>(code));
+  error.set("message", message);
+  Json response;
+  response.set("id", id);
+  response.set("ok", false);
+  response.set("error", std::move(error));
+  return response;
+}
+
+Json response_json(const QueryResponse& r, bool timing) {
+  if (r.error != ErrorCode::Ok) return error_json(r.id, r.error, r.message);
+  Json response;
+  response.set("id", r.id);
+  response.set("ok", true);
+  response.set("model_hash", r.model_hash);
+  response.set("cache_hit", r.cache_hit);
+  response.set("batched_with", static_cast<std::uint64_t>(r.batched_with));
+  JsonArray results;
+  results.reserve(r.results.size());
+  for (const HorizonAnswer& h : r.results) {
+    Json item;
+    item.set("time", h.time);
+    item.set("value", h.value);
+    item.set("residual_bound", h.residual_bound);
+    item.set("iterations_planned", h.iterations_planned);
+    item.set("iterations_executed", h.iterations_executed);
+    item.set("status", run_status_name(h.status));
+    results.push_back(std::move(item));
+  }
+  response.set("results", Json(std::move(results)));
+  response.set("seconds", timing ? r.seconds : 0.0);
+  return response;
+}
+
+ModelKind parse_kind(const std::string& name) {
+  if (name == "uni") return ModelKind::Uni;
+  if (name == "ctmdp") return ModelKind::CtmdpFile;
+  if (name == "ctmc") return ModelKind::CtmcFile;
+  throw ParseError("unknown model kind '" + name + "' (expected uni, ctmdp or ctmc)");
+}
+
+QueryRequest parse_query(const Json& request, const SessionOptions& options) {
+  QueryRequest query;
+  query.client = options.client;
+  query.id = request.get_string("id", "");
+
+  const Json* model = request.find("model");
+  if (model == nullptr) throw ParseError("query without 'model' object");
+  query.kind = parse_kind(model->get_string("kind", "uni"));
+  query.source = model->get_string("source", "");
+  if (query.source.empty()) throw ParseError("query without model 'source'");
+  query.labels = model->get_string("labels", "");
+  query.goal_name = model->get_string("goal", "goal");
+
+  if (const Json* times = request.find("times"); times != nullptr) {
+    for (const Json& t : times->as_array()) query.times.push_back(t.as_number());
+  } else if (const Json* time = request.find("time"); time != nullptr) {
+    query.times.push_back(time->as_number());
+  } else {
+    throw ParseError("query without 'times' (or 'time')");
+  }
+
+  const std::string objective = request.get_string("objective", "max");
+  if (objective == "max") {
+    query.objective = Objective::Maximize;
+  } else if (objective == "min") {
+    query.objective = Objective::Minimize;
+  } else {
+    throw ParseError("unknown objective '" + objective + "' (expected max or min)");
+  }
+
+  query.epsilon = request.get_number("epsilon", 1e-6);
+  if (!(query.epsilon > 0.0)) throw ParseError("epsilon must be positive");
+  query.early_termination = request.get_bool("early", false);
+  query.backend = parse_backend(request.get_string("backend", "auto"));
+  query.threads = static_cast<unsigned>(request.get_number("threads", 1.0));
+  query.deadline = request.get_number("deadline", 0.0);
+  if (query.deadline < 0.0) throw ParseError("deadline must be non-negative");
+  query.cancel_after_polls =
+      static_cast<std::uint64_t>(request.get_number("cancel_after_polls", 0.0));
+  return query;
+}
+
+Json stats_json(const ServiceStats& stats) {
+  Json cache;
+  cache.set("source_hits", stats.cache.source_hits);
+  cache.set("canonical_hits", stats.cache.canonical_hits);
+  cache.set("misses", stats.cache.misses);
+  cache.set("evictions", stats.cache.evictions);
+  cache.set("entries", static_cast<std::uint64_t>(stats.cache.entries));
+  cache.set("resident_bytes", static_cast<std::uint64_t>(stats.cache.resident_bytes));
+  Json s;
+  s.set("submitted", stats.submitted);
+  s.set("completed", stats.completed);
+  s.set("rejected", stats.rejected);
+  s.set("cancelled", stats.cancelled);
+  s.set("batches", stats.batches);
+  s.set("coalesced", stats.coalesced);
+  s.set("cache", std::move(cache));
+  return s;
+}
+
+}  // namespace
+
+void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
+                 const SessionOptions& options) {
+  Session session{out, options};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string id;
+    try {
+      const Json request = Json::parse(line);
+      id = request.get_string("id", "");
+      const std::string op = request.get_string("op", "query");
+
+      if (op == "query") {
+        QueryRequest query = parse_query(request, options);
+        const bool wait = request.get_bool("wait", true);
+        if (wait) {
+          session.write_line(response_json(service.query(std::move(query)), options.timing));
+        } else {
+          {
+            std::lock_guard<std::mutex> lock(session.mutex);
+            ++session.outstanding;
+          }
+          const bool timing = options.timing;
+          service.submit(std::move(query), [&session, timing](QueryResponse r) {
+            session.finish_async(response_json(r, timing));
+          });
+          Json accepted;
+          accepted.set("id", id);
+          accepted.set("ok", true);
+          accepted.set("accepted", true);
+          session.write_line(accepted);
+        }
+      } else if (op == "cancel") {
+        const std::string target = request.get_string("target", "");
+        const bool cancelled = service.cancel(options.client, target);
+        Json response;
+        response.set("id", id);
+        response.set("ok", true);
+        response.set("cancelled", cancelled);
+        session.write_line(response);
+      } else if (op == "stats") {
+        Json response;
+        response.set("id", id);
+        response.set("ok", true);
+        response.set("stats", stats_json(service.stats()));
+        session.write_line(response);
+      } else if (op == "shutdown") {
+        session.drain();
+        Json response;
+        response.set("id", id);
+        response.set("ok", true);
+        response.set("bye", true);
+        session.write_line(response);
+        return;
+      } else {
+        throw ParseError("unknown op '" + op + "'");
+      }
+    } catch (const Error& e) {
+      session.write_line(error_json(id, e.code(), e.what()));
+    } catch (const std::bad_alloc&) {
+      session.write_line(
+          error_json(id, ErrorCode::OutOfMemory, "allocation failure (std::bad_alloc)"));
+    } catch (const std::exception& e) {
+      session.write_line(error_json(id, ErrorCode::Internal, e.what()));
+    }
+  }
+  session.drain();
+}
+
+}  // namespace unicon::server

@@ -1,0 +1,53 @@
+// Newline-delimited JSON session protocol over arbitrary iostreams.
+//
+// One request object per input line, one response object per output line.
+// unicon_serve binds this to stdin/stdout or an AF_UNIX socket; the tests
+// drive it over stringstreams.  Schema (see README "Server mode"):
+//
+//   request  {"id": "q1", "op": "query",
+//             "model": {"kind": "uni"|"ctmdp"|"ctmc", "source": "...",
+//                       "labels": "...", "goal": "goal"},
+//             "times": [0.5, 2.0], "objective": "max"|"min",
+//             "epsilon": 1e-6, "early": false, "backend": "auto",
+//             "threads": 1, "deadline": 0, "cancel_after_polls": 0,
+//             "wait": true}
+//   response {"id": "q1", "ok": true, "model_hash": "...",
+//             "cache_hit": false, "batched_with": 1,
+//             "results": [{"time", "value", "residual_bound",
+//                          "iterations_planned", "iterations_executed",
+//                          "status"}, ...], "seconds": 0.01}
+//   failure  {"id": "q1", "ok": false,
+//             "error": {"code": "parse", "exit": 13, "message": "..."}}
+//
+// The failure "error" object is exactly the unicon_check --json-errors
+// schema (stable ErrorCode names and exit numbers).  Other ops: "cancel"
+// (field "target" names the query id), "stats", "shutdown".  A query with
+// "wait": false is acknowledged immediately ({"accepted": true}) and its
+// result arrives as a later line — that is what makes over-the-wire
+// cancellation of an in-flight solve possible.  With the default
+// "wait": true the session is strictly request/response in order, which
+// the golden-replay test relies on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace unicon::server {
+
+class AnalysisService;
+
+struct SessionOptions {
+  /// Fair-share bucket of every query this session submits.
+  std::string client;
+  /// False (unicon_serve --no-timing) pins "seconds" to 0 in responses so
+  /// golden-session replays diff byte-for-byte.
+  bool timing = true;
+};
+
+/// Serves @p in/@p out until EOF or a "shutdown" op; drains outstanding
+/// async queries before returning.  Malformed lines are answered with a
+/// failure object, never a dropped connection.
+void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
+                 const SessionOptions& options = {});
+
+}  // namespace unicon::server

@@ -1,0 +1,341 @@
+#include "server/service.hpp"
+
+#include <cstdio>
+#include <future>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "ctmc/transient.hpp"
+#include "support/errors.hpp"
+
+namespace unicon::server {
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(options), cache_(options.cache_budget) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AnalysisService::~AnalysisService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::string AnalysisService::solve_key_of(const QueryRequest& request) {
+  std::string key;
+  key += model_kind_name(request.kind);
+  key += '\n';
+  key += request.goal_name;
+  key += '\n';
+  key += request.source;
+  key += '\0';
+  key += request.labels;
+  char params[128];
+  // %a renders epsilon exactly, so keys never merge across precisions
+  // that happen to print alike in decimal.
+  std::snprintf(params, sizeof params, "\n%d|%a|%d|%s|%u",
+                static_cast<int>(request.objective), request.epsilon,
+                request.early_termination ? 1 : 0, backend_name(request.backend),
+                request.threads);
+  key += params;
+  return content_hash(key);
+}
+
+void AnalysisService::submit(QueryRequest request, Callback done) {
+  auto job = std::make_shared<Job>();
+  // Per-request execution control pins the guard to this job alone.
+  const bool coalescible = request.deadline == 0.0 && request.cancel_after_polls == 0;
+  job->solve_key = coalescible ? solve_key_of(request) : std::string();
+  job->request = std::move(request);
+  job->done = std::move(done);
+
+  std::optional<QueryResponse> rejection;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (stopping_ || pending_ >= options_.max_pending) {
+      QueryResponse response;
+      response.id = job->request.id;
+      response.error = ErrorCode::Overloaded;
+      response.message = stopping_ ? "service is shutting down"
+                                   : "queue full (" + std::to_string(options_.max_pending) +
+                                         " pending requests)";
+      ++stats_.rejected;
+      ++stats_.completed;
+      rejection = std::move(response);
+    } else {
+      queues_[job->request.client].push_back(job);
+      index_[{job->request.client, job->request.id}] = job;
+      ++pending_;
+    }
+  }
+  if (rejection.has_value()) {
+    job->done(std::move(*rejection));
+    return;
+  }
+  work_ready_.notify_one();
+}
+
+QueryResponse AnalysisService::query(QueryRequest request) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  submit(std::move(request), [&promise](QueryResponse r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+bool AnalysisService::cancel(const std::string& client, const std::string& id) {
+  JobPtr queued_job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find({client, id});
+    if (it == index_.end()) return false;
+    JobPtr job = it->second;
+    job->cancelled = true;
+    if (job->group != nullptr) {
+      // Running: the shared guard may only stop once every coalesced
+      // member wants out; the member itself is answered Cancelled by the
+      // executing worker either way.
+      Group& group = *job->group;
+      if (++group.cancelled_members == group.members.size()) group.guard.request_cancel();
+      return true;
+    }
+    // Still queued: unlink and answer directly.
+    auto& queue = queues_[job->request.client];
+    for (auto q = queue.begin(); q != queue.end(); ++q) {
+      if (q->get() == job.get()) {
+        queue.erase(q);
+        break;
+      }
+    }
+    if (queue.empty()) queues_.erase(job->request.client);
+    --pending_;
+    index_.erase(it);
+    ++stats_.cancelled;
+    ++stats_.completed;
+    queued_job = std::move(job);
+  }
+  QueryResponse response;
+  response.id = queued_job->request.id;
+  response.error = ErrorCode::Cancelled;
+  response.message = "cancelled while queued";
+  response.seconds = queued_job->queued.seconds();
+  queued_job->done(std::move(response));
+  return true;
+}
+
+std::vector<AnalysisService::JobPtr> AnalysisService::pop_group_locked() {
+  std::vector<JobPtr> members;
+  if (queues_.empty()) return members;
+
+  // Fair share: rotate to the client after the last one served.
+  auto it = queues_.upper_bound(rr_cursor_);
+  if (it == queues_.end()) it = queues_.begin();
+  rr_cursor_ = it->first;
+
+  JobPtr seed = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --pending_;
+  members.push_back(seed);
+
+  if (seed->solve_key.empty()) return members;
+
+  // Coalesce same-key jobs from every bucket (their results are
+  // bit-identical inside one batch solve, see reachability.hpp).
+  for (auto bucket = queues_.begin();
+       bucket != queues_.end() && members.size() < options_.max_batch;) {
+    auto& queue = bucket->second;
+    for (auto q = queue.begin(); q != queue.end() && members.size() < options_.max_batch;) {
+      if ((*q)->solve_key == seed->solve_key) {
+        members.push_back(*q);
+        q = queue.erase(q);
+        --pending_;
+      } else {
+        ++q;
+      }
+    }
+    bucket = queue.empty() ? queues_.erase(bucket) : std::next(bucket);
+  }
+  return members;
+}
+
+void AnalysisService::worker_loop() {
+  while (true) {
+    Group group;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+      if (pending_ == 0 && stopping_) return;
+      group.members = pop_group_locked();
+      if (group.members.empty()) continue;
+      for (const JobPtr& job : group.members) {
+        job->group = &group;
+        if (job->cancelled) ++group.cancelled_members;
+      }
+      if (group.cancelled_members == group.members.size()) group.guard.request_cancel();
+      ++stats_.batches;
+      stats_.coalesced += group.members.size() - 1;
+    }
+    execute_group(group);
+  }
+}
+
+void AnalysisService::deliver(const JobPtr& job, QueryResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->group = nullptr;
+    index_.erase({job->request.client, job->request.id});
+    ++stats_.completed;
+    if (response.error == ErrorCode::Cancelled) ++stats_.cancelled;
+  }
+  response.seconds = job->queued.seconds();
+  job->done(std::move(response));
+}
+
+void AnalysisService::execute_group(Group& group) {
+  const QueryRequest& lead = group.members.front()->request;
+
+  // Per-request spans live on per-request registries only.
+  std::vector<std::optional<Telemetry::Span>> spans(group.members.size());
+  for (std::size_t m = 0; m < group.members.size(); ++m) {
+    Telemetry* tel = group.members[m]->request.telemetry;
+    if (tel != nullptr) {
+      spans[m].emplace(tel->span("serve.query"));
+      spans[m]->metric("times", group.members[m]->request.times.size());
+      spans[m]->metric("coalesced", group.members.size());
+    }
+  }
+
+  auto fail_all = [&](ErrorCode code, const std::string& message) {
+    for (std::size_t m = 0; m < group.members.size(); ++m) {
+      QueryResponse response;
+      response.id = group.members[m]->request.id;
+      response.error = code;
+      response.message = message;
+      response.batched_with = group.members.size();
+      spans[m].reset();
+      deliver(group.members[m], std::move(response));
+    }
+  };
+
+  try {
+    // The solver pipeline is only instrumented when it serves exactly one
+    // request — a shared registry would mix clients' span trees.
+    Telemetry* solo_telemetry = group.members.size() == 1 ? lead.telemetry : nullptr;
+
+    const ModelCache::Resolved resolved =
+        cache_.resolve(lead.kind, lead.source, lead.labels, lead.goal_name, &group.guard,
+                       solo_telemetry);
+    const CachedModel& model = *resolved.model;
+
+    if (lead.deadline > 0.0) group.guard.set_deadline(lead.deadline);
+    if (lead.cancel_after_polls > 0) group.guard.cancel_after_polls(lead.cancel_after_polls);
+
+    std::vector<double> merged_times;
+    for (const JobPtr& job : group.members) {
+      merged_times.insert(merged_times.end(), job->request.times.begin(),
+                          job->request.times.end());
+    }
+
+    std::vector<HorizonAnswer> answers(merged_times.size());
+    if (model.is_ctmc()) {
+      TransientOptions options;
+      options.epsilon = lead.epsilon;
+      options.early_termination = lead.early_termination;
+      options.backend = lead.backend;
+      options.threads = lead.threads;
+      options.guard = &group.guard;
+      options.telemetry = solo_telemetry;
+      const auto results =
+          timed_reachability_batch(model.chain(), model.goal_for(lead.objective), merged_times,
+                                   options);
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        answers[j] = HorizonAnswer{merged_times[j],
+                                   results[j].probabilities[model.chain().initial()],
+                                   results[j].residual_bound, results[j].iterations,
+                                   results[j].iterations_executed, results[j].status};
+      }
+    } else {
+      TimedReachabilityOptions options;
+      options.epsilon = lead.epsilon;
+      options.objective = lead.objective;
+      options.early_termination = lead.early_termination;
+      options.backend = lead.backend;
+      options.threads = lead.threads;
+      options.guard = &group.guard;
+      options.telemetry = solo_telemetry;
+      // Feed the memoized kernel of the backend that will actually run —
+      // this is the cache's second dividend beyond skipping the lowering.
+      if (resolve_backend(lead.backend) == Backend::Serial) {
+        options.discrete_kernel = &model.discrete_kernel(lead.objective);
+      } else {
+        options.dense_kernel = &model.dense_kernel(lead.objective);
+      }
+      const auto results = timed_reachability_batch(
+          model.ctmdp(), model.goal_for(lead.objective), merged_times, options);
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        answers[j] = HorizonAnswer{merged_times[j],
+                                   results[j].values[model.ctmdp().initial()],
+                                   results[j].residual_bound, results[j].iterations_planned,
+                                   results[j].iterations_executed, results[j].status};
+      }
+    }
+
+    std::size_t offset = 0;
+    for (std::size_t m = 0; m < group.members.size(); ++m) {
+      const JobPtr& job = group.members[m];
+      QueryResponse response;
+      response.id = job->request.id;
+      response.model_hash = model.canonical_hash();
+      response.cache_hit = resolved.hit;
+      response.batched_with = group.members.size();
+      bool member_cancelled;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        member_cancelled = job->cancelled;
+      }
+      if (member_cancelled) {
+        // The shared solve may have completed regardless (co-passengers
+        // kept it alive) — the canceller still gets a Cancelled answer,
+        // never another client's timing side effects.
+        response.error = ErrorCode::Cancelled;
+        response.message = "cancelled mid-flight";
+      } else {
+        response.results.assign(answers.begin() + static_cast<std::ptrdiff_t>(offset),
+                                answers.begin() +
+                                    static_cast<std::ptrdiff_t>(offset +
+                                                                job->request.times.size()));
+      }
+      offset += job->request.times.size();
+      if (spans[m].has_value()) {
+        spans[m]->metric("cache_hit", resolved.hit ? 1 : 0);
+        spans[m].reset();
+      }
+      deliver(job, std::move(response));
+    }
+  } catch (const Error& e) {
+    fail_all(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    fail_all(ErrorCode::OutOfMemory, "allocation failure (std::bad_alloc)");
+  } catch (const std::exception& e) {
+    fail_all(ErrorCode::Internal, e.what());
+  }
+}
+
+ServiceStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace unicon::server

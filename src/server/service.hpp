@@ -1,0 +1,181 @@
+// The analysis service: a fair-share job queue over the model cache and
+// the multi-horizon batch solvers.
+//
+// Queries arrive asynchronously (submit + completion callback).  A worker
+// pool drains one *batch group* at a time:
+//
+//  - Fairness: pending jobs are bucketed per client and dispatched
+//    round-robin across the buckets, so a client flooding the queue cannot
+//    starve the others; within a bucket, FIFO.
+//  - Coalescing: when a job is dispatched, other pending jobs with the
+//    same solve key (model source + goal + objective + epsilon + early +
+//    backend + threads) are pulled into the same group — regardless of
+//    owning client — and answered by ONE timed_reachability_batch call
+//    over the concatenated time bounds.  The batch solver guarantees every
+//    horizon is bit-identical to its independent single-t solve, so
+//    coalescing is observably invisible except for latency.  Jobs carrying
+//    per-request execution control (deadline or a fault plan) never
+//    coalesce: their guard must govern exactly one request.
+//  - Admission control: at most max_pending jobs queue; beyond that submit
+//    answers immediately with ErrorCode::Overloaded (stable code 24).
+//  - Cancellation: cancel(client, id) removes a queued job outright
+//    (answered with Cancelled) or flags a running group member.  The
+//    group's RunGuard is cancelled only once EVERY member asked to stop —
+//    one client cancelling must not abort a coalesced co-passenger — and a
+//    member flagged mid-flight is answered Cancelled even if the shared
+//    solve ran to completion.
+//
+// Per-request observability: a request may carry its own Telemetry
+// registry; the service opens a "serve.query" span on it (resolve +
+// solve metrics).  The solver pipeline itself is only instrumented when
+// the group has a single member — a shared registry across coalesced
+// requests would bleed one client's spans into another's.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctmdp/reachability.hpp"
+#include "server/model_cache.hpp"
+#include "support/backend.hpp"
+#include "support/run_guard.hpp"
+#include "support/telemetry.hpp"
+
+namespace unicon::server {
+
+struct QueryRequest {
+  std::string client;  ///< fair-share bucket ("" = anonymous shared bucket)
+  std::string id;      ///< echoed back; cancel() target, unique per client
+  ModelKind kind = ModelKind::Uni;
+  std::string source;  ///< model text (UNI program or .ctmdp/.tra content)
+  std::string labels;  ///< .lab content (file kinds only)
+  std::string goal_name = "goal";  ///< proposition to transfer (Uni only)
+  std::vector<double> times;       ///< time bounds, answered in this order
+  Objective objective = Objective::Maximize;
+  double epsilon = 1e-6;
+  bool early_termination = false;
+  Backend backend = Backend::Auto;
+  unsigned threads = 1;
+  /// Per-request wall-clock budget in seconds (0 = none).  Disables
+  /// coalescing for this job.
+  double deadline = 0.0;
+  /// Fault plan: cancel the solve at the n-th guard poll (0 = off).
+  /// Disables coalescing.
+  std::uint64_t cancel_after_polls = 0;
+  /// Optional per-request registry; never shared across requests.
+  Telemetry* telemetry = nullptr;
+};
+
+struct HorizonAnswer {
+  double time = 0.0;
+  double value = 0.0;  ///< probability at the model's initial state
+  double residual_bound = 0.0;
+  std::uint64_t iterations_planned = 0;
+  std::uint64_t iterations_executed = 0;
+  RunStatus status = RunStatus::Converged;
+};
+
+struct QueryResponse {
+  std::string id;
+  ErrorCode error = ErrorCode::Ok;
+  std::string message;     ///< non-empty iff error != Ok
+  std::string model_hash;  ///< canonical content hash (empty on early failure)
+  bool cache_hit = false;
+  /// Jobs answered by the same batch solve (>= 1; 1 = not coalesced).
+  std::size_t batched_with = 0;
+  std::vector<HorizonAnswer> results;  ///< per requested time, input order
+  double seconds = 0.0;                ///< queue + solve wall time
+};
+
+struct ServiceOptions {
+  unsigned workers = 1;
+  std::size_t max_pending = 256;
+  std::size_t max_batch = 16;      ///< coalesced jobs per dispatch, incl. the seed
+  std::uint64_t cache_budget = 0;  ///< model-cache byte budget (0 = unbounded)
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< responses delivered, error or not
+  std::uint64_t rejected = 0;    ///< admission-control Overloaded answers
+  std::uint64_t cancelled = 0;   ///< jobs answered Cancelled via cancel()
+  std::uint64_t batches = 0;     ///< solver dispatches
+  std::uint64_t coalesced = 0;   ///< jobs that rode along in a shared batch
+  CacheStats cache;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+  /// Drains the queue (every pending job is answered) and joins workers.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  using Callback = std::function<void(QueryResponse)>;
+
+  /// Enqueues a query; @p done fires exactly once, from a worker thread
+  /// (or inline on admission rejection).  Never throws.
+  void submit(QueryRequest request, Callback done);
+
+  /// Cancels the pending or running job (client, id).  Returns false when
+  /// no such job is in flight (already answered, or never submitted).
+  bool cancel(const std::string& client, const std::string& id);
+
+  /// Synchronous convenience wrapper around submit().
+  QueryResponse query(QueryRequest request);
+
+  ServiceStats stats() const;
+
+ private:
+  struct Group;
+
+  struct Job {
+    QueryRequest request;
+    Callback done;
+    std::string solve_key;  ///< empty = never coalesce
+    bool cancelled = false;
+    Group* group = nullptr;  ///< non-null while executing
+    Stopwatch queued;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  struct Group {
+    std::vector<JobPtr> members;
+    RunGuard guard;
+    std::size_t cancelled_members = 0;
+  };
+
+  void worker_loop();
+  /// Pops the next group (fair-share seed + coalesced riders).  Requires
+  /// mutex_; returns an empty group when the queue is empty.
+  std::vector<JobPtr> pop_group_locked();
+  void execute_group(Group& group);
+  void deliver(const JobPtr& job, QueryResponse response);
+  static std::string solve_key_of(const QueryRequest& request);
+
+  ServiceOptions options_;
+  ModelCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  bool stopping_ = false;
+  std::size_t pending_ = 0;
+  std::map<std::string, std::deque<JobPtr>> queues_;  ///< per-client FIFO
+  std::string rr_cursor_;                             ///< last client served
+  std::map<std::pair<std::string, std::string>, JobPtr> index_;  ///< (client, id)
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace unicon::server

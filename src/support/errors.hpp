@@ -26,6 +26,7 @@ enum class ErrorCode : int {
   MemoryBudget = 21, ///< heap budget exhausted (structural stage)
   Cancelled = 22,    ///< cooperative cancellation (SIGINT, fault plan, ...)
   OutOfMemory = 23,  ///< allocation failure (std::bad_alloc)
+  Overloaded = 24,   ///< admission control rejected the request (server queue full)
   Internal = 99,     ///< any other unexpected failure
 };
 
@@ -43,6 +44,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::MemoryBudget: return "mem-budget";
     case ErrorCode::Cancelled: return "cancelled";
     case ErrorCode::OutOfMemory: return "out-of-memory";
+    case ErrorCode::Overloaded: return "overloaded";
     case ErrorCode::Internal: return "internal";
   }
   return "internal";

@@ -50,6 +50,7 @@ constexpr std::uint64_t kStreamCtmc = 4;
 constexpr std::uint64_t kStreamZeno = 5;
 constexpr std::uint64_t kStreamMc = 6;
 constexpr std::uint64_t kStreamMcRetry = 7;
+constexpr std::uint64_t kStreamBatch = 8;
 
 /// Dense oracles are O(states^2); above this size only the structural and
 /// variant checks run (documented in DESIGN.md — not a silent cap).
@@ -472,6 +473,157 @@ void scenario_zeno(const Ctx& ctx, const Scaled& cfg) {
   }
 }
 
+// --- Batch mode ---------------------------------------------------------
+
+/// One generated multi-horizon instance.  Factored out so the scenario and
+/// write_artifacts consume the identical rng draw sequence and can never
+/// drift apart.
+struct BatchInstance {
+  Ctmdp model;
+  BitVector goal;
+  std::vector<double> times;
+  Ctmc chain;
+  BitVector chain_goal;
+  std::vector<double> chain_times;
+};
+
+/// 2..6 bounds, deliberately hostile to horizon bookkeeping: unsorted,
+/// with occasional zeros and exact duplicates.
+std::vector<double> random_times(Rng& rng) {
+  const std::size_t count = 2 + rng.next_below(5);
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t pick = rng.next_below(8);
+    if (pick == 0) {
+      times.push_back(0.0);
+    } else if (pick == 1 && !times.empty()) {
+      times.push_back(times[rng.next_below(times.size())]);
+    } else {
+      times.push_back(0.05 + 3.0 * rng.next_double());
+    }
+  }
+  return times;
+}
+
+BatchInstance make_batch_instance(std::uint64_t seed, const Scaled& cfg) {
+  Rng rng(derive_seed(seed, kStreamBatch));
+  BatchInstance instance;
+  instance.model = random_uniform_ctmdp(rng, cfg.ctmdp);
+  instance.goal = random_goal(rng, instance.model.num_states());
+  instance.times = random_times(rng);
+  instance.chain = random_ctmc(rng, cfg.ctmc);
+  instance.chain_goal = random_goal(rng, instance.chain.num_states());
+  instance.chain_times = random_times(rng);
+  return instance;
+}
+
+/// The batch solve under test with the configured bug injected — the same
+/// injection points as mutated_solve, so --self-check has teeth in batch
+/// mode too.
+std::vector<TimedReachabilityResult> mutated_batch_solve(const Ctmdp& model, BitVector goal,
+                                                         const std::vector<double>& times,
+                                                         TimedReachabilityOptions options,
+                                                         Mutation mutation) {
+  if (mutation == Mutation::SwapObjective) {
+    options.objective = options.objective == Objective::Maximize ? Objective::Minimize
+                                                                 : Objective::Maximize;
+  }
+  if (mutation == Mutation::CoarsePoisson) options.epsilon = 1e-2;
+  if (mutation == Mutation::StaleGoal) {
+    for (std::size_t s = goal.size(); s-- > 0;) {
+      if (goal[s]) {
+        goal[s] = false;
+        break;
+      }
+    }
+  }
+  std::vector<TimedReachabilityResult> results =
+      timed_reachability_batch(model, goal, times, options);
+  if (mutation == Mutation::PerturbValue && !results.empty() &&
+      !results.front().values.empty()) {
+    double& v = results.front().values[model.initial()];
+    v = v < 0.5 ? v + 1e-6 : v - 1e-6;
+  }
+  return results;
+}
+
+void scenario_batch(const Ctx& ctx, const Scaled& cfg) {
+  const BatchInstance instance = make_batch_instance(ctx.seed, cfg);
+  const DifferentialConfig& config = ctx.config;
+
+  TimedReachabilityOptions options;
+  options.epsilon = config.epsilon;
+  options.threads = 1;
+  options.backend = config.backend;
+
+  const bool dense_ok = instance.model.num_states() <= kDenseOracleLimit;
+  DenseModel dense;
+  if (dense_ok) dense = dense_from_ctmdp(instance.model);
+
+  for (const Objective objective : {Objective::Maximize, Objective::Minimize}) {
+    options.objective = objective;
+    const char* tag = objective == Objective::Maximize ? "sup" : "inf";
+    const std::vector<TimedReachabilityResult> batch = mutated_batch_solve(
+        instance.model, instance.goal, instance.times, options, config.mutation);
+    ctx.require(batch.size() == instance.times.size(), "batch-size",
+                std::to_string(batch.size()) + " results for " +
+                    std::to_string(instance.times.size()) + " bounds");
+    for (std::size_t j = 0; j < instance.times.size(); ++j) {
+      const double t = instance.times[j];
+      // Contract: each horizon is bit-identical to its independent
+      // single-t solve — values, iteration counts and residual bound.
+      const TimedReachabilityResult single =
+          timed_reachability(instance.model, instance.goal, t, options);
+      ctx.require(batch[j].values == single.values,
+                  (std::string("batch-bitwise-") + tag).c_str(),
+                  "t=" + num(t) + " values differ by " +
+                      num(vector_diff(batch[j].values, single.values)));
+      ctx.require(batch[j].iterations_planned == single.iterations_planned &&
+                      batch[j].iterations_executed == single.iterations_executed,
+                  (std::string("batch-iterations-") + tag).c_str(),
+                  "t=" + num(t) + " batch " + std::to_string(batch[j].iterations_executed) +
+                      "/" + std::to_string(batch[j].iterations_planned) + " vs single " +
+                      std::to_string(single.iterations_executed) + "/" +
+                      std::to_string(single.iterations_planned));
+      if (dense_ok) {
+        const std::vector<double> ref =
+            naive_timed_reachability(dense, instance.goal, t, config.epsilon, objective);
+        const double diff = vector_diff(batch[j].values, ref);
+        ctx.require(diff <= config.tolerance, (std::string("batch-vs-oracle-") + tag).c_str(),
+                    "t=" + num(t) + " max deviation " + num(diff));
+      }
+    }
+  }
+
+  TransientOptions transient;
+  transient.epsilon = config.epsilon;
+  transient.threads = 1;
+  transient.backend = config.backend;
+  const std::vector<TransientResult> chain_batch = timed_reachability_batch(
+      instance.chain, instance.chain_goal, instance.chain_times, transient);
+  ctx.require(chain_batch.size() == instance.chain_times.size(), "ctmc-batch-size",
+              std::to_string(chain_batch.size()) + " results for " +
+                  std::to_string(instance.chain_times.size()) + " bounds");
+  for (std::size_t j = 0; j < instance.chain_times.size(); ++j) {
+    const double t = instance.chain_times[j];
+    const TransientResult single =
+        timed_reachability(instance.chain, instance.chain_goal, t, transient);
+    ctx.require(chain_batch[j].probabilities == single.probabilities, "ctmc-batch-bitwise",
+                "t=" + num(t) + " values differ by " +
+                    num(vector_diff(chain_batch[j].probabilities, single.probabilities)));
+    const Ctmdp embedded = ctmdp_from_ctmc(instance.chain.uniformize());
+    if (embedded.num_states() <= kDenseOracleLimit) {
+      const std::vector<double> ref =
+          naive_timed_reachability(dense_from_ctmdp(embedded), instance.chain_goal, t,
+                                   config.epsilon, Objective::Maximize);
+      const double diff = vector_diff(chain_batch[j].probabilities, ref);
+      ctx.require(diff <= config.tolerance, "ctmc-batch-vs-oracle",
+                  "t=" + num(t) + " max deviation " + num(diff));
+    }
+  }
+}
+
 struct Scenario {
   const char* name;
   void (*run)(const Ctx&, const Scaled&);
@@ -527,6 +679,13 @@ std::vector<std::string> write_artifacts(const Failure& failure,
     const BitVector goal = random_goal(rng, chain.num_states());
     emit(stem + ".tra", [&](std::ostream& out) { io::write_ctmc(out, chain); });
     emit(stem + ".lab", [&](std::ostream& out) { io::write_goal(out, goal); });
+  } else if (failure.scenario == "batch") {
+    const BatchInstance instance = make_batch_instance(failure.seed, cfg);
+    emit(stem + ".ctmdp", [&](std::ostream& out) { io::write_ctmdp(out, instance.model); });
+    emit(stem + ".lab", [&](std::ostream& out) { io::write_goal(out, instance.goal); });
+    emit(stem + ".tra", [&](std::ostream& out) { io::write_ctmc(out, instance.chain); });
+    emit(stem + ".tra.lab",
+         [&](std::ostream& out) { io::write_goal(out, instance.chain_goal); });
   }
 
   emit(stem + ".txt", [&](std::ostream& out) {
@@ -534,7 +693,16 @@ std::vector<std::string> write_artifacts(const Failure& failure,
         << "scenario: " << failure.scenario << "\n"
         << "shrink level: " << failure.level << "\n"
         << "failure: " << failure.message << "\n"
-        << "replay: unicon_fuzz --seed " << failure.seed << "\n";
+        << "replay: unicon_fuzz " << (failure.scenario == "batch" ? "--batch " : "")
+        << "--seed " << failure.seed << "\n";
+    if (failure.scenario == "batch") {
+      const BatchInstance instance = make_batch_instance(failure.seed, cfg);
+      out << "ctmdp times:";
+      for (const double t : instance.times) out << " " << num(t);
+      out << "\nctmc times:";
+      for (const double t : instance.chain_times) out << " " << num(t);
+      out << "\n";
+    }
   });
   return files;
 }
@@ -545,7 +713,7 @@ std::optional<Failure> run_seed(std::uint64_t seed, const DifferentialConfig& co
                                 std::uint64_t& checks_run) {
   const Scaled cfg = scaled_configs(level);
   const Ctx ctx{config, checks_run, seed, level};
-  for (const Scenario& scenario : kScenarios) {
+  const auto run_one = [&](const Scenario& scenario) -> std::optional<Failure> {
     try {
       scenario.run(ctx, cfg);
     } catch (const CheckFailed& failed) {
@@ -554,6 +722,11 @@ std::optional<Failure> run_seed(std::uint64_t seed, const DifferentialConfig& co
       return Failure{seed, scenario.name, std::string("unexpected error: ") + error.what(),
                      level, {}};
     }
+    return std::nullopt;
+  };
+  if (config.batch) return run_one(Scenario{"batch", scenario_batch});
+  for (const Scenario& scenario : kScenarios) {
+    if (std::optional<Failure> failure = run_one(scenario)) return failure;
   }
   return std::nullopt;
 }

@@ -68,6 +68,13 @@ struct DifferentialConfig {
   Backend backend = Backend::Auto;
   /// CI z-score (2.5758 = 99%).
   double mc_z = 2.5758;
+  /// Batch mode (unicon_fuzz --batch): instead of the five standard
+  /// scenarios, run the multi-horizon differential — random CTMDP and CTMC
+  /// instances solved through timed_reachability_batch with a randomly
+  /// drawn bound set (unsorted, duplicates, zeros), cross-checked bitwise
+  /// against independent single-t solves and, when small enough, against
+  /// the dense oracle.  Shrinking and artifacts work as in normal mode.
+  bool batch = false;
   /// Shrink failing seeds down the config ladder.
   bool shrink = true;
   /// Directory for counterexample artifacts ("" disables writing).
@@ -77,7 +84,7 @@ struct DifferentialConfig {
 
 struct Failure {
   std::uint64_t seed = 0;
-  std::string scenario;  // "imc" | "composed" | "ctmdp" | "ctmc" | "zeno"
+  std::string scenario;  // "imc" | "composed" | "ctmdp" | "ctmc" | "zeno" | "batch"
   /// Which check tripped, with the observed discrepancy.
   std::string message;
   /// Shrink level the failure was reduced to (0 = full-size config).

@@ -1,0 +1,319 @@
+// Batch-equivalence property suite: every answer of a multi-horizon batch
+// solve must be *bitwise identical* to an independent single-t run — values,
+// residual bounds, iteration counts, scheduler tables — across backends and
+// thread counts (the batch fuses horizons around per-horizon arithmetic, so
+// this is testable exact equality, not a tolerance check).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/transient.hpp"
+#include "ctmdp/backend.hpp"
+#include "ctmdp/reachability.hpp"
+#include "support/rng.hpp"
+#include "testing/generate.hpp"
+#include "testing/oracle.hpp"
+
+namespace unicon {
+namespace {
+
+namespace gen = unicon::testing;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+void expect_bitwise(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(bits(a[i]), bits(b[i])) << what << " differs at index " << i << ": " << a[i]
+                                      << " vs " << b[i];
+  }
+}
+
+void expect_same_result(const TimedReachabilityResult& batch,
+                        const TimedReachabilityResult& single) {
+  expect_bitwise(batch.values, single.values, "values");
+  ASSERT_EQ(bits(batch.residual_bound), bits(single.residual_bound));
+  ASSERT_EQ(batch.iterations_planned, single.iterations_planned);
+  ASSERT_EQ(batch.iterations_executed, single.iterations_executed);
+  ASSERT_EQ(bits(batch.uniform_rate), bits(single.uniform_rate));
+  ASSERT_EQ(bits(batch.lambda), bits(single.lambda));
+  ASSERT_EQ(batch.status, single.status);
+  ASSERT_EQ(batch.initial_decision, single.initial_decision);
+  ASSERT_EQ(batch.decisions, single.decisions);
+}
+
+std::vector<Backend> backends_under_test() {
+  return {Backend::Serial, Backend::Simd, Backend::SimdPortable};
+}
+
+TEST(BatchTest, CtmdpBatchMatchesSingleRunsBitwise) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(derive_seed(0xba7c4u, seed));
+    gen::RandomCtmdpConfig config;
+    config.num_states = 20 + seed * 4;
+    config.uniform_rate = 2.0;
+    Ctmdp model = gen::random_uniform_ctmdp(rng, config);
+    const BitVector goal = gen::random_goal(rng, model.num_states(), 0.3);
+
+    // Unsorted, with duplicates and a zero: results must come back in
+    // input order regardless of the internal bottom-aligned fusion.
+    const std::vector<double> times = {2.5, 0.5, 4.0, 0.5, 0.0, 1.25};
+
+    for (Backend backend : backends_under_test()) {
+      for (unsigned threads : {1u, 3u}) {
+        TimedReachabilityOptions options;
+        options.backend = backend;
+        options.threads = threads;
+        options.objective = seed % 2 == 0 ? Objective::Minimize : Objective::Maximize;
+        options.extract_scheduler = true;
+        if (seed % 3 == 0) options.avoid = gen::random_goal(rng, model.num_states(), 0.15);
+
+        const auto batch = timed_reachability_batch(model, goal, times, options);
+        ASSERT_EQ(batch.size(), times.size());
+        for (std::size_t j = 0; j < times.size(); ++j) {
+          const auto single = timed_reachability(model, goal, times[j], options);
+          SCOPED_TRACE("seed " + std::to_string(seed) + " backend " +
+                       std::string(backend_name(backend)) + " threads " +
+                       std::to_string(threads) + " t " + std::to_string(times[j]));
+          expect_same_result(batch[j], single);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchTest, CtmdpBatchEarlyTerminationMatchesSingle) {
+  Rng rng(0x5eedu);
+  gen::RandomCtmdpConfig config;
+  config.num_states = 24;
+  config.uniform_rate = 3.0;
+  config.absorbing_density = 0.3;
+  Ctmdp model = gen::random_uniform_ctmdp(rng, config);
+  const BitVector goal = gen::random_goal(rng, model.num_states(), 0.25);
+  const std::vector<double> times = {30.0, 6.0, 12.0, 1.0};
+
+  for (Backend backend : backends_under_test()) {
+    TimedReachabilityOptions options;
+    options.backend = backend;
+    options.threads = 2;
+    options.early_termination = true;
+    options.early_termination_delta = 1e-10;
+    options.extract_scheduler = true;
+    const auto batch = timed_reachability_batch(model, goal, times, options);
+    for (std::size_t j = 0; j < times.size(); ++j) {
+      const auto single = timed_reachability(model, goal, times[j], options);
+      SCOPED_TRACE("backend " + std::string(backend_name(backend)) + " t " +
+                   std::to_string(times[j]));
+      // Early termination must fire at the same step (shared value
+      // sequence), so even the executed counts agree exactly.
+      expect_same_result(batch[j], single);
+    }
+  }
+}
+
+TEST(BatchTest, CtmdpBatchGuardStopYieldsSoundResumablePartials) {
+  Rng rng(0x90afu);
+  gen::RandomCtmdpConfig config;
+  config.num_states = 18;
+  config.uniform_rate = 2.0;
+  Ctmdp model = gen::random_uniform_ctmdp(rng, config);
+  const BitVector goal = gen::random_goal(rng, model.num_states(), 0.25);
+  const std::vector<double> times = {5.0, 1.0, 3.0};
+
+  for (Backend backend : {Backend::Serial, Backend::SimdPortable}) {
+    TimedReachabilityOptions options;
+    options.backend = backend;
+    options.threads = 1;
+
+    RunGuard guard;
+    guard.cancel_after_polls(4);
+    TimedReachabilityOptions guarded = options;
+    guarded.guard = &guard;
+    const auto batch = timed_reachability_batch(model, goal, times, guarded);
+
+    bool saw_partial = false;
+    for (std::size_t j = 0; j < times.size(); ++j) {
+      const auto single = timed_reachability(model, goal, times[j], options);
+      if (batch[j].status == RunStatus::Converged) {
+        expect_bitwise(batch[j].values, single.values, "converged horizon values");
+        continue;
+      }
+      saw_partial = true;
+      EXPECT_EQ(batch[j].status, RunStatus::Cancelled);
+      EXPECT_EQ(batch[j].iterate.size(), model.num_states());
+      // The per-horizon residual bound must cover the distance to the
+      // fully converged answer.
+      for (std::size_t s = 0; s < model.num_states(); ++s) {
+        EXPECT_LE(std::abs(batch[j].values[s] - single.values[s]),
+                  batch[j].residual_bound + 1e-12);
+      }
+      // The interrupted horizon's iterate is exactly the single run's at
+      // the same step, so resuming it must land bitwise on the
+      // uninterrupted answer.
+      TimedReachabilityOptions resume_options = options;
+      resume_options.resume = &batch[j];
+      const auto resumed = timed_reachability(model, goal, times[j], resume_options);
+      expect_bitwise(resumed.values, single.values, "resumed values");
+    }
+    EXPECT_TRUE(saw_partial);
+  }
+}
+
+TEST(BatchTest, CtmdpBatchAcceptsInjectedKernels) {
+  Rng rng(0x7e57u);
+  Ctmdp model = gen::random_uniform_ctmdp(rng);
+  const BitVector goal = gen::random_goal(rng, model.num_states(), 0.3);
+  const std::vector<double> times = {1.0, 2.0};
+
+  const DiscreteKernel discrete(model, goal);
+  const DenseKernel dense(model, goal, BitVector{});
+
+  for (Backend backend : backends_under_test()) {
+    TimedReachabilityOptions plain;
+    plain.backend = backend;
+    TimedReachabilityOptions injected = plain;
+    injected.discrete_kernel = &discrete;
+    injected.dense_kernel = &dense;
+    const auto a = timed_reachability_batch(model, goal, times, plain);
+    const auto b = timed_reachability_batch(model, goal, times, injected);
+    for (std::size_t j = 0; j < times.size(); ++j) {
+      expect_bitwise(a[j].values, b[j].values, "injected-kernel values");
+    }
+    // Single-horizon runs accept the same cached kernels.
+    const auto s1 = timed_reachability(model, goal, times[0], plain);
+    const auto s2 = timed_reachability(model, goal, times[0], injected);
+    expect_bitwise(s1.values, s2.values, "injected-kernel single values");
+  }
+}
+
+TEST(BatchTest, CtmdpBatchRejectsBadInputs) {
+  Rng rng(0xbadu);
+  Ctmdp model = gen::random_uniform_ctmdp(rng);
+  const BitVector goal = gen::random_goal(rng, model.num_states(), 0.3);
+
+  EXPECT_TRUE(timed_reachability_batch(model, goal, {}).empty());
+  EXPECT_THROW(timed_reachability_batch(model, goal, {1.0, -2.0}), ModelError);
+
+  TimedReachabilityResult partial;
+  partial.status = RunStatus::Cancelled;
+  partial.iterate.assign(model.num_states(), 0.0);
+  TimedReachabilityOptions options;
+  options.resume = &partial;
+  EXPECT_THROW(timed_reachability_batch(model, goal, {1.0}, options), ModelError);
+
+  const DiscreteKernel other_kernel(Ctmdp{}, BitVector{});
+  TimedReachabilityOptions bad_kernel;
+  bad_kernel.backend = Backend::Serial;
+  bad_kernel.discrete_kernel = &other_kernel;
+  EXPECT_THROW(timed_reachability_batch(model, goal, {1.0}, bad_kernel), ModelError);
+}
+
+TEST(BatchTest, CtmdpBatchValuesAgreeWithDenseOracle) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(derive_seed(0x0aacu, seed));
+    gen::RandomCtmdpConfig config;
+    config.num_states = 12;
+    Ctmdp model = gen::random_uniform_ctmdp(rng, config);
+    const BitVector goal = gen::random_goal(rng, model.num_states(), 0.3);
+    const std::vector<double> times = {0.75, 2.0, 3.5};
+    TimedReachabilityOptions options;
+    options.epsilon = 1e-9;
+    const auto batch = timed_reachability_batch(model, goal, times, options);
+    const gen::DenseModel dense = gen::dense_from_ctmdp(model);
+    for (std::size_t j = 0; j < times.size(); ++j) {
+      const auto oracle = gen::naive_timed_reachability(dense, goal, times[j], 1e-12);
+      for (std::size_t s = 0; s < model.num_states(); ++s) {
+        EXPECT_NEAR(batch[j].values[s], oracle[s], 1e-7);
+      }
+    }
+  }
+}
+
+TEST(BatchTest, CtmcBatchMatchesSingleRunsBitwise) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(derive_seed(0xc7dcu, seed));
+    gen::RandomCtmcConfig config;
+    config.num_states = 20 + seed * 3;
+    Ctmc chain = gen::random_ctmc(rng, config);
+    const BitVector goal = gen::random_goal(rng, chain.num_states(), 0.3);
+    const std::vector<double> times = {3.0, 0.5, 3.0, 0.0, 1.75};
+
+    for (Backend backend : backends_under_test()) {
+      for (unsigned threads : {1u, 3u}) {
+        TransientOptions options;
+        options.backend = backend;
+        options.threads = threads;
+        const auto batch = timed_reachability_batch(chain, goal, times, options);
+        ASSERT_EQ(batch.size(), times.size());
+        for (std::size_t j = 0; j < times.size(); ++j) {
+          const auto single = timed_reachability(chain, goal, times[j], options);
+          SCOPED_TRACE("seed " + std::to_string(seed) + " backend " +
+                       std::string(backend_name(backend)) + " threads " +
+                       std::to_string(threads) + " t " + std::to_string(times[j]));
+          expect_bitwise(batch[j].probabilities, single.probabilities, "probabilities");
+          ASSERT_EQ(bits(batch[j].residual_bound), bits(single.residual_bound));
+          ASSERT_EQ(batch[j].iterations, single.iterations);
+          ASSERT_EQ(batch[j].iterations_executed, single.iterations_executed);
+          ASSERT_EQ(batch[j].status, single.status);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchTest, CtmcBatchEarlyTerminationMatchesSingle) {
+  Rng rng(0xeaa1u);
+  gen::RandomCtmcConfig config;
+  config.num_states = 16;
+  config.absorbing_density = 0.3;
+  Ctmc chain = gen::random_ctmc(rng, config);
+  const BitVector goal = gen::random_goal(rng, chain.num_states(), 0.25);
+  const std::vector<double> times = {40.0, 5.0, 15.0};
+
+  TransientOptions options;
+  options.early_termination = true;
+  options.early_termination_delta = 1e-10;
+  const auto batch = timed_reachability_batch(chain, goal, times, options);
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    const auto single = timed_reachability(chain, goal, times[j], options);
+    SCOPED_TRACE("t " + std::to_string(times[j]));
+    expect_bitwise(batch[j].probabilities, single.probabilities, "probabilities");
+    ASSERT_EQ(bits(batch[j].residual_bound), bits(single.residual_bound));
+    ASSERT_EQ(batch[j].iterations_executed, single.iterations_executed);
+  }
+}
+
+TEST(BatchTest, CtmcBatchGuardStopKeepsFinishedHorizonsConverged) {
+  Rng rng(0x6a2du);
+  Ctmc chain = gen::random_ctmc(rng);
+  const BitVector goal = gen::random_goal(rng, chain.num_states(), 0.3);
+  const std::vector<double> times = {6.0, 0.5, 2.5};
+
+  RunGuard guard;
+  guard.cancel_after_polls(5);
+  TransientOptions guarded;
+  guarded.guard = &guard;
+  const auto batch = timed_reachability_batch(chain, goal, times, guarded);
+
+  bool saw_partial = false;
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    const auto single = timed_reachability(chain, goal, times[j]);
+    if (batch[j].status == RunStatus::Converged) {
+      expect_bitwise(batch[j].probabilities, single.probabilities, "converged probabilities");
+      continue;
+    }
+    saw_partial = true;
+    EXPECT_EQ(batch[j].status, RunStatus::Cancelled);
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+      EXPECT_LE(std::abs(batch[j].probabilities[s] - single.probabilities[s]),
+                batch[j].residual_bound + 1e-12);
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+}  // namespace
+}  // namespace unicon

@@ -8,6 +8,12 @@
 //   unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]
 //                [common]
 //
+// Batch mode (every kind): --times T1,T2,... answers several time bounds
+// with ONE fused multi-horizon solve (the positional <t> is ignored).
+// Each bound's value, residual bound and iteration counts are bit-identical
+// to a separate single-bound run; the exit code is that of the first
+// unconverged bound (0 when all converged).
+//
 // Common execution-control flags (every mode):
 //   --backend NAME     compute backend for the solver sweeps: auto (default;
 //                      honours UNICON_BACKEND, else serial), serial, simd,
@@ -42,6 +48,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/analysis.hpp"
 #include "ctmc/transient.hpp"
@@ -76,6 +83,7 @@ struct GuardFlags {
   bool json_errors = false;
   std::string telemetry_path;   // empty = telemetry off; "-" = stderr
   Backend backend = Backend::Auto;
+  std::vector<double> times;    // non-empty = batch mode (--times)
 };
 
 /// The registry to thread through the pipeline: null when --telemetry was
@@ -104,8 +112,9 @@ struct TelemetryFlusher {
                "[--early] [--scheduler] [common]\n"
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
                "[common]\n"
-               "common: [--backend auto|serial|simd|simd-portable] [--deadline S] "
-               "[--mem-budget BYTES[K|M|G]] [--json-errors] [--telemetry PATH]\n");
+               "common: [--times T1,T2,...] [--backend auto|serial|simd|simd-portable] "
+               "[--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors] "
+               "[--telemetry PATH]\n");
   std::exit(2);
 }
 
@@ -150,9 +159,28 @@ std::uint64_t parse_mem_budget(const char* arg) {
   return static_cast<std::uint64_t>(value) * scale;
 }
 
+/// "0.5,2,8" -> {0.5, 2, 8}; every entry must be a non-negative number.
+std::vector<double> parse_times(const char* arg) {
+  std::vector<double> times;
+  const std::string list = arg;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(start, comma - start);
+    times.push_back(parse_nonnegative(token.c_str(), "--times entry"));
+    start = comma + 1;
+  }
+  return times;
+}
+
 /// Consumes a common flag at argv[i] (advancing i past its value) or
 /// returns false so the caller can try its mode-specific flags.
 bool parse_common_flag(int argc, char** argv, int& i, GuardFlags& flags) {
+  if (std::strcmp(argv[i], "--times") == 0 && i + 1 < argc) {
+    flags.times = parse_times(argv[++i]);
+    return true;
+  }
   if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
     flags.deadline = parse_positive(argv[++i], "--deadline");
     return true;
@@ -192,6 +220,41 @@ int report_error(const Error& e, const GuardFlags& flags) {
     std::fprintf(stderr, "error: %s\n", e.what());
   }
   return e.exit_code();
+}
+
+/// One row of a --times batch answer, normalized across solver kinds.
+struct BoundSummary {
+  double time = 0.0;
+  double value = 0.0;
+  std::uint64_t planned = 0;
+  std::uint64_t executed = 0;
+  RunStatus status = RunStatus::Converged;
+  double residual = 0.0;
+};
+
+/// Batch-mode tail shared by every kind: one value line per bound, partial
+/// diagnostics for unconverged bounds, exit code of the first unconverged
+/// bound (0 when the whole batch converged).
+int report_batch(const char* objective, const std::string& goal_desc,
+                 const std::vector<BoundSummary>& bounds, const GuardFlags& flags) {
+  int exit_code = 0;
+  for (const BoundSummary& b : bounds) {
+    std::printf("%s%sP(reach %s within %g) = %.10f   (iterations: %llu planned, %llu executed)\n",
+                objective, objective[0] != '\0' ? " " : "", goal_desc.c_str(), b.time, b.value,
+                static_cast<unsigned long long>(b.planned),
+                static_cast<unsigned long long>(b.executed));
+    if (b.status != RunStatus::Converged) {
+      std::printf("  status: %s (partial result), residual bound: %.3e\n",
+                  run_status_name(b.status), b.residual);
+      if (flags.json_errors) {
+        std::fprintf(stderr,
+                     "{\"partial\":{\"time\":%.17g,\"status\":\"%s\",\"residual_bound\":%.17g}}\n",
+                     b.time, run_status_name(b.status), b.residual);
+      }
+      if (exit_code == 0) exit_code = static_cast<int>(run_status_code(b.status));
+    }
+  }
+  return exit_code;
 }
 
 /// Reports a budget-stopped partial solver result and returns the exit
@@ -298,6 +361,23 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.backend = flags.backend;
   options.reachability.guard = &g_guard;
   options.reachability.telemetry = tel;
+  if (!flags.times.empty()) {
+    const auto result =
+        analyze_timed_reachability_batch(built.system, built.mask(goal_name), flags.times, options);
+    std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
+                result.transformed.ctmdp.num_transitions());
+    std::vector<BoundSummary> bounds;
+    for (std::size_t j = 0; j < flags.times.size(); ++j) {
+      const auto& r = result.reachability[j];
+      bounds.push_back({flags.times[j], result.values[j], r.iterations_planned,
+                        r.iterations_executed, r.status, r.residual_bound});
+    }
+    const int exit_code = report_batch(minimize_flag ? "inf" : "sup", goal_name, bounds, flags);
+    std::printf("%zu bounds in one batch solve, %.3f s total\n", flags.times.size(),
+                total.seconds());
+    return exit_code;
+  }
+
   const auto result = analyze_timed_reachability(built.system, built.mask(goal_name), t, options);
   std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
               result.transformed.ctmdp.num_transitions());
@@ -396,6 +476,21 @@ int main(int argc, char** argv) {
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;
+      if (!flags.times.empty()) {
+        const auto results = timed_reachability_batch(model, goal, flags.times, options);
+        std::printf("model: %zu states, %zu transitions, uniform rate %.6f\n",
+                    model.num_states(), model.num_transitions(), results.front().uniform_rate);
+        std::vector<BoundSummary> bounds;
+        for (std::size_t j = 0; j < flags.times.size(); ++j) {
+          const auto& r = results[j];
+          bounds.push_back({flags.times[j], r.values[model.initial()], r.iterations_planned,
+                            r.iterations_executed, r.status, r.residual_bound});
+        }
+        const int exit_code = report_batch(minimize ? "inf" : "sup", "goal", bounds, flags);
+        std::printf("%zu bounds in one batch solve, %.3f s\n", flags.times.size(),
+                    timer.seconds());
+        return exit_code;
+      }
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniform rate %.6f\n", model.num_states(),
                   model.num_transitions(), result.uniform_rate);
@@ -425,6 +520,21 @@ int main(int argc, char** argv) {
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;
+      if (!flags.times.empty()) {
+        const auto results = timed_reachability_batch(model, goal, flags.times, options);
+        std::printf("model: %zu states, %zu transitions, uniformized at %.6f\n",
+                    model.num_states(), model.num_transitions(), results.front().uniform_rate);
+        std::vector<BoundSummary> bounds;
+        for (std::size_t j = 0; j < flags.times.size(); ++j) {
+          const auto& r = results[j];
+          bounds.push_back({flags.times[j], r.probabilities[model.initial()], r.iterations,
+                            r.iterations_executed, r.status, r.residual_bound});
+        }
+        const int exit_code = report_batch("", "goal", bounds, flags);
+        std::printf("%zu bounds in one batch solve, %.3f s\n", flags.times.size(),
+                    timer.seconds());
+        return exit_code;
+      }
       const auto result = timed_reachability(model, goal, t, options);
       std::printf("model: %zu states, %zu transitions, uniformized at %.6f\n", model.num_states(),
                   model.num_transitions(), result.uniform_rate);

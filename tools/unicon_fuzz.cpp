@@ -32,6 +32,13 @@
 //                  result, a sound partial result, or a typed error (see
 //                  testing/fault_injection.hpp); --threads sets the worker
 //                  count of the guarded solves
+//   --batch        run the multi-horizon differential instead: per seed a
+//                  random CTMDP (sup and inf) and CTMC are solved through
+//                  timed_reachability_batch on a random bound set (unsorted,
+//                  duplicates, zeros) and each horizon is checked bitwise
+//                  against its independent single-t solve plus the dense
+//                  oracle; seed shrinking, --out and --self-check work as in
+//                  normal mode
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,7 +62,7 @@ namespace {
                "                   [--eps E] [--tol D] [--mc-runs N] [--no-shrink]\n"
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
-               "                   [--out DIR] [--self-check] [--lang] [--faults]\n"
+               "                   [--out DIR] [--self-check] [--lang] [--faults] [--batch]\n"
                "                   [--backend auto|serial|simd|simd-portable]\n"
                "                   [--threads N] [-v]\n");
   std::exit(2);
@@ -194,6 +201,8 @@ int main(int argc, char** argv) {
       lang_mode = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       fault_mode = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      config.batch = true;
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       try {
         config.backend = parse_backend(value());

@@ -1,0 +1,214 @@
+// unicon_serve — the analysis server.
+//
+// Usage:
+//   unicon_serve [--socket PATH] [--workers N] [--max-pending N]
+//                [--max-batch N] [--cache-budget BYTES[K|M|G]]
+//                [--no-timing] [--client NAME]
+//
+// Speaks newline-delimited JSON (one request/response object per line, see
+// server/server.hpp for the schema; failures reuse the unicon_check
+// --json-errors error object).  By default a single session is served over
+// stdin/stdout — `unicon_serve < queries.jsonl` is a batch evaluator, and
+// the golden-replay CI job diffs exactly that (with --no-timing so the
+// "seconds" fields stay constant).  With --socket an AF_UNIX listener is
+// bound at PATH and every connection gets its own session thread; all
+// sessions share one AnalysisService, so the model cache, fair-share
+// queue, coalescing and admission control work across clients.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+using namespace unicon;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: unicon_serve [--socket PATH] [--workers N] [--max-pending N]\n"
+               "                    [--max-batch N] [--cache-budget BYTES[K|M|G]]\n"
+               "                    [--no-timing] [--client NAME]\n");
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const char* arg, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || value == 0) {
+    std::fprintf(stderr, "error: %s must be a positive integer, got '%s'\n", what, arg);
+    std::exit(2);
+  }
+  return value;
+}
+
+std::uint64_t parse_bytes(const char* arg) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  std::uint64_t scale = 1;
+  if (end != arg && *end != '\0' && end[1] == '\0') {
+    switch (*end) {
+      case 'K': case 'k': scale = 1ull << 10; break;
+      case 'M': case 'm': scale = 1ull << 20; break;
+      case 'G': case 'g': scale = 1ull << 30; break;
+      default: end = const_cast<char*>(arg); break;
+    }
+  }
+  if (end == arg || (*end != '\0' && scale == 1) || value == 0) {
+    std::fprintf(stderr, "error: --cache-budget must be a positive byte count, got '%s'\n", arg);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value) * scale;
+}
+
+/// Minimal bidirectional streambuf over a connected socket fd, so
+/// run_session's iostream interface works unchanged for --socket clients.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof out_);
+  }
+  ~FdStreambuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type c) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(c, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(c);
+      pbump(1);
+    }
+    return traits_type::not_eof(c);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof out_);
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+extern "C" void handle_sigint(int) { g_stop = 1; }
+
+int serve_socket(const std::string& path, server::AnalysisService& service, bool timing) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "unicon_serve: listening on %s\n", path.c_str());
+
+  std::vector<std::thread> sessions;
+  unsigned next_client = 0;
+  while (g_stop == 0) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;  // interrupted (SIGINT) or listener error
+    const std::string client = "conn-" + std::to_string(next_client++);
+    sessions.emplace_back([conn, client, &service, timing] {
+      FdStreambuf buffer(conn);
+      std::istream in(&buffer);
+      std::ostream out(&buffer);
+      server::SessionOptions options;
+      options.client = client;
+      options.timing = timing;
+      server::run_session(in, out, service, options);
+      ::close(conn);
+    });
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  for (std::thread& session : sessions) session.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string client = "stdin";
+  server::ServiceOptions options;
+  options.workers = 2;
+  bool timing = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_path = value();
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      options.workers = static_cast<unsigned>(parse_count(value(), "--workers"));
+    } else if (std::strcmp(argv[i], "--max-pending") == 0) {
+      options.max_pending = parse_count(value(), "--max-pending");
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      options.max_batch = parse_count(value(), "--max-batch");
+    } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
+      options.cache_budget = parse_bytes(value());
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      timing = false;
+    } else if (std::strcmp(argv[i], "--client") == 0) {
+      client = value();
+    } else {
+      usage();
+    }
+  }
+
+  std::signal(SIGINT, handle_sigint);
+  server::AnalysisService service(options);
+
+  if (!socket_path.empty()) return serve_socket(socket_path, service, timing);
+
+  server::SessionOptions session;
+  session.client = client;
+  session.timing = timing;
+  server::run_session(std::cin, std::cout, service, session);
+  return 0;
+}
