@@ -1,0 +1,116 @@
+// DFT frontend cost trajectory: Galileo parse -> IMC composition ->
+// bisimulation minimization -> transform -> Algorithm 1 on the shipped zoo,
+// dominated by the largest model (cas.dft, ~4k composed states minimizing
+// to a few dozen).  The interesting ratio is lower+minimize vs. solve: the
+// composition is a one-off per tree while every additional time bound pays
+// only the (post-minimization) sweep, which is why the analysis server
+// caches the lowered model, not the solve.
+//
+// Records land in BENCH_dft.json (override with BENCH_JSON):
+//   {"bench": "dft/<model>/t=<t>/<objective>", "raw_states": ...,
+//    "states": ..., "transitions": ..., "k": ..., "lower_seconds": ...,
+//    "minimize_seconds": ..., "solve_seconds": ..., "seconds": ...,
+//    "value": ...}
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "dft/lower.hpp"
+#include "dft/parser.hpp"
+#include "dft/sema.hpp"
+#include "lang/build.hpp"
+#include "support/telemetry.hpp"
+
+using namespace unicon;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "dft_bench: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Case {
+  const char* model;
+  double time;
+  Objective objective;
+};
+
+}  // namespace
+
+int main() {
+  telemetry::BenchJson out("BENCH_dft.json", "BENCH_JSON");
+  const std::string dir = UNICON_DFT_DIR;
+
+  // The zoo's two extremes: the largest composition (cas) at a short and a
+  // long horizon, and the nondeterministic showcase (fdep_pand) where the
+  // sup/inf scheduler gap is genuine.
+  const Case cases[] = {
+      {"cas", 1.0, Objective::Maximize},
+      {"cas", 10.0, Objective::Maximize},
+      {"cas", 10.0, Objective::Minimize},
+      {"fdep_pand", 10.0, Objective::Maximize},
+      {"fdep_pand", 10.0, Objective::Minimize},
+  };
+
+  for (const Case& c : cases) {
+    const std::string source = read_file(dir + "/" + std::string(c.model) + ".dft");
+    Stopwatch total;
+
+    Stopwatch lower_watch;
+    const dft::CheckedDft checked = dft::parse_and_check_dft(source);
+    lang::BuiltModel built = dft::lower_dft(checked);
+    const double lower_s = lower_watch.seconds();
+    const std::size_t raw_states = built.system.num_states();
+
+    Stopwatch minimize_watch;
+    built = lang::minimize_model(built);
+    const double minimize_s = minimize_watch.seconds();
+
+    UimcAnalysisOptions options;
+    options.reachability.objective = c.objective;
+    options.reachability.backend = Backend::Serial;
+    options.reachability.threads = 1;
+    Stopwatch solve_watch;
+    const UimcAnalysisResult result =
+        analyze_timed_reachability(built.system, built.mask("failed"), c.time, options);
+    const double solve_s = solve_watch.seconds();
+
+    const char* objective = c.objective == Objective::Maximize ? "max" : "min";
+    std::printf("%-10s t=%-4g %s raw=%zu min=%zu k=%llu %s=%.10f "
+                "(lower %.3fs, minimize %.3fs, solve %.3fs)\n",
+                c.model, c.time, objective, raw_states, built.system.num_states(),
+                static_cast<unsigned long long>(result.reachability.iterations_planned),
+                c.objective == Objective::Maximize ? "sup" : "inf", result.value, lower_s,
+                minimize_s, solve_s);
+
+    telemetry::BenchRecord rec;
+    char bound[32];
+    std::snprintf(bound, sizeof bound, "%g", c.time);
+    rec.bench = "dft/" + std::string(c.model) + "/t=" + bound + "/" + objective;
+    rec.add("raw_states", raw_states)
+        .add("states", built.system.num_states())
+        .add("transitions", result.transformed.ctmdp.num_transitions())
+        .add("k", result.reachability.iterations_planned)
+        .add("lower_seconds", lower_s)
+        .add("minimize_seconds", minimize_s)
+        .add("solve_seconds", solve_s)
+        .add("seconds", total.seconds())
+        .add("value", result.value);
+    out.record(std::move(rec));
+  }
+
+  out.write();
+  std::printf("wrote %s\n", out.path().c_str());
+  return 0;
+}

@@ -67,4 +67,20 @@ class CountdownScheduler {
   std::vector<std::vector<std::uint64_t>> decisions_;
 };
 
+/// Policy evaluation of a step-dependent scheduler: Algorithm 1's backward
+/// iteration with the per-step transition fixed by @p scheduler instead of
+/// optimized.  The arithmetic mirrors the serial solver exactly — per state
+/// and step it evaluates the same kernel.transition_value() expression the
+/// optimizing sweep used to score that transition — so feeding back a
+/// decision table extracted by a serial timed_reachability solve reproduces
+/// its values *bit-identically* (the round-trip the scheduler-artifact
+/// tests rely on).  A kNoTransition choice pins the state to 0 (matching
+/// avoided and transitionless states).  Honours options.epsilon only;
+/// throws UniformityError on non-uniform models, ModelError on out-of-range
+/// choices.
+TimedReachabilityResult evaluate_countdown_scheduler(const Ctmdp& model, const BitVector& goal,
+                                                     double t,
+                                                     const CountdownScheduler& scheduler,
+                                                     const TimedReachabilityOptions& options = {});
+
 }  // namespace unicon

@@ -1,0 +1,68 @@
+// Typed IR of Galileo dynamic fault trees.
+//
+// A DFT is a flat list of named elements: exponential basic events
+// (lambda, optional dormancy factor) and gates (AND, OR, VOT(k/n), PAND,
+// SPARE in warm/cold/hot flavours, FDEP) wiring them into a DAG under one
+// distinguished toplevel element.  The parser fills this IR verbatim
+// (children by name, declaration order preserved); resolution and
+// well-formedness live in sema.hpp, the compositional IMC semantics in
+// lower.hpp.  Diagnostics reuse the lang frontend's SourceLoc/LangError
+// machinery so `unicon_check dft` reports file:line:col like the UNI
+// frontend does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/diagnostics.hpp"
+
+namespace unicon::dft {
+
+using lang::Diagnostic;
+using lang::LangError;
+using lang::SourceLoc;
+
+enum class ElementKind : std::uint8_t { BasicEvent, And, Or, Vot, Pand, Spare, Fdep };
+
+const char* element_kind_name(ElementKind k);
+
+/// The three Galileo spare flavours share one lowering; they differ only in
+/// the dormancy factor applied to a spare while it is not activated
+/// (csp: 0, hsp: 1, wsp: the spare's own dorm attribute).
+enum class SpareKind : std::uint8_t { Warm, Cold, Hot };
+
+struct Element {
+  std::string name;
+  SourceLoc loc;
+  ElementKind kind = ElementKind::BasicEvent;
+
+  /// Gates: children by name in declaration order.  For Fdep, children[0]
+  /// is the trigger and the remainder are the dependent basic events.
+  std::vector<std::string> children;
+
+  /// Vot only: the threshold k of a k-of-n gate (AND and OR parse as
+  /// dedicated kinds, not as n-of-n / 1-of-n).
+  std::uint32_t vot_k = 0;
+
+  /// Spare only.
+  SpareKind spare = SpareKind::Warm;
+
+  /// Basic events: exponential failure rate and dormancy factor in [0, 1]
+  /// (failure rate while dormant = dorm * lambda).
+  double lambda = 0.0;
+  double dorm = 1.0;
+  bool has_lambda = false;
+  bool has_dorm = false;
+
+  bool is_gate() const { return kind != ElementKind::BasicEvent; }
+};
+
+struct Dft {
+  std::string toplevel;
+  SourceLoc toplevel_loc;
+  /// Declaration order; this is also the leaf order of the lowering.
+  std::vector<Element> elements;
+};
+
+}  // namespace unicon::dft

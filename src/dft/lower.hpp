@@ -1,0 +1,66 @@
+// Compositional IMC semantics of dynamic fault trees.
+//
+// Every element lowers to one small IMC leaf; the tree's behaviour is the
+// CSP-style n-ary parallel composition of the leaves (imc/compose.hpp)
+// with all signals hidden at the root, explored under the closed-system
+// urgency assumption.  Three families of signal actions wire the leaves:
+//
+//   f.<elem>       fail signal: emitted once by <elem> when it fails,
+//                  multiway-synchronized with every gate listening to it
+//                  (its parents and fdep triggers)
+//   a.<spare>      activation: pairwise between a spare gate and the spare
+//                  it promotes to active duty
+//   k.<fdep>.<be>  kill: pairwise between an fdep and one dependent
+//                  (per-edge names keep two fdeps over one BE independent)
+//
+// Listeners are input-enabled (self-loops for signals that are irrelevant
+// in a state), so a signal is never blocked and the closed composition is
+// deadlock-free.  Genuine nondeterminism remains where the DFT literature
+// places it — the interleaving order of simultaneously pending fail
+// signals (PAND orderings) and fdep forwarding — and is resolved by the
+// scheduler: sup/inf over schedulers (Objective::Maximize/Minimize) bound
+// the unreliability from both sides.
+//
+// Uniformity by construction: a basic event with rate lambda carries total
+// Markov exit rate exactly lambda in *every* state (dormancy and
+// absorption are padded with Markov self-loops, the elapse/uniformization
+// pattern of Def. 4), and gates are purely interactive, so every stable
+// composite state has exit rate E = sum of all lambdas — the composed
+// system is uniform at E without a global uniformization pass.
+//
+// The result is a lang::BuiltModel with the single proposition "failed"
+// (top element has failed), so bisimulation minimization, the Sec. 4.1
+// transformation and Algorithm 1 apply unchanged:
+//     unreliability(t) = Pr(reach "failed" within t).
+#pragma once
+
+#include <cstddef>
+
+#include "dft/sema.hpp"
+#include "lang/build.hpp"
+#include "support/run_guard.hpp"
+
+namespace unicon {
+class Telemetry;
+}
+
+namespace unicon::dft {
+
+struct LowerOptions {
+  /// Record human-readable "(s0,s1,...)" composite state names.
+  bool record_names = false;
+  /// Abort with ModelError when the product exceeds this many states.
+  std::size_t max_states = static_cast<std::size_t>(-1);
+  /// Optional execution control (checked per explored state; BudgetError).
+  RunGuard* guard = nullptr;
+  /// Optional observability: opens a "dft_lower" span with the
+  /// exploration's "compose" span as its child.
+  Telemetry* telemetry = nullptr;
+};
+
+/// Lowers a checked DFT to its closed uniform IMC.  Throws UniformityError
+/// if the explored system violates closed-view uniformity (a backstop; the
+/// construction guarantees it).
+lang::BuiltModel lower_dft(const CheckedDft& dft, const LowerOptions& options = {});
+
+}  // namespace unicon::dft

@@ -1,0 +1,372 @@
+#include "dft/parser.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace unicon::dft {
+
+namespace {
+
+struct Token {
+  enum class Kind : std::uint8_t { Name, Number, Vot, Equals, Semicolon, End };
+
+  Kind kind = Kind::End;
+  SourceLoc loc;
+  std::string text;        // Name: the (unquoted) name; Number/Vot: raw text
+  bool quoted = false;     // Name only: written as "..."
+  double number = 0.0;     // Number only
+  std::uint32_t vot_k = 0, vot_n = 0;  // Vot only
+};
+
+[[noreturn]] void fail(Diagnostic::Category category, SourceLoc loc, std::string message,
+                       const std::string& file) {
+  throw LangError(Diagnostic{category, loc, std::move(message)}, file);
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& source, const std::string& file) : src_(source), file_(file) {}
+
+  Token next() {
+    skip_trivia();
+    Token t;
+    t.loc = loc_;
+    if (pos_ >= src_.size()) return t;
+    const char c = src_[pos_];
+    if (c == ';') {
+      t.kind = Token::Kind::Semicolon;
+      advance();
+      return t;
+    }
+    if (c == '=') {
+      t.kind = Token::Kind::Equals;
+      advance();
+      return t;
+    }
+    if (c == '"') return quoted_name(t);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return bare_name(t);
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' || c == '+') {
+      return number_or_vot(t);
+    }
+    fail(Diagnostic::Category::Lex, t.loc, std::string("unexpected character '") + c + "'", file_);
+  }
+
+ private:
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++loc_.line;
+      loc_.col = 1;
+    } else {
+      ++loc_.col;
+    }
+    ++pos_;
+  }
+
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        const SourceLoc open = loc_;
+        advance();
+        advance();
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) advance();
+        if (pos_ + 1 >= src_.size()) {
+          fail(Diagnostic::Category::Lex, open, "unterminated /* comment", file_);
+        }
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token quoted_name(Token t) {
+    advance();  // opening quote
+    t.kind = Token::Kind::Name;
+    t.quoted = true;
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      t.text += src_[pos_];
+      advance();
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '"') {
+      fail(Diagnostic::Category::Lex, t.loc, "unterminated quoted name", file_);
+    }
+    advance();  // closing quote
+    if (t.text.empty()) {
+      fail(Diagnostic::Category::Lex, t.loc, "empty quoted name", file_);
+    }
+    return t;
+  }
+
+  Token bare_name(Token t) {
+    t.kind = Token::Kind::Name;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') break;
+      t.text += c;
+      advance();
+    }
+    return t;
+  }
+
+  /// A token starting with a digit is either a number (1, 0.5, 1e-3) or a
+  /// voting gate type (2of3).  Scan the maximal run of characters either
+  /// could contain, then decide by shape.
+  Token number_or_vot(Token t) {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      const bool exp_sign = (c == '+' || c == '-') && !t.text.empty() &&
+                            (t.text.back() == 'e' || t.text.back() == 'E');
+      const bool leading_sign = (c == '+' || c == '-') && t.text.empty();
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && !exp_sign && !leading_sign) {
+        break;
+      }
+      t.text += c;
+      advance();
+    }
+    // k-of-n shape: digits "of" digits.
+    const std::size_t of = t.text.find("of");
+    if (of != std::string::npos && of > 0) {
+      bool digits = true;
+      for (std::size_t i = 0; i < t.text.size(); ++i) {
+        if (i == of || i == of + 1) continue;
+        if (!std::isdigit(static_cast<unsigned char>(t.text[i]))) digits = false;
+      }
+      if (digits && of + 2 < t.text.size()) {
+        t.kind = Token::Kind::Vot;
+        t.vot_k = static_cast<std::uint32_t>(std::strtoul(t.text.c_str(), nullptr, 10));
+        t.vot_n = static_cast<std::uint32_t>(std::strtoul(t.text.c_str() + of + 2, nullptr, 10));
+        return t;
+      }
+    }
+    char* end = nullptr;
+    t.number = std::strtod(t.text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || t.text.empty()) {
+      fail(Diagnostic::Category::Lex, t.loc, "malformed number '" + t.text + "'", file_);
+    }
+    t.kind = Token::Kind::Number;
+    return t;
+  }
+
+  const std::string& src_;
+  const std::string& file_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& source, const std::string& file) : lexer_(source, file), file_(file) {
+    tok_ = lexer_.next();
+  }
+
+  Dft parse() {
+    Dft dft;
+    // toplevel "name";
+    if (!is_keyword("toplevel")) {
+      fail(Diagnostic::Category::Parse, tok_.loc, "expected 'toplevel' declaration first", file_);
+    }
+    eat();
+    dft.toplevel_loc = tok_.loc;
+    dft.toplevel = expect_name("toplevel element name");
+    expect_semicolon();
+    while (tok_.kind != Token::Kind::End) {
+      if (is_keyword("toplevel")) {
+        fail(Diagnostic::Category::Parse, tok_.loc, "duplicate 'toplevel' declaration", file_);
+      }
+      dft.elements.push_back(parse_element());
+    }
+    return dft;
+  }
+
+ private:
+  void eat() { tok_ = lexer_.next(); }
+
+  /// Keywords are contextual and never quoted: `"and"` is a name.
+  bool is_keyword(const char* kw) const {
+    return tok_.kind == Token::Kind::Name && !tok_.quoted && tok_.text == kw;
+  }
+
+  std::string expect_name(const char* what) {
+    if (tok_.kind != Token::Kind::Name) {
+      fail(Diagnostic::Category::Parse, tok_.loc, std::string("expected ") + what, file_);
+    }
+    std::string name = tok_.text;
+    eat();
+    return name;
+  }
+
+  void expect_semicolon() {
+    if (tok_.kind != Token::Kind::Semicolon) {
+      fail(Diagnostic::Category::Parse, tok_.loc, "expected ';'", file_);
+    }
+    eat();
+  }
+
+  Element parse_element() {
+    Element e;
+    e.loc = tok_.loc;
+    e.name = expect_name("element name");
+    if (tok_.kind == Token::Kind::Vot) {
+      e.kind = ElementKind::Vot;
+      if (tok_.vot_k == 0 || tok_.vot_k > tok_.vot_n) {
+        fail(Diagnostic::Category::Parse, tok_.loc,
+             "voting threshold of '" + tok_.text + "' must satisfy 1 <= k <= n", file_);
+      }
+      e.vot_k = tok_.vot_k;
+      const std::uint32_t n = tok_.vot_n;
+      const SourceLoc vot_loc = tok_.loc;
+      eat();
+      parse_children(e);
+      if (e.children.size() != n) {
+        fail(Diagnostic::Category::Parse, vot_loc,
+             "voting gate '" + e.name + "' declares " + std::to_string(n) + " inputs but lists " +
+                 std::to_string(e.children.size()),
+             file_);
+      }
+    } else if (is_keyword("and") || is_keyword("or") || is_keyword("pand") || is_keyword("wsp") ||
+               is_keyword("csp") || is_keyword("hsp") || is_keyword("fdep")) {
+      if (is_keyword("and")) e.kind = ElementKind::And;
+      if (is_keyword("or")) e.kind = ElementKind::Or;
+      if (is_keyword("pand")) e.kind = ElementKind::Pand;
+      if (is_keyword("fdep")) e.kind = ElementKind::Fdep;
+      if (is_keyword("wsp") || is_keyword("csp") || is_keyword("hsp")) {
+        e.kind = ElementKind::Spare;
+        e.spare = is_keyword("csp")   ? SpareKind::Cold
+                  : is_keyword("hsp") ? SpareKind::Hot
+                                      : SpareKind::Warm;
+      }
+      eat();
+      parse_children(e);
+    } else if (is_keyword("lambda") || is_keyword("dorm")) {
+      e.kind = ElementKind::BasicEvent;
+      parse_attributes(e);
+    } else {
+      fail(Diagnostic::Category::Parse, tok_.loc,
+           "expected gate type (and, or, pand, wsp, csp, hsp, fdep, k-of-n) or basic-event "
+           "attribute (lambda=, dorm=) after element name '" +
+               e.name + "'",
+           file_);
+    }
+    expect_semicolon();
+    return e;
+  }
+
+  void parse_children(Element& e) {
+    while (tok_.kind == Token::Kind::Name) {
+      e.children.push_back(tok_.text);
+      eat();
+    }
+    if (e.children.empty()) {
+      fail(Diagnostic::Category::Parse, tok_.loc, "gate '" + e.name + "' lists no inputs", file_);
+    }
+  }
+
+  void parse_attributes(Element& e) {
+    while (is_keyword("lambda") || is_keyword("dorm")) {
+      const bool is_lambda = tok_.text == "lambda";
+      const SourceLoc attr_loc = tok_.loc;
+      if (is_lambda && e.has_lambda) {
+        fail(Diagnostic::Category::Parse, attr_loc, "duplicate lambda on '" + e.name + "'", file_);
+      }
+      if (!is_lambda && e.has_dorm) {
+        fail(Diagnostic::Category::Parse, attr_loc, "duplicate dorm on '" + e.name + "'", file_);
+      }
+      eat();
+      if (tok_.kind != Token::Kind::Equals) {
+        fail(Diagnostic::Category::Parse, tok_.loc, "expected '=' after attribute name", file_);
+      }
+      eat();
+      if (tok_.kind != Token::Kind::Number) {
+        fail(Diagnostic::Category::Parse, tok_.loc, "expected a number", file_);
+      }
+      if (is_lambda) {
+        e.lambda = tok_.number;
+        e.has_lambda = true;
+      } else {
+        e.dorm = tok_.number;
+        e.has_dorm = true;
+      }
+      eat();
+    }
+  }
+
+  Lexer lexer_;
+  const std::string& file_;
+  Token tok_;
+};
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* element_kind_name(ElementKind k) {
+  switch (k) {
+    case ElementKind::BasicEvent: return "basic event";
+    case ElementKind::And: return "and";
+    case ElementKind::Or: return "or";
+    case ElementKind::Vot: return "vot";
+    case ElementKind::Pand: return "pand";
+    case ElementKind::Spare: return "spare";
+    case ElementKind::Fdep: return "fdep";
+  }
+  return "?";
+}
+
+Dft parse_dft(const std::string& source, const std::string& file) {
+  return Parser(source, file).parse();
+}
+
+std::string to_galileo(const Dft& dft) {
+  std::string out = "toplevel \"" + dft.toplevel + "\";\n";
+  for (const Element& e : dft.elements) {
+    out += '"';
+    out += e.name;
+    out += '"';
+    switch (e.kind) {
+      case ElementKind::BasicEvent:
+        if (e.has_lambda) {
+          out += " lambda=";
+          append_number(out, e.lambda);
+        }
+        if (e.has_dorm) {
+          out += " dorm=";
+          append_number(out, e.dorm);
+        }
+        break;
+      case ElementKind::And: out += " and"; break;
+      case ElementKind::Or: out += " or"; break;
+      case ElementKind::Vot:
+        out += ' ';
+        out += std::to_string(e.vot_k);
+        out += "of";
+        out += std::to_string(e.children.size());
+        break;
+      case ElementKind::Pand: out += " pand"; break;
+      case ElementKind::Spare:
+        out += e.spare == SpareKind::Cold ? " csp" : e.spare == SpareKind::Hot ? " hsp" : " wsp";
+        break;
+      case ElementKind::Fdep: out += " fdep"; break;
+    }
+    for (const std::string& c : e.children) {
+      out += " \"";
+      out += c;
+      out += '"';
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace unicon::dft

@@ -1,0 +1,39 @@
+// Galileo-format parser for dynamic fault trees.
+//
+// Grammar (EBNF; a practical subset of the Galileo textual format):
+//
+//   dft       ::= toplevel { element }
+//   toplevel  ::= "toplevel" name ";"
+//   element   ::= name gate-def ";" | name be-def ";"
+//   gate-def  ::= gate-type name { name }
+//   gate-type ::= "and" | "or" | "pand" | "wsp" | "csp" | "hsp" | "fdep"
+//               | VOT                       (* e.g. 2of3 *)
+//   be-def    ::= be-attr { be-attr }
+//   be-attr   ::= "lambda" "=" number | "dorm" "=" number
+//   name      ::= IDENT | STRING            (* "A" and A are the same name *)
+//
+// Names may be quoted ("disk1") or bare identifiers; both forms denote the
+// same name.  Keywords are contextual: they only act as keywords in the
+// position after an element name, so `"and" and "x" "y";` declares a gate
+// called `and`.  Comments run `//` or `/* ... */`.  The parser is
+// fail-fast: the first lex or parse diagnostic is thrown as LangError with
+// its 1-based line:column.
+#pragma once
+
+#include <string>
+
+#include "dft/ast.hpp"
+
+namespace unicon::dft {
+
+/// Parses Galileo source; throws LangError (category Lex or Parse) on the
+/// first malformed token or grammar violation.
+Dft parse_dft(const std::string& source, const std::string& file = "<dft>");
+
+/// Canonical re-print of a parsed tree: one element per line, quoted names,
+/// normalized number formatting (%.17g), no comments.  parse_dft is an
+/// exact inverse; the analysis server keys its model cache on these bytes
+/// so that formatting/comment variants of one DFT share a cache entry.
+std::string to_galileo(const Dft& dft);
+
+}  // namespace unicon::dft

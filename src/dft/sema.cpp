@@ -1,0 +1,298 @@
+#include "dft/sema.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "dft/parser.hpp"
+
+namespace unicon::dft {
+
+namespace {
+
+[[noreturn]] void fail(SourceLoc loc, std::string message, const std::string& file) {
+  throw LangError(Diagnostic{Diagnostic::Category::Semantic, loc, std::move(message)}, file);
+}
+
+}  // namespace
+
+CheckedDft check_dft(Dft dft, const std::string& file) {
+  const std::size_t n = dft.elements.size();
+  CheckedDft out;
+
+  // Name resolution (duplicates first, so later rules see a function).
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    if (!by_name.emplace(e.name, i).second) {
+      fail(e.loc, "duplicate element name '" + e.name + "'", file);
+    }
+  }
+  const auto top_it = by_name.find(dft.toplevel);
+  if (top_it == by_name.end()) {
+    fail(dft.toplevel_loc, "toplevel element '" + dft.toplevel + "' is not declared", file);
+  }
+  out.top = top_it->second;
+
+  out.children.resize(n);
+  out.parents.resize(n);
+  out.fdep_listeners.resize(n);
+  out.killers.resize(n);
+  out.spare_child.assign(n, false);
+  out.effective_dorm.assign(n, 1.0);
+  out.spare_owner.assign(n, kNoElement);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    std::unordered_set<std::uint32_t> seen;
+    for (const std::string& child : e.children) {
+      const auto it = by_name.find(child);
+      if (it == by_name.end()) {
+        fail(e.loc, std::string(element_kind_name(e.kind)) + " '" + e.name +
+                        "' references undeclared element '" + child + "'",
+             file);
+      }
+      if (!seen.insert(it->second).second) {
+        fail(e.loc, "gate '" + e.name + "' lists child '" + child + "' twice", file);
+      }
+      out.children[i].push_back(it->second);
+    }
+  }
+
+  // Per-kind structural rules.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    const std::vector<std::uint32_t>& kids = out.children[i];
+    switch (e.kind) {
+      case ElementKind::BasicEvent: {
+        if (!e.has_lambda) {
+          fail(e.loc, "basic event '" + e.name + "' has no failure rate (lambda=...)", file);
+        }
+        if (!std::isfinite(e.lambda) || e.lambda <= 0.0) {
+          fail(e.loc, "basic event '" + e.name + "' needs a finite failure rate > 0", file);
+        }
+        if (e.has_dorm && (!std::isfinite(e.dorm) || e.dorm < 0.0 || e.dorm > 1.0)) {
+          fail(e.loc, "dormancy factor of '" + e.name + "' must lie in [0, 1]", file);
+        }
+        ++out.num_basic_events;
+        out.total_rate += e.lambda;
+        break;
+      }
+      case ElementKind::Vot:
+        if (e.vot_k == 0 || e.vot_k > kids.size()) {
+          fail(e.loc, "voting gate '" + e.name + "' needs 1 <= k <= n", file);
+        }
+        break;
+      case ElementKind::Spare:
+        if (kids.size() < 2) {
+          fail(e.loc, "spare gate '" + e.name + "' needs a primary and at least one spare", file);
+        }
+        break;
+      case ElementKind::Fdep:
+        if (kids.size() < 2) {
+          fail(e.loc, "fdep '" + e.name + "' needs a trigger and at least one dependent", file);
+        }
+        break;
+      case ElementKind::And:
+      case ElementKind::Or:
+      case ElementKind::Pand:
+        break;  // parser guarantees >= 1 child
+    }
+  }
+
+  // Listener maps: gate children (fail-signal parents), fdep triggers and
+  // kill targets.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    const std::vector<std::uint32_t>& kids = out.children[i];
+    if (e.kind == ElementKind::Fdep) {
+      out.fdep_listeners[kids[0]].push_back(i);
+      for (std::size_t j = 1; j < kids.size(); ++j) out.killers[kids[j]].push_back(i);
+    } else {
+      for (const std::uint32_t c : kids) out.parents[c].push_back(i);
+    }
+  }
+
+  // Fdep wiring rules.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    if (e.kind != ElementKind::Fdep) continue;
+    const std::vector<std::uint32_t>& kids = out.children[i];
+    if (dft.elements[kids[0]].kind == ElementKind::Fdep) {
+      fail(e.loc, "fdep '" + e.name + "' cannot be triggered by another fdep", file);
+    }
+    for (std::size_t j = 1; j < kids.size(); ++j) {
+      if (dft.elements[kids[j]].kind != ElementKind::BasicEvent) {
+        fail(e.loc, "fdep '" + e.name + "' dependent '" + dft.elements[kids[j]].name +
+                        "' must be a basic event",
+             file);
+      }
+    }
+    if (!out.parents[i].empty()) {
+      fail(e.loc, "fdep '" + e.name + "' cannot be the input of a gate", file);
+    }
+    if (i == out.top) fail(e.loc, "fdep '" + e.name + "' cannot be the toplevel", file);
+  }
+
+  // Spare-module rules: children are basic events; non-primary spares are
+  // exclusively owned and start dormant with the flavour's dormancy.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    if (e.kind != ElementKind::Spare) continue;
+    const std::vector<std::uint32_t>& kids = out.children[i];
+    for (std::size_t j = 0; j < kids.size(); ++j) {
+      const std::uint32_t c = kids[j];
+      const Element& child = dft.elements[c];
+      if (child.kind != ElementKind::BasicEvent) {
+        fail(e.loc, "spare gate '" + e.name + "' child '" + child.name +
+                        "' must be a basic event (subtree spares are not supported)",
+             file);
+      }
+      if (j == 0) continue;  // primary: shared use is fine
+      if (out.spare_owner[c] != kNoElement) {
+        fail(e.loc, "basic event '" + child.name + "' is a spare of two spare gates ('" +
+                        dft.elements[out.spare_owner[c]].name + "' and '" + e.name + "')",
+             file);
+      }
+      if (out.parents[c].size() > 1) {
+        fail(e.loc, "spare '" + child.name + "' of gate '" + e.name +
+                        "' cannot also be the input of another gate",
+             file);
+      }
+      if (c == out.top) {
+        fail(e.loc, "spare '" + child.name + "' cannot be the toplevel", file);
+      }
+      out.spare_child[c] = true;
+      out.spare_owner[c] = i;
+      switch (e.spare) {
+        case SpareKind::Cold:
+          if (child.has_dorm && child.dorm != 0.0) {
+            fail(child.loc, "cold spare '" + child.name + "' must not declare dorm != 0", file);
+          }
+          out.effective_dorm[c] = 0.0;
+          break;
+        case SpareKind::Hot:
+          if (child.has_dorm && child.dorm != 1.0) {
+            fail(child.loc, "hot spare '" + child.name + "' must not declare dorm != 1", file);
+          }
+          out.effective_dorm[c] = 1.0;
+          break;
+        case SpareKind::Warm:
+          if (!child.has_dorm) {
+            fail(child.loc, "warm spare '" + child.name + "' needs an explicit dorm=...", file);
+          }
+          out.effective_dorm[c] = child.dorm;
+          break;
+      }
+    }
+  }
+  // A primary must not double as somebody else's spare (activation would
+  // race with its from-the-start activity).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    if (e.kind != ElementKind::Spare) continue;
+    const std::uint32_t primary = out.children[i][0];
+    if (out.spare_child[primary]) {
+      fail(e.loc, "primary '" + dft.elements[primary].name + "' of spare gate '" + e.name +
+                      "' is also a spare of gate '" + dft.elements[out.spare_owner[primary]].name +
+                      "'",
+           file);
+    }
+  }
+  // Dormancy attributes only make sense on (warm) spares.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Element& e = dft.elements[i];
+    if (e.kind == ElementKind::BasicEvent && e.has_dorm && !out.spare_child[i]) {
+      fail(e.loc, "basic event '" + e.name + "' declares dorm but is not the spare of any gate",
+           file);
+    }
+  }
+
+  // Cycle detection over the full dependency graph (gate children plus
+  // fdep trigger/dependent edges): colors 0 unvisited / 1 on stack / 2 done.
+  {
+    std::vector<std::uint8_t> color(n, 0);
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (color[root] != 0) continue;
+      color[root] = 1;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [node, next] = stack.back();
+        if (next < out.children[node].size()) {
+          const std::uint32_t child = out.children[node][next++];
+          if (color[child] == 1) {
+            fail(dft.elements[node].loc, "cycle through '" + dft.elements[node].name + "' and '" +
+                                             dft.elements[child].name + "'",
+                 file);
+          }
+          if (color[child] == 0) {
+            color[child] = 1;
+            stack.emplace_back(child, 0);
+          }
+        } else {
+          color[node] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Connectivity: closure from the toplevel over gate children; an fdep
+  // joins when one of its dependents is connected and then pulls in its
+  // trigger (an otherwise-unrelated trigger is a legitimate environmental
+  // event).
+  {
+    std::vector<bool> connected(n, false);
+    connected[out.top] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Element& e = dft.elements[i];
+        if (e.kind == ElementKind::Fdep) {
+          bool dependent_connected = false;
+          for (std::size_t j = 1; j < out.children[i].size(); ++j) {
+            if (connected[out.children[i][j]]) dependent_connected = true;
+          }
+          if (dependent_connected && !connected[i]) {
+            connected[i] = true;
+            changed = true;
+          }
+          if (connected[i]) {
+            for (const std::uint32_t c : out.children[i]) {
+              if (!connected[c]) {
+                connected[c] = true;
+                changed = true;
+              }
+            }
+          }
+        } else if (connected[i]) {
+          for (const std::uint32_t c : out.children[i]) {
+            if (!connected[c]) {
+              connected[c] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!connected[i]) {
+        fail(dft.elements[i].loc, std::string(element_kind_name(dft.elements[i].kind)) + " '" +
+                                      dft.elements[i].name + "' is not connected to the toplevel",
+             file);
+      }
+    }
+  }
+
+  out.ast = std::move(dft);
+  return out;
+}
+
+CheckedDft parse_and_check_dft(const std::string& source, const std::string& file) {
+  return check_dft(parse_dft(source, file), file);
+}
+
+}  // namespace unicon::dft

@@ -1,0 +1,72 @@
+// Well-formedness analysis of parsed dynamic fault trees.
+//
+// check_dft resolves child names, rejects ill-formed trees with
+// line:column diagnostics (category Semantic) and precomputes everything
+// the lowering and the brute-force oracle need: per-basic-event effective
+// dormancy, spare-child roles, fail-signal listeners, and the uniform rate
+// E = sum of all basic-event lambdas the composed system will carry by
+// construction.
+//
+// Enforced rules (the malformed-input test table in tests/dft_test.cpp
+// exercises each):
+//   - element names unique; toplevel declared; all children declared
+//   - the child graph (including FDEP trigger/dependent edges) is acyclic
+//   - basic events: lambda required, finite and > 0; dorm in [0, 1];
+//     dorm only on spare children (csp requires dorm absent or 0, hsp
+//     absent or 1, wsp requires an explicit dorm)
+//   - gates: no duplicate children; vot arity from the k-of-n type checked
+//     in the parser; spare gates have >= 2 children, all basic events;
+//     non-primary spares are exclusively owned (no other parent, no other
+//     spare gate) and not the toplevel; primaries must be basic events and
+//     must not be spares of another gate
+//   - fdep: >= 2 children (trigger + dependents); dependents are basic
+//     events; an fdep is never a child of a gate and never the toplevel
+//   - every element is connected to the toplevel (an fdep counts as
+//     connected when one of its dependents is, and then pulls in its
+//     trigger)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dft/ast.hpp"
+
+namespace unicon::dft {
+
+constexpr std::uint32_t kNoElement = static_cast<std::uint32_t>(-1);
+
+struct CheckedDft {
+  Dft ast;
+  /// Index of the toplevel element in ast.elements.
+  std::uint32_t top = 0;
+  /// Resolved children per element (parallel to ast.elements).
+  std::vector<std::vector<std::uint32_t>> children;
+  /// Gates listening to each element's fail signal (excluding fdeps, which
+  /// listen to their trigger only and are listed in fdep_listeners).
+  std::vector<std::vector<std::uint32_t>> parents;
+  /// Fdeps triggered by each element's fail signal.
+  std::vector<std::vector<std::uint32_t>> fdep_listeners;
+  /// Fdeps forcing each basic event (the kill edges targeting it).
+  std::vector<std::vector<std::uint32_t>> killers;
+  /// Basic events only: starts dormant (it is a non-primary spare)?
+  std::vector<bool> spare_child;
+  /// Basic events only: failure-rate factor while dormant (resolved from
+  /// the gate flavour: csp 0, hsp 1, wsp the declared dorm).
+  std::vector<double> effective_dorm;
+  /// Owning spare gate of each non-primary spare (kNoElement otherwise).
+  std::vector<std::uint32_t> spare_owner;
+
+  std::uint32_t num_basic_events = 0;
+  /// Sum of all basic-event lambdas: the closed-view uniform rate of the
+  /// composed system, by construction.
+  double total_rate = 0.0;
+};
+
+/// Resolves and checks @p dft; throws LangError on the first violation.
+CheckedDft check_dft(Dft dft, const std::string& file = "<dft>");
+
+/// parse_dft + check_dft.
+CheckedDft parse_and_check_dft(const std::string& source, const std::string& file = "<dft>");
+
+}  // namespace unicon::dft

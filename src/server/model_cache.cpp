@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "core/transform.hpp"
+#include "dft/lower.hpp"
+#include "dft/parser.hpp"
+#include "dft/sema.hpp"
 #include "io/tra.hpp"
 #include "lang/build.hpp"
 #include "lang/parser.hpp"
@@ -66,6 +69,7 @@ std::string content_hash(std::string_view bytes) {
 const char* model_kind_name(ModelKind kind) {
   switch (kind) {
     case ModelKind::Uni: return "uni";
+    case ModelKind::Dft: return "dft";
     case ModelKind::CtmdpFile: return "ctmdp";
     case ModelKind::CtmcFile: return "ctmc";
   }
@@ -163,6 +167,29 @@ ModelCache::Resolved ModelCache::resolve(ModelKind kind, const std::string& sour
       built->ctmdp_ = std::move(transformed.ctmdp);
       break;
     }
+    case ModelKind::Dft: {
+      const dft::CheckedDft checked = dft::parse_and_check_dft(source, "<request>");
+      // The canonical Galileo print participates in the canonical key:
+      // comment, whitespace and formatting variants of one tree alias onto
+      // a single entry, and a Dft entry never deduplicates against a Uni
+      // entry that happens to lower to the same CTMDP.
+      canonical_bytes += dft::to_galileo(checked.ast);
+      canonical_bytes += '\n';
+      dft::LowerOptions lower_options;
+      lower_options.guard = guard;
+      lower_options.telemetry = telemetry;
+      lang::BuiltModel model = dft::lower_dft(checked, lower_options);
+      model = lang::minimize_model(model, guard, telemetry);
+      if (!model.system.is_uniform(UniformityView::Closed, 1e-6)) {
+        throw UniformityError("model cache: built system is not uniform (closed view)");
+      }
+      const BitVector imc_goal = model.mask("failed");
+      TransformResult transformed = transform_to_ctmdp(model.system, &imc_goal, guard, telemetry);
+      built->goal_ = std::move(transformed.goal);
+      built->goal_universal_ = std::move(transformed.goal_universal);
+      built->ctmdp_ = std::move(transformed.ctmdp);
+      break;
+    }
     case ModelKind::CtmdpFile: {
       std::istringstream in(source);
       Ctmdp model = io::read_ctmdp(in);
@@ -193,7 +220,9 @@ ModelCache::Resolved ModelCache::resolve(ModelKind kind, const std::string& sour
     canonical_bytes += canonical.str();
   }
   append_mask(canonical_bytes, built->goal_);
-  if (kind == ModelKind::Uni) append_mask(canonical_bytes, built->goal_universal_);
+  if (kind == ModelKind::Uni || kind == ModelKind::Dft) {
+    append_mask(canonical_bytes, built->goal_universal_);
+  }
   built->canonical_hash_ = content_hash(canonical_bytes);
   built->base_bytes_ =
       (built->ctmdp_.has_value() ? built->ctmdp_->memory_bytes() : built->chain_->memory_bytes()) +

@@ -1,9 +1,9 @@
 // Content-addressed model cache for the analysis server.
 //
-// A query carries its model *source* (UNI program text, or .ctmdp/.tra +
-// .lab file contents) inline; parsing, composition, minimization and the
-// Sec. 4.1 transformation dominate small-query latency, so the server
-// caches the lowered artifacts keyed by content:
+// A query carries its model *source* (UNI program text, a Galileo DFT, or
+// .ctmdp/.tra + .lab file contents) inline; parsing, composition,
+// minimization and the Sec. 4.1 transformation dominate small-query
+// latency, so the server caches the lowered artifacts keyed by content:
 //
 //  - Level 1 (source key): a hash of the raw request bytes (kind + source +
 //    labels + goal name).  Byte-identical resubmissions hit without any
@@ -56,7 +56,7 @@ std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed = 1469598103934
 /// check; 128 bits keep accidental collisions out of reach.
 std::string content_hash(std::string_view bytes);
 
-enum class ModelKind : std::uint8_t { Uni, CtmdpFile, CtmcFile };
+enum class ModelKind : std::uint8_t { Uni, Dft, CtmdpFile, CtmcFile };
 
 const char* model_kind_name(ModelKind kind);
 
@@ -79,9 +79,10 @@ class CachedModel {
   /// Goal mask for an objective: the existential transfer for Maximize,
   /// the universal transfer for Minimize (identical for file-based models,
   /// where the .lab mask applies to both objectives — Sec. 4.1 transfer
-  /// only concerns the uIMC route).
+  /// only concerns the uIMC routes, Uni and Dft).
   const BitVector& goal_for(Objective objective) const {
-    return objective == Objective::Minimize && kind_ == ModelKind::Uni ? goal_universal_ : goal_;
+    const bool transferred = kind_ == ModelKind::Uni || kind_ == ModelKind::Dft;
+    return objective == Objective::Minimize && transferred ? goal_universal_ : goal_;
   }
 
   /// Memoized kernels matching (ctmdp, goal_for(objective)); built on

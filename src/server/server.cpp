@@ -5,7 +5,7 @@
 #include <mutex>
 #include <ostream>
 
-#include "server/json.hpp"
+#include "support/json.hpp"
 #include "server/service.hpp"
 #include "support/backend.hpp"
 #include "support/errors.hpp"
@@ -45,13 +45,25 @@ struct Session {
   }
 };
 
+/// Wire-protocol version, echoed in the hello line and every response
+/// envelope so clients can detect schema drift before parsing further.
+/// Bump when a response field changes shape or meaning.
+constexpr int kProtocolVersion = 1;
+
+/// Starts a response envelope: id first, then the protocol version.
+Json envelope(const std::string& id) {
+  Json response;
+  response.set("id", id);
+  response.set("version", kProtocolVersion);
+  return response;
+}
+
 Json error_json(const std::string& id, ErrorCode code, const std::string& message) {
   Json error;
   error.set("code", error_code_name(code));
   error.set("exit", static_cast<int>(code));
   error.set("message", message);
-  Json response;
-  response.set("id", id);
+  Json response = envelope(id);
   response.set("ok", false);
   response.set("error", std::move(error));
   return response;
@@ -59,8 +71,7 @@ Json error_json(const std::string& id, ErrorCode code, const std::string& messag
 
 Json response_json(const QueryResponse& r, bool timing) {
   if (r.error != ErrorCode::Ok) return error_json(r.id, r.error, r.message);
-  Json response;
-  response.set("id", r.id);
+  Json response = envelope(r.id);
   response.set("ok", true);
   response.set("model_hash", r.model_hash);
   response.set("cache_hit", r.cache_hit);
@@ -84,9 +95,10 @@ Json response_json(const QueryResponse& r, bool timing) {
 
 ModelKind parse_kind(const std::string& name) {
   if (name == "uni") return ModelKind::Uni;
+  if (name == "dft") return ModelKind::Dft;
   if (name == "ctmdp") return ModelKind::CtmdpFile;
   if (name == "ctmc") return ModelKind::CtmcFile;
-  throw ParseError("unknown model kind '" + name + "' (expected uni, ctmdp or ctmc)");
+  throw ParseError("unknown model kind '" + name + "' (expected uni, dft, ctmdp or ctmc)");
 }
 
 QueryRequest parse_query(const Json& request, const SessionOptions& options) {
@@ -155,6 +167,14 @@ Json stats_json(const ServiceStats& stats) {
 void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
                  const SessionOptions& options) {
   Session session{out, options};
+  // Hello line: the first thing a client reads names the protocol and its
+  // version, so schema drift is detectable before any request is sent.
+  {
+    Json hello;
+    hello.set("hello", "unicon-serve");
+    hello.set("version", kProtocolVersion);
+    session.write_line(hello);
+  }
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -178,8 +198,7 @@ void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
           service.submit(std::move(query), [&session, timing](QueryResponse r) {
             session.finish_async(response_json(r, timing));
           });
-          Json accepted;
-          accepted.set("id", id);
+          Json accepted = envelope(id);
           accepted.set("ok", true);
           accepted.set("accepted", true);
           session.write_line(accepted);
@@ -187,21 +206,18 @@ void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
       } else if (op == "cancel") {
         const std::string target = request.get_string("target", "");
         const bool cancelled = service.cancel(options.client, target);
-        Json response;
-        response.set("id", id);
+        Json response = envelope(id);
         response.set("ok", true);
         response.set("cancelled", cancelled);
         session.write_line(response);
       } else if (op == "stats") {
-        Json response;
-        response.set("id", id);
+        Json response = envelope(id);
         response.set("ok", true);
         response.set("stats", stats_json(service.stats()));
         session.write_line(response);
       } else if (op == "shutdown") {
         session.drain();
-        Json response;
-        response.set("id", id);
+        Json response = envelope(id);
         response.set("ok", true);
         response.set("bye", true);
         session.write_line(response);

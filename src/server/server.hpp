@@ -2,22 +2,30 @@
 //
 // One request object per input line, one response object per output line.
 // unicon_serve binds this to stdin/stdout or an AF_UNIX socket; the tests
-// drive it over stringstreams.  Schema (see README "Server mode"):
+// drive it over stringstreams.  The session opens with a hello line naming
+// the protocol and its version, and every response envelope repeats the
+// version, so clients detect schema drift before parsing further.  Schema
+// (see README "Server mode"):
 //
+//   hello    {"hello": "unicon-serve", "version": 1}
 //   request  {"id": "q1", "op": "query",
-//             "model": {"kind": "uni"|"ctmdp"|"ctmc", "source": "...",
+//             "model": {"kind": "uni"|"dft"|"ctmdp"|"ctmc", "source": "...",
 //                       "labels": "...", "goal": "goal"},
 //             "times": [0.5, 2.0], "objective": "max"|"min",
 //             "epsilon": 1e-6, "early": false, "backend": "auto",
 //             "threads": 1, "deadline": 0, "cancel_after_polls": 0,
 //             "wait": true}
-//   response {"id": "q1", "ok": true, "model_hash": "...",
+//   response {"id": "q1", "version": 1, "ok": true, "model_hash": "...",
 //             "cache_hit": false, "batched_with": 1,
 //             "results": [{"time", "value", "residual_bound",
 //                          "iterations_planned", "iterations_executed",
 //                          "status"}, ...], "seconds": 0.01}
-//   failure  {"id": "q1", "ok": false,
+//   failure  {"id": "q1", "version": 1, "ok": false,
 //             "error": {"code": "parse", "exit": 13, "message": "..."}}
+//
+// The "dft" kind carries a Galileo dynamic fault tree as "source"; the
+// goal is the top event's "failed" proposition ("goal"/"labels" are
+// ignored), and "objective" picks the sup/inf unreliability bound.
 //
 // The failure "error" object is exactly the unicon_check --json-errors
 // schema (stable ErrorCode names and exit numbers).  Other ops: "cancel"

@@ -1,4 +1,4 @@
-#include "server/json.hpp"
+#include "support/json.hpp"
 
 #include <cmath>
 #include <cstdio>
@@ -7,7 +7,7 @@
 #include "support/errors.hpp"
 #include "support/telemetry.hpp"
 
-namespace unicon::server {
+namespace unicon {
 
 namespace {
 
@@ -338,4 +338,4 @@ std::string Json::dump() const {
 
 Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
 
-}  // namespace unicon::server
+}  // namespace unicon

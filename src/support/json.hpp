@@ -1,4 +1,5 @@
-// Minimal JSON value type for the analysis-server wire protocol.
+// Minimal JSON value type shared by the analysis-server wire protocol and
+// the on-disk scheduler artifacts (unicon-scheduler-v1).
 //
 // The server speaks newline-delimited JSON (one request or response object
 // per line, see server.hpp), so it needs a parser as well as the emitter
@@ -20,7 +21,7 @@
 #include <utility>
 #include <vector>
 
-namespace unicon::server {
+namespace unicon {
 
 class Json;
 
@@ -93,4 +94,4 @@ class Json {
   JsonObject object_;
 };
 
-}  // namespace unicon::server
+}  // namespace unicon

@@ -1,0 +1,596 @@
+#include "testing/dft_oracle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "core/analysis.hpp"
+#include "dft/lower.hpp"
+#include "dft/parser.hpp"
+#include "lang/build.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "testing/oracle.hpp"
+
+namespace unicon::testing {
+
+namespace {
+
+using dft::CheckedDft;
+using dft::Element;
+using dft::ElementKind;
+
+// Per-element status words of the direct product enumeration:
+//   basic event:  0 dormant, 1 active, 2 failure pending, 3 failed
+//   and/or/vot:   failed-children count c (0..k-1), k emit-pending, k+1 done
+//   pand:         0..n-1 in-order progress, n emit-pending, n+1 done,
+//                 n+2 failsafe
+//   spare:        mode * 2^28 + index * 2^20 + failed-set mask
+//                 (mode 0 normal, 1 activating, 2 emit-pending, 3 done)
+//   fdep:         0 idle, c in 1..m next kill = dependent c, m+1 done
+constexpr std::uint32_t kBeDormant = 0, kBeActive = 1, kBeFailPre = 2, kBeFailed = 3;
+
+std::uint32_t vot_threshold(const Element& e, std::size_t arity) {
+  if (e.kind == ElementKind::And) return static_cast<std::uint32_t>(arity);
+  if (e.kind == ElementKind::Or) return 1;
+  return e.vot_k;
+}
+
+std::uint32_t spare_encode(std::uint32_t mode, std::uint32_t idx, std::uint32_t mask) {
+  return mode << 28 | idx << 20 | mask;
+}
+
+class ProductEnumerator {
+ public:
+  explicit ProductEnumerator(const CheckedDft& d) : d_(d) {
+    const std::size_t n = d_.ast.elements.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Element& e = d_.ast.elements[i];
+      if (e.kind == ElementKind::Spare && d_.children[i].size() > 20) {
+        throw ModelError("dft oracle: spare gate wider than 20 children");
+      }
+    }
+    initial_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d_.ast.elements[i].kind == ElementKind::BasicEvent) {
+        initial_[i] = d_.spare_child[i] ? kBeDormant : kBeActive;
+      }
+    }
+  }
+
+  Imc enumerate(BitVector* failed_out) {
+    ImcBuilder b;
+    std::map<std::vector<std::uint32_t>, StateId> ids;
+    std::deque<const std::vector<std::uint32_t>*> frontier;
+    std::vector<bool> failed;
+    const auto state = [&](const std::vector<std::uint32_t>& s) {
+      const auto [it, inserted] = ids.emplace(s, StateId{});
+      if (inserted) {
+        if (ids.size() > 500000) throw ModelError("dft oracle: product too large");
+        it->second = b.add_state();
+        failed.push_back(top_failed(s));
+        frontier.push_back(&it->first);
+      }
+      return it->second;
+    };
+    state(initial_);
+    b.set_initial(0);
+    while (!frontier.empty()) {
+      const std::vector<std::uint32_t> s = *frontier.front();
+      frontier.pop_front();
+      const StateId from = ids.at(s);
+      bool interactive = false;
+      // Fail-signal events: joint update of the emitter, its parents and
+      // its fdep triggers.
+      for (std::uint32_t x = 0; x < s.size(); ++x) {
+        if (!emit_ready(x, s[x])) continue;
+        interactive = true;
+        std::vector<std::uint32_t> succ = s;
+        set_emitted(x, succ[x]);
+        for (const std::uint32_t g : d_.parents[x]) deliver(succ, g, x);
+        for (const std::uint32_t f : d_.fdep_listeners[x]) {
+          if (succ[f] == 0) succ[f] = 1;
+        }
+        b.add_interactive(from, kTau, state(succ));
+      }
+      // Activation events: spare gate promotes its candidate, unless the
+      // candidate has a failure pending (the fail signal resolves first).
+      for (std::uint32_t g = 0; g < s.size(); ++g) {
+        if (d_.ast.elements[g].kind != ElementKind::Spare || (s[g] >> 28) != 1) continue;
+        const std::uint32_t idx = (s[g] >> 20) & 0xff;
+        const std::uint32_t target = d_.children[g][idx];
+        if (s[target] == kBeFailPre) continue;
+        interactive = true;
+        std::vector<std::uint32_t> succ = s;
+        succ[g] = spare_encode(0, idx, s[g] & 0xfffff);
+        if (succ[target] == kBeDormant) succ[target] = kBeActive;
+        b.add_interactive(from, kTau, state(succ));
+      }
+      // Kill events: fdep forces its next dependent.
+      for (std::uint32_t f = 0; f < s.size(); ++f) {
+        if (d_.ast.elements[f].kind != ElementKind::Fdep) continue;
+        const std::uint32_t cursor = s[f];
+        const std::size_t deps = d_.children[f].size() - 1;
+        if (cursor == 0 || cursor > deps) continue;
+        interactive = true;
+        std::vector<std::uint32_t> succ = s;
+        succ[f] = cursor + 1;
+        const std::uint32_t target = d_.children[f][cursor];
+        if (succ[target] == kBeDormant || succ[target] == kBeActive) succ[target] = kBeFailPre;
+        b.add_interactive(from, kTau, state(succ));
+      }
+      if (interactive) continue;  // urgency: no Markov transitions
+      // Stable: spontaneous basic-event failures, padded to exit rate E.
+      double outflow = 0.0;
+      for (std::uint32_t i = 0; i < s.size(); ++i) {
+        const Element& e = d_.ast.elements[i];
+        if (e.kind != ElementKind::BasicEvent) continue;
+        double rate = 0.0;
+        if (s[i] == kBeActive) rate = e.lambda;
+        if (s[i] == kBeDormant) rate = d_.effective_dorm[i] * e.lambda;
+        if (rate <= 0.0) continue;
+        std::vector<std::uint32_t> succ = s;
+        succ[i] = kBeFailPre;
+        b.add_markov(from, rate, state(succ));
+        outflow += rate;
+      }
+      const double pad = d_.total_rate - outflow;
+      if (pad > 1e-12 * (d_.total_rate > 1.0 ? d_.total_rate : 1.0)) {
+        b.add_markov(from, pad, from);
+      }
+    }
+    Imc closed = b.build();
+    if (failed_out != nullptr) {
+      *failed_out = BitVector(closed.num_states());
+      for (std::size_t i = 0; i < failed.size(); ++i) {
+        if (failed[i]) failed_out->set(i);
+      }
+    }
+    return closed;
+  }
+
+ private:
+  bool emit_ready(std::uint32_t x, std::uint32_t st) const {
+    const Element& e = d_.ast.elements[x];
+    switch (e.kind) {
+      case ElementKind::BasicEvent: return st == kBeFailPre;
+      case ElementKind::And:
+      case ElementKind::Or:
+      case ElementKind::Vot: return st == vot_threshold(e, d_.children[x].size());
+      case ElementKind::Pand: return st == d_.children[x].size();
+      case ElementKind::Spare: return (st >> 28) == 2;
+      case ElementKind::Fdep: return false;
+    }
+    return false;
+  }
+
+  void set_emitted(std::uint32_t x, std::uint32_t& st) const {
+    const Element& e = d_.ast.elements[x];
+    switch (e.kind) {
+      case ElementKind::BasicEvent: st = kBeFailed; break;
+      case ElementKind::And:
+      case ElementKind::Or:
+      case ElementKind::Vot: st = vot_threshold(e, d_.children[x].size()) + 1; break;
+      case ElementKind::Pand: st = static_cast<std::uint32_t>(d_.children[x].size()) + 1; break;
+      case ElementKind::Spare: st = spare_encode(3, 0, 0); break;
+      case ElementKind::Fdep: break;
+    }
+  }
+
+  /// Gate @p g hears "child @p x failed".
+  void deliver(std::vector<std::uint32_t>& s, std::uint32_t g, std::uint32_t x) const {
+    const Element& e = d_.ast.elements[g];
+    const std::vector<std::uint32_t>& kids = d_.children[g];
+    std::uint32_t pos = 0;
+    while (kids[pos] != x) ++pos;
+    switch (e.kind) {
+      case ElementKind::And:
+      case ElementKind::Or:
+      case ElementKind::Vot: {
+        const std::uint32_t k = vot_threshold(e, kids.size());
+        if (s[g] < k) ++s[g];
+        break;
+      }
+      case ElementKind::Pand: {
+        const std::uint32_t n = static_cast<std::uint32_t>(kids.size());
+        if (s[g] >= n) break;  // emitted / done / failsafe latch
+        if (s[g] == n + 2) break;
+        if (pos == s[g]) {
+          ++s[g];
+        } else if (pos > s[g]) {
+          s[g] = n + 2;  // out-of-order: failsafe
+        }
+        break;
+      }
+      case ElementKind::Spare: {
+        const std::uint32_t mode = s[g] >> 28;
+        const std::uint32_t idx = (s[g] >> 20) & 0xff;
+        std::uint32_t mask = s[g] & 0xfffff;
+        if (mode >= 2) break;
+        mask |= std::uint32_t{1} << pos;
+        if ((mode == 0 && pos == idx) || (mode == 1 && pos == idx)) {
+          // The holder (normal) or the pending candidate (activating)
+          // failed: move to the next non-failed spare or give up.
+          std::uint32_t next = 0;
+          for (std::uint32_t j = 1; j < kids.size(); ++j) {
+            if ((mask & (std::uint32_t{1} << j)) == 0) {
+              next = j;
+              break;
+            }
+          }
+          s[g] = next == 0 ? spare_encode(2, 0, 0) : spare_encode(1, next, mask);
+        } else {
+          s[g] = spare_encode(mode, idx, mask);
+        }
+        break;
+      }
+      case ElementKind::BasicEvent:
+      case ElementKind::Fdep:
+        break;  // not fail-signal parents by construction
+    }
+  }
+
+  bool top_failed(const std::vector<std::uint32_t>& s) const {
+    const std::uint32_t top = d_.top;
+    const Element& e = d_.ast.elements[top];
+    const std::uint32_t st = s[top];
+    switch (e.kind) {
+      case ElementKind::BasicEvent: return st >= kBeFailPre;
+      case ElementKind::And:
+      case ElementKind::Or:
+      case ElementKind::Vot: return st >= vot_threshold(e, d_.children[top].size());
+      case ElementKind::Pand: {
+        const std::uint32_t n = static_cast<std::uint32_t>(d_.children[top].size());
+        return st == n || st == n + 1;
+      }
+      case ElementKind::Spare: return (st >> 28) >= 2;
+      case ElementKind::Fdep: return false;  // sema forbids fdep toplevel
+    }
+    return false;
+  }
+
+  const CheckedDft& d_;
+  std::vector<std::uint32_t> initial_;
+};
+
+// ---------------------------------------------------------------------------
+// Random Galileo generator.
+
+struct GenLimits {
+  std::uint64_t max_be;
+  std::uint64_t max_gates;
+  bool allow_spare;
+  bool allow_fdep;
+};
+
+GenLimits limits_for_level(int level) {
+  switch (level) {
+    case 0: return {6, 4, true, true};
+    case 1: return {4, 2, true, false};
+    default: return {3, 1, false, false};
+  }
+}
+
+}  // namespace
+
+Imc dft_oracle_imc(const CheckedDft& dft, BitVector* failed) {
+  return ProductEnumerator(dft).enumerate(failed);
+}
+
+double dft_oracle_unreliability(const CheckedDft& dft, double t, double eps,
+                                Objective objective) {
+  BitVector failed;
+  const Imc closed = dft_oracle_imc(dft, &failed);
+  const BruteTransform bt = bruteforce_transform(closed, failed);
+  const BitVector& goal = objective == Objective::Maximize ? bt.goal_exists : bt.goal_universal;
+  const std::vector<double> values = naive_timed_reachability(bt.model, goal, t, eps, objective);
+  return values[bt.model.initial];
+}
+
+std::string generate_dft_source(std::uint64_t seed, int level) {
+  Rng rng(derive_seed(seed, 0xdf7 + static_cast<std::uint64_t>(level)));
+  const GenLimits lim = limits_for_level(level);
+  const std::uint64_t num_be = 2 + rng.next_below(lim.max_be - 1);
+  const std::uint64_t num_gates = 1 + rng.next_below(lim.max_gates);
+
+  struct GenElement {
+    std::string def;  // full declaration line sans name
+    bool reserved = false;  // spare-owned: no further parents allowed
+  };
+  std::vector<std::string> names;
+  std::vector<GenElement> elems;
+  std::vector<std::size_t> roots;  // not yet used as a child
+  std::string source;
+
+  const auto add_be = [&](bool spare_child, const char* dorm_attr) {
+    const std::size_t id = names.size();
+    names.push_back("b" + std::to_string(id));
+    const double lambda = 0.25 * static_cast<double>(1 + rng.next_below(12));
+    std::string def = " lambda=" + std::to_string(lambda);
+    if (dorm_attr != nullptr) def += dorm_attr;
+    elems.push_back({std::move(def), spare_child});
+    if (!spare_child) roots.push_back(id);
+    return id;
+  };
+  for (std::uint64_t i = 0; i < num_be; ++i) add_be(false, nullptr);
+
+  const auto pick_children = [&](std::size_t arity, bool drain_roots) {
+    // Prefer unconsumed roots so everything ends up connected; sharing an
+    // already-used element is allowed and occasionally exercised.  The
+    // final gate drains every remaining root unconditionally, otherwise
+    // sema would reject the tree as disconnected.
+    std::vector<std::size_t> kids;
+    const auto have = [&](std::size_t cand) {
+      for (const std::size_t k : kids) {
+        if (k == cand) return true;
+      }
+      return false;
+    };
+    while (kids.size() < arity) {
+      std::size_t cand;
+      if (!roots.empty() && (drain_roots || kids.empty() || rng.next_below(4) != 0)) {
+        const std::size_t r = drain_roots ? 0 : rng.next_below(roots.size());
+        cand = roots[r];
+        roots.erase(roots.begin() + static_cast<std::ptrdiff_t>(r));
+        if (have(cand)) continue;  // already shared into this gate
+      } else {
+        cand = rng.next_below(elems.size());
+        if (elems[cand].reserved || have(cand)) continue;
+      }
+      kids.push_back(cand);
+    }
+    return kids;
+  };
+
+  for (std::uint64_t g = 0; g < num_gates; ++g) {
+    const bool last = g + 1 == num_gates;
+    const std::size_t id = names.size();
+    std::uint64_t kind = rng.next_below(lim.allow_spare && !last ? 5 : 4);
+    std::string def;
+    if (kind == 4) {
+      // Spare gate: fresh exclusively-owned basic events.
+      const std::uint64_t flavour = rng.next_below(3);
+      const std::size_t num_spares = 1 + rng.next_below(2);
+      def = flavour == 0 ? " csp" : flavour == 1 ? " hsp" : " wsp";
+      std::vector<std::size_t> kids;
+      kids.push_back(add_be(false, nullptr));  // primary (active from start)
+      roots.pop_back();                        // consumed right here
+      for (std::size_t j = 0; j < num_spares; ++j) {
+        const char* dorm = nullptr;
+        if (flavour == 2) {
+          static const char* kDorms[] = {" dorm=0.25", " dorm=0.5", " dorm=0.75"};
+          dorm = kDorms[rng.next_below(3)];
+        }
+        kids.push_back(add_be(true, dorm));
+      }
+      for (const std::size_t k : kids) def += " \"" + names[k] + "\"";
+      names.insert(names.begin() + static_cast<std::ptrdiff_t>(id), "g" + std::to_string(id));
+      // names vector got shifted; rebuild def is fine since it referenced
+      // child names directly.  Fix bookkeeping: the new BEs were appended
+      // after id, so recompute nothing else.
+      elems.insert(elems.begin() + static_cast<std::ptrdiff_t>(id), {std::move(def), false});
+      roots.push_back(id);
+      continue;
+    }
+    std::size_t arity = 2 + rng.next_below(2);
+    if (last) arity = roots.size() > arity ? roots.size() : arity;
+    std::size_t eligible = 0;
+    for (const GenElement& el : elems) eligible += el.reserved ? 0 : 1;
+    if (arity > eligible) arity = eligible;
+    std::vector<std::size_t> kids = pick_children(arity, last);
+    if (kind == 0) def = " and";
+    if (kind == 1) def = " or";
+    if (kind == 2) def = " pand";
+    if (kind == 3) def = " " + std::to_string(1 + rng.next_below(kids.size())) + "of" +
+                         std::to_string(kids.size());
+    for (const std::size_t k : kids) def += " \"" + names[k] + "\"";
+    names.push_back("g" + std::to_string(id));
+    elems.push_back({std::move(def), false});
+    roots.push_back(id);
+  }
+
+  // The last declared gate is the toplevel; any leftover roots were folded
+  // into it above (arity >= remaining roots and pick_children drains roots
+  // first).
+  const std::size_t top = names.size() - 1;
+
+  std::string fdep_line;
+  if (lim.allow_fdep && rng.next_below(5) < 2) {
+    // Trigger: any non-reserved element (a fresh environmental BE at times);
+    // dependents: basic events distinct from the trigger.
+    std::size_t trigger;
+    if (rng.next_below(3) == 0) {
+      trigger = add_be(false, nullptr);
+      roots.pop_back();  // connected through the fdep pull-in rule
+    } else {
+      do {
+        trigger = rng.next_below(elems.size());
+      } while (elems[trigger].reserved || trigger == top);
+    }
+    std::vector<std::size_t> deps;
+    for (std::size_t tries = 0; tries < 16 && deps.size() < 1 + rng.next_below(2); ++tries) {
+      const std::size_t c = rng.next_below(names.size());
+      if (names[c][0] != 'b' || c == trigger) continue;
+      bool dup = false;
+      for (const std::size_t k : deps) dup |= k == c;
+      if (!dup) deps.push_back(c);
+    }
+    if (!deps.empty()) {
+      fdep_line = "\"f0\" fdep \"" + names[trigger] + "\"";
+      for (const std::size_t k : deps) fdep_line += " \"" + names[k] + "\"";
+      fdep_line += ";\n";
+    }
+  }
+
+  source = "toplevel \"" + names[top] + "\";\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    source += "\"" + names[i] + "\"" + elems[i].def + ";\n";
+  }
+  source += fdep_line;
+  return source;
+}
+
+namespace {
+
+struct DftChecker {
+  const DftFuzzConfig& config;
+  std::uint64_t checks = 0;
+
+  /// Empty string = pass.
+  std::string check(const std::string& source) {
+    dft::CheckedDft checked;
+    try {
+      checked = dft::parse_and_check_dft(source, "<fuzz>");
+    } catch (const Error& e) {
+      return std::string("generated tree rejected: ") + e.what();
+    }
+    try {
+      const lang::BuiltModel built = dft::lower_dft(checked);
+      const lang::BuiltModel minimized = lang::minimize_model(built);
+
+      const auto goal_of = [](const lang::BuiltModel& m) {
+        const std::vector<bool>& mask = m.mask("failed");
+        BitVector goal(mask.size());
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+          if (mask[i]) goal.set(i);
+        }
+        return goal;
+      };
+      const BitVector goal = goal_of(minimized);
+
+      const auto solve = [&](const lang::BuiltModel& m, const BitVector& g, Objective obj,
+                             unsigned threads) {
+        UimcAnalysisOptions o;
+        o.reachability.epsilon = config.epsilon;
+        o.reachability.objective = obj;
+        o.reachability.backend = config.backend;
+        o.reachability.threads = threads;
+        return analyze_timed_reachability(m.system, g, config.time, o).value;
+      };
+
+      Objective omax = Objective::Maximize, omin = Objective::Minimize;
+      if (config.mutation == Mutation::SwapObjective) std::swap(omax, omin);
+      double vmax = solve(minimized, goal, omax, 1);
+      double vmin = solve(minimized, goal, omin, 1);
+      if (config.mutation == Mutation::PerturbValue) vmax += 1e-6;
+
+      ++checks;
+      const double oracle_max =
+          dft_oracle_unreliability(checked, config.time, config.epsilon, Objective::Maximize);
+      if (std::fabs(vmax - oracle_max) > config.tolerance) {
+        return "sup mismatch: production " + std::to_string(vmax) + " vs oracle " +
+               std::to_string(oracle_max);
+      }
+      ++checks;
+      const double oracle_min =
+          dft_oracle_unreliability(checked, config.time, config.epsilon, Objective::Minimize);
+      if (std::fabs(vmin - oracle_min) > config.tolerance) {
+        return "inf mismatch: production " + std::to_string(vmin) + " vs oracle " +
+               std::to_string(oracle_min);
+      }
+      ++checks;
+      if (vmin > vmax + config.tolerance) {
+        return "inf " + std::to_string(vmin) + " exceeds sup " + std::to_string(vmax);
+      }
+      // Thread-count bit-identity on the minimized model.
+      ++checks;
+      const double vmax2 = solve(minimized, goal, omax, 2);
+      if (config.mutation == Mutation::None && vmax2 != vmax) {
+        return "threads=2 not bit-identical to threads=1";
+      }
+      // Minimization must preserve the value (up to solver tolerance).
+      ++checks;
+      const double vmax_unmin = solve(built, goal_of(built), omax, 1);
+      if (std::fabs(vmax_unmin - oracle_max) >
+          config.tolerance + (config.mutation == Mutation::PerturbValue ? 1e-6 : 0.0)) {
+        return "unminimized model disagrees with oracle: " + std::to_string(vmax_unmin) + " vs " +
+               std::to_string(oracle_max);
+      }
+    } catch (const Error& e) {
+      return std::string("pipeline error: ") + e.what();
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+std::string dft_nondeterministic_showcase() {
+  return
+      "// The fdep kills both pand inputs in one shot; the scheduler picks\n"
+      "// which fail signal lands on the pand first, so inf < sup.\n"
+      "toplevel \"top\";\n"
+      "\"top\" pand \"a\" \"b\";\n"
+      "\"a\" lambda=1.0;\n"
+      "\"b\" lambda=1.0;\n"
+      "\"t\" lambda=5.0;\n"
+      "\"dep\" fdep \"t\" \"a\" \"b\";\n";
+}
+
+std::string check_dft_source(const std::string& source, const DftFuzzConfig& config,
+                             std::uint64_t* checks) {
+  DftChecker checker{config};
+  const std::string message = checker.check(source);
+  if (checks) *checks += checker.checks;
+  return message;
+}
+
+DftFuzzReport run_dft_fuzz(const DftFuzzConfig& config, const DftLogFn& log) {
+  DftFuzzReport report;
+  DftChecker checker{config};
+  // Fixed nondeterministic fixture first: random well-posed trees almost
+  // always have inf == sup, so without it an objective-level bug (caught
+  // only where the scheduler matters) could slip through a whole corpus.
+  {
+    const std::string source = dft_nondeterministic_showcase();
+    if (log) log("showcase:\n" + source);
+    const std::string message = checker.check(source);
+    if (!message.empty()) {
+      if (log) log("FAIL showcase: " + message);
+      report.failures.push_back(DftFuzzFailure{0, 0, "showcase: " + message, source, {}});
+    }
+  }
+  for (std::uint64_t n = 0; n < config.num_seeds; ++n) {
+    const std::uint64_t seed = config.base_seed + n;
+    ++report.seeds_run;
+    std::string source = generate_dft_source(seed, 0);
+    if (log) log("seed " + std::to_string(seed) + ":\n" + source);
+    std::string message = checker.check(source);
+    int level = 0;
+    if (!message.empty() && config.shrink) {
+      // Walk the ladder from the smallest configuration up; keep the
+      // smallest failing instance.
+      for (int l = kDftShrinkLevels - 1; l >= 1; --l) {
+        const std::string smaller = generate_dft_source(seed, l);
+        const std::string m = checker.check(smaller);
+        if (!m.empty()) {
+          source = smaller;
+          message = m;
+          level = l;
+          break;
+        }
+      }
+    }
+    if (!message.empty()) {
+      DftFuzzFailure failure{seed, level, message, source, {}};
+      if (!config.artifact_dir.empty()) {
+        std::filesystem::create_directories(config.artifact_dir);
+        const std::string path =
+            config.artifact_dir + "/dft_seed" + std::to_string(seed) + ".dft";
+        std::ofstream out(path);
+        out << source;
+        failure.artifacts.push_back(path);
+      }
+      if (log) log("FAIL seed " + std::to_string(seed) + ": " + message);
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  report.checks_run = checker.checks;
+  return report;
+}
+
+}  // namespace unicon::testing

@@ -1,0 +1,101 @@
+// Independent brute-force oracle and differential fuzzer for the DFT
+// frontend (src/dft/).
+//
+// The production path lowers every element to an IMC leaf and runs the
+// generic machinery: CSP multiway composition, urgency-pruned on-the-fly
+// exploration, hide_all, bisimulation minimization, Sec. 4.1 transform,
+// Algorithm 1.  The oracle here shares *none* of that: it enumerates the
+// product state space directly from per-element status words (BE phases,
+// gate counters, spare holder/failed-set, fdep kill cursor), applying
+// signal deliveries as joint updates across emitter and listeners.  The
+// resulting raw tau-labeled IMC then flows through the oracle-side chain
+// of oracle.hpp (bruteforce_transform -> naive_timed_reachability), so a
+// production-vs-oracle match certifies the gate lowering end to end
+// without trusting compose/explore/minimize/transform/solver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ctmdp/reachability.hpp"
+#include "dft/sema.hpp"
+#include "imc/imc.hpp"
+#include "support/backend.hpp"
+#include "support/bit_vector.hpp"
+#include "testing/differential.hpp"
+
+namespace unicon::testing {
+
+/// Direct product enumeration of @p dft's semantics: a closed tau-labeled
+/// IMC, uniform at E = sum of lambdas by per-state rate padding.  When
+/// @p failed is non-null it receives the "top element failed" mask.
+Imc dft_oracle_imc(const dft::CheckedDft& dft, BitVector* failed = nullptr);
+
+/// Unreliability at the initial state through the oracle-only chain
+/// (dft_oracle_imc -> bruteforce_transform -> naive_timed_reachability).
+double dft_oracle_unreliability(const dft::CheckedDft& dft, double t, double eps,
+                                Objective objective);
+
+/// Seeded random Galileo source.  @p level walks the shrink ladder: 0 is
+/// the full generator (up to 7 basic events, nested gates, optionally a
+/// spare gate and an fdep), higher levels generate strictly smaller trees.
+std::string generate_dft_source(std::uint64_t seed, int level);
+constexpr int kDftShrinkLevels = 3;
+
+struct DftFuzzConfig {
+  std::uint64_t base_seed = 1;
+  std::uint64_t num_seeds = 25;
+  double time = 1.0;
+  /// Truncation precision for solver and oracle.
+  double epsilon = 1e-12;
+  /// Production-vs-oracle agreement tolerance.
+  double tolerance = 1e-9;
+  /// Backend forced into the production solves (thread-count bit-identity
+  /// is checked inside regardless).
+  Backend backend = Backend::Auto;
+  /// Injected solver bug (mutation testing): PerturbValue and SwapObjective
+  /// are supported; the run must then fail.
+  Mutation mutation = Mutation::None;
+  bool shrink = true;
+  /// Directory for failing .dft sources ("" disables writing).
+  std::string artifact_dir;
+};
+
+struct DftFuzzFailure {
+  std::uint64_t seed = 0;
+  int level = 0;
+  std::string message;
+  /// Galileo source of the (shrunk) failing tree.
+  std::string source;
+  std::vector<std::string> artifacts;
+};
+
+struct DftFuzzReport {
+  std::uint64_t seeds_run = 0;
+  std::uint64_t checks_run = 0;
+  std::vector<DftFuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+using DftLogFn = std::function<void(const std::string&)>;
+
+/// A fixed tree whose inf and sup genuinely differ: an fdep kills both
+/// inputs of a pand at once, so the delivery order of the two fail signals
+/// (scheduler-resolved) decides between gate failure and failsafe.  Used
+/// by the fuzz self-check to prove the swap-objective mutation is caught.
+std::string dft_nondeterministic_showcase();
+
+/// Runs the full differential check battery on one Galileo source; returns
+/// the first failure description, or an empty string when everything
+/// agrees.  @p checks (optional) accumulates the number of checks run.
+std::string check_dft_source(const std::string& source, const DftFuzzConfig& config,
+                             std::uint64_t* checks = nullptr);
+
+/// Per seed: generate a tree, run production max/min (plus a 1-vs-2-thread
+/// bit-identity check and a minimized-vs-unminimized check) against the
+/// oracle chain.  Failing seeds are shrunk down the generator ladder.
+DftFuzzReport run_dft_fuzz(const DftFuzzConfig& config, const DftLogFn& log = {});
+
+}  // namespace unicon::testing

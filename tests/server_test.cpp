@@ -24,7 +24,7 @@
 #include "ctmc/transient.hpp"
 #include "ctmdp/reachability.hpp"
 #include "io/tra.hpp"
-#include "server/json.hpp"
+#include "support/json.hpp"
 #include "server/model_cache.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
@@ -37,8 +37,8 @@ namespace {
 
 namespace gen = unicon::testing;
 using server::AnalysisService;
-using server::Json;
-using server::JsonArray;
+using unicon::Json;
+using unicon::JsonArray;
 using server::ModelKind;
 using server::QueryRequest;
 using server::QueryResponse;
@@ -477,6 +477,56 @@ TEST(ServerTest, ErrorsComeBackTyped) {
   EXPECT_TRUE(response.results.empty());
 }
 
+TEST(ServerTest, DftQueriesResolveThroughTheCache) {
+  AnalysisService service(ServiceOptions{.workers = 1});
+  const std::string tree =
+      "toplevel \"top\";\n"
+      "\"top\" pand \"a\" \"b\";\n"
+      "\"a\" lambda=1.0;\n\"b\" lambda=1.0;\n\"t\" lambda=5.0;\n"
+      "\"dep\" fdep \"t\" \"a\" \"b\";\n";
+
+  const auto ask = [&](const std::string& id, Objective objective, const std::string& source) {
+    QueryRequest query;
+    query.client = "a";
+    query.id = id;
+    query.kind = ModelKind::Dft;
+    query.source = source;
+    query.times = {1.0};
+    query.objective = objective;
+    query.backend = Backend::Serial;
+    return service.query(std::move(query));
+  };
+
+  const QueryResponse sup = ask("sup", Objective::Maximize, tree);
+  ASSERT_EQ(sup.error, ErrorCode::Ok);
+  EXPECT_FALSE(sup.cache_hit);
+
+  // Same tree, different spelling: the canonical Galileo print dedups it
+  // onto the first entry.
+  const QueryResponse again =
+      ask("again", Objective::Maximize, "// respelled\n" + tree);
+  ASSERT_EQ(again.error, ErrorCode::Ok);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.model_hash, sup.model_hash);
+  EXPECT_EQ(bits(again.results[0].value), bits(sup.results[0].value));
+
+  // The fdep/pand race makes the scheduler matter: inf < sup, and the
+  // min objective rides the universal goal transfer of the same entry.
+  const QueryResponse inf = ask("inf", Objective::Minimize, tree);
+  ASSERT_EQ(inf.error, ErrorCode::Ok);
+  EXPECT_TRUE(inf.cache_hit);
+  EXPECT_LT(inf.results[0].value + 0.5, sup.results[0].value);
+
+  QueryRequest bad;
+  bad.client = "a";
+  bad.id = "bad";
+  bad.kind = ModelKind::Dft;
+  bad.source = "toplevel \"top\";\n\"top\" and \"a\" \"top\";\n\"a\" lambda=1.0;\n";
+  bad.times = {1.0};
+  const QueryResponse cyclic = service.query(std::move(bad));
+  EXPECT_EQ(cyclic.error, ErrorCode::Parse);
+}
+
 // ---------------------------------------------------------------------------
 // Session layer: the JSONL protocol over in-process streams.
 
@@ -491,6 +541,13 @@ std::vector<Json> run_jsonl(AnalysisService& service, const std::string& input) 
   std::istringstream parse(out.str());
   std::string line;
   while (std::getline(parse, line)) lines.push_back(Json::parse(line));
+  // Every session opens with the protocol hello line; validate and strip
+  // it so the callers' line counts stay about the actual responses.
+  if (!lines.empty()) {
+    EXPECT_EQ(lines.front().get_string("hello", ""), "unicon-serve");
+    EXPECT_EQ(lines.front().get_number("version", 0.0), 1.0);
+    lines.erase(lines.begin());
+  }
   return lines;
 }
 
@@ -523,6 +580,7 @@ TEST(SessionTest, QueryStatsShutdownRoundTrip) {
   ASSERT_EQ(lines.size(), 3u);
 
   EXPECT_EQ(lines[0].get_string("id", ""), "q1");
+  EXPECT_EQ(lines[0].get_number("version", 0.0), 1.0);
   EXPECT_TRUE(lines[0].get_bool("ok", false));
   const Json* results = lines[0].find("results");
   ASSERT_NE(results, nullptr);

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Smoke-checks every shipped Galileo DFT model: runs `unicon_check dft`
+# for each line of examples/dft/SMOKE and compares the reported
+# unreliability with the checked-in expected value.  Fails on a nonzero
+# exit, a missing unreliability line, drift beyond the tolerance, or a
+# model file with no SMOKE coverage at all.
+#
+# Usage: tools/dft_smoke.sh <build-dir> [tolerance]
+set -u
+
+builddir=${1:?usage: tools/dft_smoke.sh <build-dir> [tolerance]}
+tol=${2:-1e-6}
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+models="$repo/examples/dft"
+check="$builddir/tools/unicon_check"
+
+if [ ! -x "$check" ]; then
+  echo "dft_smoke: $check not found or not executable" >&2
+  exit 2
+fi
+
+fail=0
+
+# Every shipped tree must be exercised by at least one SMOKE line; a new
+# .dft file without expectations should fail loudly, not get skipped.
+for f in "$models"/*.dft; do
+  base=$(basename "$f")
+  if ! grep -q "^$base " "$models/SMOKE"; then
+    echo "FAIL $base has no entry in examples/dft/SMOKE" >&2
+    fail=1
+  fi
+done
+
+while read -r file t objective expected; do
+  case $file in '' | '#'*) continue ;; esac
+
+  out=$("$check" dft "$models/$file" "$t" --objective "$objective" 2>&1)
+  status=$?
+  prob=$(printf '%s\n' "$out" |
+    sed -n 's/^\(sup\|inf\) unreliability(.*) = \([0-9.eE+-]*\)$/\2/p')
+
+  label="$file t=$t objective=$objective"
+  if [ $status -ne 0 ] || [ -z "$prob" ]; then
+    echo "FAIL $label: exit=$status"
+    printf '%s\n' "$out" | sed 's/^/  | /'
+    fail=1
+    continue
+  fi
+
+  if awk -v a="$prob" -v b="$expected" -v tol="$tol" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= tol) }'; then
+    echo "ok   $label: $prob"
+  else
+    echo "FAIL $label: got $prob, want $expected (tolerance $tol)"
+    fail=1
+  fi
+done <"$models/SMOKE"
+
+exit $fail

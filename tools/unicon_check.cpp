@@ -1,12 +1,22 @@
 // unicon_check — command-line timed reachability.
 //
 // Usage:
-//   unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E]
-//                [--early] [--no-minimize] [--export PREFIX] [common]
-//   unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E]
-//                [--early] [--scheduler] [common]
+//   unicon_check model <model.uni> <t> [--goal NAME] [--objective min|max]
+//                [--eps E] [--early] [--no-minimize] [--export PREFIX]
+//                [--export-scheduler PATH] [common]
+//   unicon_check dft   <tree.dft> <t> [--objective min|max] [--eps E]
+//                [--early] [--no-minimize] [--export-scheduler PATH] [common]
+//   unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--objective min|max]
+//                [--eps E] [--early] [--scheduler] [common]
 //   unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early]
 //                [common]
+//
+// --min is a backward-compatible alias for --objective min.  The "dft" mode
+// parses a Galileo-format dynamic fault tree, lowers it onto the IMC
+// composition pipeline (src/dft/) and reports the unreliability bound
+// sup/inf P(top event fails within t).  --export-scheduler writes the
+// optimal step-dependent scheduler as a unicon-scheduler-v1 JSON artifact
+// (see io/scheduler_json.hpp); it requires a single-bound converged solve.
 //
 // Batch mode (every kind): --times T1,T2,... answers several time bounds
 // with ONE fused multi-horizon solve (the positional <t> is ignored).
@@ -54,6 +64,10 @@
 #include "ctmc/transient.hpp"
 #include "support/backend.hpp"
 #include "ctmdp/reachability.hpp"
+#include "ctmdp/scheduler.hpp"
+#include "dft/lower.hpp"
+#include "dft/sema.hpp"
+#include "io/scheduler_json.hpp"
 #include "io/tra.hpp"
 #include "lang/build.hpp"
 #include "lang/diagnostics.hpp"
@@ -106,15 +120,26 @@ struct TelemetryFlusher {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: unicon_check model <model.uni> <t> [--goal NAME] [--min] [--eps E] "
-               "[--early] [--no-minimize] [--export PREFIX] [common]\n"
-               "       unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--min] [--eps E] "
-               "[--early] [--scheduler] [common]\n"
+               "usage: unicon_check model <model.uni> <t> [--goal NAME] [--objective min|max] "
+               "[--eps E] [--early] [--no-minimize] [--export PREFIX] "
+               "[--export-scheduler PATH] [common]\n"
+               "       unicon_check dft   <tree.dft> <t> [--objective min|max] [--eps E] "
+               "[--early] [--no-minimize] [--export-scheduler PATH] [common]\n"
+               "       unicon_check ctmdp <model.ctmdp> <goal.lab> <t> [--objective min|max] "
+               "[--eps E] [--early] [--scheduler] [common]\n"
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
                "[common]\n"
                "common: [--times T1,T2,...] [--backend auto|serial|simd|simd-portable] "
                "[--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors] "
                "[--telemetry PATH]\n");
+  std::exit(2);
+}
+
+/// --objective value: "min"/"max" (the --min flag remains as an alias).
+bool parse_objective_flag(const char* arg) {
+  if (std::strcmp(arg, "min") == 0) return true;
+  if (std::strcmp(arg, "max") == 0) return false;
+  std::fprintf(stderr, "error: --objective must be 'min' or 'max', got '%s'\n", arg);
   std::exit(2);
 }
 
@@ -307,9 +332,27 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Writes the extracted decision table of a converged single-bound solve as
+/// a unicon-scheduler-v1 artifact.
+void export_scheduler_artifact(const std::string& path, const UimcAnalysisResult& result,
+                               Objective objective, double t, double eps) {
+  if (result.reachability.status != RunStatus::Converged) {
+    std::fprintf(stderr, "warning: solve did not converge, skipping scheduler export\n");
+    return;
+  }
+  const io::SchedulerArtifact artifact =
+      io::scheduler_artifact_from_result(result.reachability, objective, t, eps, result.value);
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open scheduler output file: " + path);
+  out << io::scheduler_to_json(artifact);
+  std::printf("exported scheduler artifact (%llu steps x %llu states) to %s\n",
+              static_cast<unsigned long long>(artifact.steps),
+              static_cast<unsigned long long>(artifact.states), path.c_str());
+}
+
 int run_model(const std::string& path, double t, const std::string& goal_name, bool minimize_flag,
               bool minimize, double eps, bool early, const std::string& export_prefix,
-              const GuardFlags& flags) {
+              const std::string& scheduler_path, const GuardFlags& flags) {
   Stopwatch total;
   Telemetry* const tel = telemetry_of(flags);
   std::optional<Telemetry::Span> parse_span;
@@ -361,7 +404,12 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.backend = flags.backend;
   options.reachability.guard = &g_guard;
   options.reachability.telemetry = tel;
+  options.reachability.extract_scheduler = !scheduler_path.empty();
   if (!flags.times.empty()) {
+    if (!scheduler_path.empty()) {
+      std::fprintf(stderr, "error: --export-scheduler requires a single time bound\n");
+      std::exit(2);
+    }
     const auto result =
         analyze_timed_reachability_batch(built.system, built.mask(goal_name), flags.times, options);
     std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
@@ -387,6 +435,81 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
               static_cast<unsigned long long>(result.reachability.iterations_planned),
               static_cast<unsigned long long>(result.reachability.iterations_executed),
               total.seconds());
+  if (!scheduler_path.empty()) {
+    export_scheduler_artifact(scheduler_path, result,
+                              minimize_flag ? Objective::Minimize : Objective::Maximize, t, eps);
+  }
+  return report_partial(result.reachability.status, result.reachability.residual_bound, flags);
+}
+
+int run_dft(const std::string& path, double t, bool minimize_flag, bool minimize, double eps,
+            bool early, const std::string& scheduler_path, const GuardFlags& flags) {
+  Stopwatch total;
+  Telemetry* const tel = telemetry_of(flags);
+  std::optional<Telemetry::Span> parse_span;
+  if (tel != nullptr) parse_span.emplace(tel->span("parse"));
+  const dft::CheckedDft checked = dft::parse_and_check_dft(read_file(path), path);
+  parse_span.reset();
+
+  dft::LowerOptions lower_options;
+  lower_options.guard = &g_guard;
+  lower_options.telemetry = tel;
+  lang::BuiltModel built = dft::lower_dft(checked, lower_options);
+  std::printf("dft: %zu elements (%zu basic events), total failure rate %.6f\n",
+              checked.ast.elements.size(), static_cast<std::size_t>(checked.num_basic_events),
+              checked.total_rate);
+  std::printf("system: %zu states, %zu interactive + %zu Markov transitions, "
+              "uniform rate %.6f (%zu leaves)\n",
+              built.system.num_states(), built.system.num_interactive_transitions(),
+              built.system.num_markov_transitions(), built.uniform_rate, built.num_leaves);
+  if (minimize) {
+    built = lang::minimize_model(built, &g_guard, tel);
+    std::printf("minimized: %zu states, %zu interactive + %zu Markov transitions\n",
+                built.system.num_states(), built.system.num_interactive_transitions(),
+                built.system.num_markov_transitions());
+  }
+
+  UimcAnalysisOptions options;
+  options.reachability.epsilon = eps;
+  options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
+  options.reachability.early_termination = early;
+  options.reachability.backend = flags.backend;
+  options.reachability.guard = &g_guard;
+  options.reachability.telemetry = tel;
+  options.reachability.extract_scheduler = !scheduler_path.empty();
+  if (!flags.times.empty()) {
+    if (!scheduler_path.empty()) {
+      std::fprintf(stderr, "error: --export-scheduler requires a single time bound\n");
+      std::exit(2);
+    }
+    const auto result =
+        analyze_timed_reachability_batch(built.system, built.mask("failed"), flags.times, options);
+    std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
+                result.transformed.ctmdp.num_transitions());
+    std::vector<BoundSummary> bounds;
+    for (std::size_t j = 0; j < flags.times.size(); ++j) {
+      const auto& r = result.reachability[j];
+      bounds.push_back({flags.times[j], result.values[j], r.iterations_planned,
+                        r.iterations_executed, r.status, r.residual_bound});
+    }
+    const int exit_code = report_batch(minimize_flag ? "inf" : "sup", "failed", bounds, flags);
+    std::printf("%zu bounds in one batch solve, %.3f s total\n", flags.times.size(),
+                total.seconds());
+    return exit_code;
+  }
+
+  const auto result = analyze_timed_reachability(built.system, built.mask("failed"), t, options);
+  std::printf("ctmdp: %zu states, %zu transitions\n", result.transformed.ctmdp.num_states(),
+              result.transformed.ctmdp.num_transitions());
+  std::printf("%s unreliability(%g) = %.10f\n", minimize_flag ? "inf" : "sup", t, result.value);
+  std::printf("iterations: %llu planned, %llu executed, %.3f s total\n",
+              static_cast<unsigned long long>(result.reachability.iterations_planned),
+              static_cast<unsigned long long>(result.reachability.iterations_executed),
+              total.seconds());
+  if (!scheduler_path.empty()) {
+    export_scheduler_artifact(scheduler_path, result,
+                              minimize_flag ? Objective::Minimize : Objective::Maximize, t, eps);
+  }
   return report_partial(result.reachability.status, result.reachability.residual_bound, flags);
 }
 
@@ -397,28 +520,32 @@ int main(int argc, char** argv) {
   const std::string kind = argv[1];
   GuardFlags flags;
 
-  if (kind == "model") {
+  if (kind == "model" || kind == "dft") {
     if (argc < 4) usage();
     const std::string model_path = argv[2];
     const double t = parse_nonnegative(argv[3], "time bound <t>");
     bool minimize_objective = false, early = false, minimize = true;
     double eps = 1e-6;
-    std::string goal_name = "goal", export_prefix;
+    std::string goal_name = "goal", export_prefix, scheduler_path;
     for (int i = 4; i < argc; ++i) {
       if (parse_common_flag(argc, argv, i, flags)) {
         continue;
       } else if (std::strcmp(argv[i], "--min") == 0) {
         minimize_objective = true;
+      } else if (std::strcmp(argv[i], "--objective") == 0 && i + 1 < argc) {
+        minimize_objective = parse_objective_flag(argv[++i]);
       } else if (std::strcmp(argv[i], "--early") == 0) {
         early = true;
       } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
         minimize = false;
       } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
         eps = parse_positive(argv[++i], "--eps");
-      } else if (std::strcmp(argv[i], "--goal") == 0 && i + 1 < argc) {
+      } else if (kind == "model" && std::strcmp(argv[i], "--goal") == 0 && i + 1 < argc) {
         goal_name = argv[++i];
-      } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      } else if (kind == "model" && std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
         export_prefix = argv[++i];
+      } else if (std::strcmp(argv[i], "--export-scheduler") == 0 && i + 1 < argc) {
+        scheduler_path = argv[++i];
       } else {
         usage();
       }
@@ -426,8 +553,12 @@ int main(int argc, char** argv) {
     try {
       const auto accounting = arm_guard(flags);
       const TelemetryFlusher flusher(flags);
+      if (kind == "dft") {
+        return run_dft(model_path, t, minimize_objective, minimize, eps, early, scheduler_path,
+                       flags);
+      }
       return run_model(model_path, t, goal_name, minimize_objective, minimize, eps, early,
-                       export_prefix, flags);
+                       export_prefix, scheduler_path, flags);
     } catch (const Error& e) {
       return report_error(e, flags);
     } catch (const std::bad_alloc&) {
@@ -450,6 +581,8 @@ int main(int argc, char** argv) {
       continue;
     } else if (std::strcmp(argv[i], "--min") == 0) {
       minimize = true;
+    } else if (std::strcmp(argv[i], "--objective") == 0 && i + 1 < argc) {
+      minimize = parse_objective_flag(argv[++i]);
     } else if (std::strcmp(argv[i], "--early") == 0) {
       early = true;
     } else if (std::strcmp(argv[i], "--scheduler") == 0) {

@@ -32,6 +32,13 @@
 //                  result, a sound partial result, or a typed error (see
 //                  testing/fault_injection.hpp); --threads sets the worker
 //                  count of the guarded solves
+//   --dft          run the dynamic-fault-tree differential instead: per seed
+//                  a random Galileo tree is lowered through the production
+//                  pipeline (compose/minimize/transform/Algorithm 1, sup and
+//                  inf) and checked against the independent brute-force
+//                  product-enumeration oracle (testing/dft_oracle.hpp),
+//                  plus thread-count bit-identity; with --self-check the
+//                  perturb-value and swap-objective mutations must be caught
 //   --batch        run the multi-horizon differential instead: per seed a
 //                  random CTMDP (sup and inf) and CTMC are solved through
 //                  timed_reachability_batch on a random bound set (unsorted,
@@ -48,6 +55,7 @@
 #include "support/backend.hpp"
 #include "support/errors.hpp"
 #include "support/telemetry.hpp"
+#include "testing/dft_oracle.hpp"
 #include "testing/differential.hpp"
 #include "testing/fault_injection.hpp"
 
@@ -63,6 +71,7 @@ namespace {
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
                "                   [--out DIR] [--self-check] [--lang] [--faults] [--batch]\n"
+               "                   [--dft]\n"
                "                   [--backend auto|serial|simd|simd-portable]\n"
                "                   [--threads N] [-v]\n");
   std::exit(2);
@@ -115,6 +124,57 @@ int run_lang_mode(const DifferentialConfig& config, bool verbose) {
   return report.ok() ? 0 : 1;
 }
 
+int report_dft_outcome(const DftFuzzReport& report) {
+  std::printf("%llu seeds, %llu checks, %zu failures\n",
+              static_cast<unsigned long long>(report.seeds_run),
+              static_cast<unsigned long long>(report.checks_run), report.failures.size());
+  for (const DftFuzzFailure& f : report.failures) {
+    std::printf("FAIL seed %llu [dft, shrink level %d]: %s\n%s",
+                static_cast<unsigned long long>(f.seed), f.level, f.message.c_str(),
+                f.source.c_str());
+    for (const std::string& path : f.artifacts) std::printf("  artifact: %s\n", path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int run_dft_mode(const DifferentialConfig& config, bool run_self_check, bool verbose) {
+  DftFuzzConfig dft_config;
+  dft_config.num_seeds = config.num_seeds;
+  dft_config.base_seed = config.base_seed;
+  dft_config.time = config.time;
+  dft_config.epsilon = config.epsilon;
+  dft_config.tolerance = config.tolerance;
+  dft_config.backend = config.backend;
+  dft_config.mutation = config.mutation;
+  dft_config.shrink = config.shrink;
+  dft_config.artifact_dir = config.artifact_dir;
+  const DftLogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  Stopwatch timer;
+  if (run_self_check) {
+    dft_config.num_seeds = 6;
+    dft_config.shrink = false;
+    dft_config.artifact_dir.clear();
+    for (const Mutation m : {Mutation::PerturbValue, Mutation::SwapObjective}) {
+      dft_config.mutation = m;
+      if (run_dft_fuzz(dft_config).ok()) {
+        std::printf("self-check FAILED: mutation %s not caught on %llu dft seeds\n",
+                    mutation_name(m), static_cast<unsigned long long>(dft_config.num_seeds));
+        return 1;
+      }
+      std::printf("self-check: mutation %s caught\n", mutation_name(m));
+    }
+    // The clean run below still honours the requested corpus shape.
+    dft_config.mutation = Mutation::None;
+    dft_config.num_seeds = config.num_seeds;
+    dft_config.shrink = config.shrink;
+    dft_config.artifact_dir = config.artifact_dir;
+  }
+  const DftFuzzReport report = run_dft_fuzz(dft_config, verbose ? log : DftLogFn{});
+  const int exit_code = report_dft_outcome(report);
+  std::printf("%.1f s\n", timer.seconds());
+  return exit_code;
+}
+
 int report_outcome(const DifferentialReport& report) {
   std::printf("%llu seeds, %llu checks, %zu failures\n",
               static_cast<unsigned long long>(report.seeds_run),
@@ -164,6 +224,7 @@ int main(int argc, char** argv) {
   bool run_self_check = false;
   bool lang_mode = false;
   bool fault_mode = false;
+  bool dft_mode = false;
   unsigned threads = 2;
 
   for (int i = 1; i < argc; ++i) {
@@ -203,6 +264,8 @@ int main(int argc, char** argv) {
       fault_mode = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       config.batch = true;
+    } else if (std::strcmp(argv[i], "--dft") == 0) {
+      dft_mode = true;
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       try {
         config.backend = parse_backend(value());
@@ -221,6 +284,7 @@ int main(int argc, char** argv) {
 
   if (fault_mode) return run_fault_mode(config, threads, verbose);
   if (lang_mode) return run_lang_mode(config, verbose);
+  if (dft_mode) return run_dft_mode(config, run_self_check, verbose);
   if (run_self_check) return self_check(config);
 
   const LogFn log = [](const std::string& line) { std::printf("%s\n", line.c_str()); };
