@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -122,6 +123,19 @@ struct CacheStats {
   std::size_t resident_bytes = 0;
 };
 
+/// Outcome of a snapshot save or load (see snapshot.hpp for the format).
+/// A load never throws on corrupt input: every record it can authenticate
+/// is restored, every record it cannot is counted and skipped, and a
+/// truncated / unparseable stream simply ends recovery early — the worst
+/// corruption degrades to a cold start, never to a wrong cache entry.
+struct SnapshotStats {
+  std::size_t entries_written = 0;  ///< save: records emitted
+  std::size_t entries_loaded = 0;   ///< load: entries restored into the cache
+  std::size_t aliases_loaded = 0;   ///< load: source-key aliases restored
+  std::size_t entries_corrupt = 0;  ///< load: records failing checksum/parse
+  bool truncated = false;           ///< load: stream ended before the `end` marker
+};
+
 class ModelCache {
  public:
   /// @p byte_budget caps the resident estimate; 0 means unbounded.
@@ -146,6 +160,19 @@ class ModelCache {
                    Telemetry* telemetry = nullptr);
 
   CacheStats stats() const;
+
+  /// Serializes every resident entry (plus its source-key aliases) in the
+  /// checksummed `unicon-cache-v1` format.  Deterministic: entries are
+  /// emitted in canonical-hash order, so identical cache contents produce
+  /// byte-identical snapshots.  Implemented in snapshot.cpp.
+  SnapshotStats save_snapshot(std::ostream& out) const;
+
+  /// Restores entries from a `unicon-cache-v1` stream.  Tolerant of
+  /// corruption: records with bad checksums or unparseable bodies are
+  /// skipped (counted in entries_corrupt), a torn tail sets `truncated`,
+  /// and already-resident entries are never overwritten.  Never throws on
+  /// malformed input.  Implemented in snapshot.cpp.
+  SnapshotStats load_snapshot(std::istream& in);
 
  private:
   struct Entry {

@@ -37,6 +37,8 @@
 // the golden-replay test relies on.
 #pragma once
 
+#include <csignal>
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -50,11 +52,21 @@ struct SessionOptions {
   /// False (unicon_serve --no-timing) pins "seconds" to 0 in responses so
   /// golden-session replays diff byte-for-byte.
   bool timing = true;
+  /// Byte cap on one request line.  The session reads at most this many
+  /// bytes before answering Parse and discarding the rest of the line, so
+  /// a hostile client can never make the server buffer an unbounded line.
+  std::size_t max_line_bytes = std::size_t{8} << 20;
+  /// Optional external stop flag (the unicon_serve SIGTERM/SIGINT drain):
+  /// once nonzero, the session stops reading new requests, drains its
+  /// outstanding async queries and returns.
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
-/// Serves @p in/@p out until EOF or a "shutdown" op; drains outstanding
-/// async queries before returning.  Malformed lines are answered with a
-/// failure object, never a dropped connection.
+/// Serves @p in/@p out until EOF, a "shutdown" op, or the external stop
+/// flag; drains outstanding async queries before returning.  Hostile input
+/// — malformed JSON, oversized lines, NUL bytes, invalid UTF-8, unknown or
+/// mistyped envelope fields — is answered with a typed failure object
+/// naming the offending field, never a crash or a dropped connection.
 void run_session(std::istream& in, std::ostream& out, AnalysisService& service,
                  const SessionOptions& options = {});
 

@@ -1,12 +1,15 @@
 #include "server/service.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <new>
 #include <optional>
 #include <utility>
 
 #include "ctmc/transient.hpp"
+#include "server/snapshot.hpp"
 #include "support/errors.hpp"
 
 namespace unicon::server {
@@ -52,8 +55,11 @@ std::string AnalysisService::solve_key_of(const QueryRequest& request) {
 
 void AnalysisService::submit(QueryRequest request, Callback done) {
   auto job = std::make_shared<Job>();
-  // Per-request execution control pins the guard to this job alone.
-  const bool coalescible = request.deadline == 0.0 && request.cancel_after_polls == 0;
+  // Per-request execution control pins the guard to this job alone; a
+  // fault plan additionally must never share a batch — a chaos-injected
+  // fault may only ever damage the answer of the request that asked for
+  // it, never a clean identical co-passenger's.
+  const bool coalescible = request.deadline == 0.0 && !request.has_fault_plan();
   job->solve_key = coalescible ? solve_key_of(request) : std::string();
   job->request = std::move(request);
   job->done = std::move(done);
@@ -62,13 +68,15 @@ void AnalysisService::submit(QueryRequest request, Callback done) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
-    if (stopping_ || pending_ >= options_.max_pending) {
+    if (stopping_ || draining_ || pending_ >= options_.max_pending) {
       QueryResponse response;
       response.id = job->request.id;
       response.error = ErrorCode::Overloaded;
-      response.message = stopping_ ? "service is shutting down"
-                                   : "queue full (" + std::to_string(options_.max_pending) +
-                                         " pending requests)";
+      response.message = stopping_    ? "service is shutting down"
+                         : draining_ ? "service is draining (shutdown in progress)"
+                                     : "queue full (" + std::to_string(options_.max_pending) +
+                                           " pending requests)";
+      response.retry_after_ms = retry_hint_ms_locked();
       ++stats_.rejected;
       ++stats_.completed;
       rejection = std::move(response);
@@ -182,11 +190,50 @@ void AnalysisService::worker_loop() {
         if (job->cancelled) ++group.cancelled_members;
       }
       if (group.cancelled_members == group.members.size()) group.guard.request_cancel();
+      active_ += group.members.size();
       ++stats_.batches;
       stats_.coalesced += group.members.size() - 1;
     }
     execute_group(group);
   }
+}
+
+std::uint64_t AnalysisService::retry_hint_ms_locked() const {
+  // Expected wait = groups ahead of the newcomer, spread over the worker
+  // pool, each costing roughly the recent batch average.  0.1 s stands in
+  // until the first batch lands; clamped so a pathological EWMA can never
+  // tell clients to hammer the server or to go away for hours.
+  const double per_batch = ewma_batch_seconds_ > 0.0 ? ewma_batch_seconds_ : 0.1;
+  const double groups_ahead =
+      static_cast<double>(pending_ + active_) / static_cast<double>(options_.workers) + 1.0;
+  const double ms = per_batch * groups_ahead * 1000.0;
+  return static_cast<std::uint64_t>(std::clamp(ms, 100.0, 60000.0));
+}
+
+void AnalysisService::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_ready_.notify_all();
+}
+
+bool AnalysisService::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void AnalysisService::wait_drained() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
+}
+
+SnapshotStats AnalysisService::save_cache(const std::string& path) const {
+  return save_cache_snapshot(cache_, path);
+}
+
+SnapshotStats AnalysisService::load_cache(const std::string& path) {
+  return load_cache_snapshot(cache_, path);
 }
 
 void AnalysisService::deliver(const JobPtr& job, QueryResponse response) {
@@ -196,6 +243,12 @@ void AnalysisService::deliver(const JobPtr& job, QueryResponse response) {
     index_.erase({job->request.client, job->request.id});
     ++stats_.completed;
     if (response.error == ErrorCode::Cancelled) ++stats_.cancelled;
+    // Retire the job *before* the callback runs: a synchronous submitter
+    // that queries stats() right after its answer must see the job gone
+    // (pending 0), or session stats lines become racy — the golden replay
+    // byte-diffs exactly that.
+    --active_;
+    if (pending_ == 0 && active_ == 0) drained_.notify_all();
   }
   response.seconds = job->queued.seconds();
   job->done(std::move(response));
@@ -203,6 +256,7 @@ void AnalysisService::deliver(const JobPtr& job, QueryResponse response) {
 
 void AnalysisService::execute_group(Group& group) {
   const QueryRequest& lead = group.members.front()->request;
+  Stopwatch batch_watch;
 
   // Per-request spans live on per-request registries only.
   std::vector<std::optional<Telemetry::Span>> spans(group.members.size());
@@ -237,8 +291,35 @@ void AnalysisService::execute_group(Group& group) {
                        solo_telemetry);
     const CachedModel& model = *resolved.model;
 
-    if (lead.deadline > 0.0) group.guard.set_deadline(lead.deadline);
+    if (lead.fault_throw) {
+      // Simulated worker death: the exception unwinds through fail_all, so
+      // the request is answered Internal instead of vanishing.  Fault-plan
+      // jobs never coalesce, so no clean request shares this fate.
+      throw std::runtime_error("fault plan: injected worker fault (fault_throw)");
+    }
+
+    if (lead.deadline > 0.0) {
+      group.guard.set_deadline(lead.deadline);
+    } else if (options_.default_deadline > 0.0) {
+      group.guard.set_deadline(options_.default_deadline);
+    }
     if (lead.cancel_after_polls > 0) group.guard.cancel_after_polls(lead.cancel_after_polls);
+    std::optional<MemoryAccountingScope> alloc_scope;
+    if (lead.fault_alloc_nth > 0) {
+      // Exclusive process-global scope: concurrent alloc-fault plans throw
+      // ModelError here, answered typed via fail_all.
+      alloc_scope.emplace(group.guard);
+      arm_allocation_failure(lead.fault_alloc_nth);
+    }
+    if (lead.fault_poison_step > 0) {
+      group.guard.set_checkpoint(
+          [n = lead.fault_poison_step, count = std::uint64_t{0}](const RunCheckpoint& cp) mutable {
+            if (++count == n && !cp.values.empty()) {
+              cp.values[0] = std::numeric_limits<double>::quiet_NaN();
+            }
+          },
+          1);
+    }
 
     std::vector<double> merged_times;
     for (const JobPtr& job : group.members) {
@@ -329,11 +410,20 @@ void AnalysisService::execute_group(Group& group) {
   } catch (const std::exception& e) {
     fail_all(ErrorCode::Internal, e.what());
   }
+
+  const double elapsed = batch_watch.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ewma_batch_seconds_ =
+        ewma_batch_seconds_ == 0.0 ? elapsed : 0.7 * ewma_batch_seconds_ + 0.3 * elapsed;
+  }
 }
 
 ServiceStats AnalysisService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats s = stats_;
+  s.pending = pending_ + active_;
+  s.draining = draining_;
   s.cache = cache_.stats();
   return s;
 }

@@ -70,8 +70,29 @@ struct QueryRequest {
   /// Fault plan: cancel the solve at the n-th guard poll (0 = off).
   /// Disables coalescing.
   std::uint64_t cancel_after_polls = 0;
+  /// Fault plan: the n-th accounted allocation during the solve throws
+  /// std::bad_alloc (0 = off).  Disables coalescing.  Accounting scopes
+  /// are process-global and exclusive, so two concurrent alloc-fault
+  /// requests collide (the loser is answered with ErrorCode::Model) —
+  /// the chaos harness runs them one at a time.
+  std::uint64_t fault_alloc_nth = 0;
+  /// Fault plan: poison the live iterate with NaN at the n-th checkpoint
+  /// (1-based; 0 = off).  Disables coalescing.  Exercises the solver's
+  /// NaN containment — a poisoned request must fail typed (Numeric) or
+  /// surface the damage in its own answer, never a co-passenger's.
+  std::uint64_t fault_poison_step = 0;
+  /// Fault plan: the worker executing this request throws after resolve,
+  /// before the solve (simulated worker death; answered Internal).
+  /// Disables coalescing.
+  bool fault_throw = false;
   /// Optional per-request registry; never shared across requests.
   Telemetry* telemetry = nullptr;
+
+  /// True when any chaos fault plan is armed.  Such a request must never
+  /// coalesce: an injected fault may only ever damage its own answer.
+  bool has_fault_plan() const {
+    return cancel_after_polls > 0 || fault_alloc_nth > 0 || fault_poison_step > 0 || fault_throw;
+  }
 };
 
 struct HorizonAnswer {
@@ -89,6 +110,9 @@ struct QueryResponse {
   std::string message;     ///< non-empty iff error != Ok
   std::string model_hash;  ///< canonical content hash (empty on early failure)
   bool cache_hit = false;
+  /// Overloaded answers only: suggested client back-off, derived from the
+  /// queue depth and an EWMA of recent batch solve times (0 otherwise).
+  std::uint64_t retry_after_ms = 0;
   /// Jobs answered by the same batch solve (>= 1; 1 = not coalesced).
   std::size_t batched_with = 0;
   std::vector<HorizonAnswer> results;  ///< per requested time, input order
@@ -100,6 +124,11 @@ struct ServiceOptions {
   std::size_t max_pending = 256;
   std::size_t max_batch = 16;      ///< coalesced jobs per dispatch, incl. the seed
   std::uint64_t cache_budget = 0;  ///< model-cache byte budget (0 = unbounded)
+  /// Safety net applied to every group that does not carry its own
+  /// deadline (seconds; 0 = off).  Keeps a hostile request with an
+  /// absurd horizon or epsilon from pinning a worker forever; applied at
+  /// execution time, so it does not perturb coalescing keys.
+  double default_deadline = 0.0;
 };
 
 struct ServiceStats {
@@ -109,6 +138,8 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;   ///< jobs answered Cancelled via cancel()
   std::uint64_t batches = 0;     ///< solver dispatches
   std::uint64_t coalesced = 0;   ///< jobs that rode along in a shared batch
+  std::size_t pending = 0;       ///< queued + executing jobs right now
+  bool draining = false;         ///< begin_drain() was called
   CacheStats cache;
 };
 
@@ -133,6 +164,23 @@ class AnalysisService {
 
   /// Synchronous convenience wrapper around submit().
   QueryResponse query(QueryRequest request);
+
+  /// Enters drain mode: new submissions are refused with Overloaded
+  /// ("service is draining"), queued and in-flight jobs still complete.
+  /// Irreversible; used by the SIGTERM/SIGINT shutdown path.
+  void begin_drain();
+  bool draining() const;
+  /// Blocks until no job is queued or executing.  Call after
+  /// begin_drain() — otherwise new work may arrive while waiting.
+  void wait_drained();
+
+  /// Persists the model cache to @p path atomically (unicon-cache-v1,
+  /// write-temp-then-rename; see snapshot.hpp).  Throws ModelError on I/O
+  /// failure.  Safe to call while queries are running.
+  SnapshotStats save_cache(const std::string& path) const;
+  /// Warm-starts the model cache from @p path; missing or corrupt files
+  /// degrade gracefully (see ModelCache::load_snapshot).  Never throws.
+  SnapshotStats load_cache(const std::string& path);
 
   ServiceStats stats() const;
 
@@ -162,14 +210,24 @@ class AnalysisService {
   void execute_group(Group& group);
   void deliver(const JobPtr& job, QueryResponse response);
   static std::string solve_key_of(const QueryRequest& request);
+  /// Suggested client back-off for an Overloaded answer: the queue depth
+  /// in worker-sized groups times the EWMA batch solve time.  Requires
+  /// mutex_.
+  std::uint64_t retry_hint_ms_locked() const;
 
   ServiceOptions options_;
   ModelCache cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
+  std::condition_variable drained_;
   bool stopping_ = false;
+  bool draining_ = false;
   std::size_t pending_ = 0;
+  std::size_t active_ = 0;  ///< jobs currently inside execute_group
+  /// EWMA of recent batch solve wall times (seconds) feeding the
+  /// Overloaded retry hint; 0 until the first batch completes.
+  double ewma_batch_seconds_ = 0.0;
   std::map<std::string, std::deque<JobPtr>> queues_;  ///< per-client FIFO
   std::string rr_cursor_;                             ///< last client served
   std::map<std::pair<std::string, std::string>, JobPtr> index_;  ///< (client, id)

@@ -56,7 +56,14 @@ class Parser {
     return true;
   }
 
+  // Nesting cap: the parser recurses per '['/'{', so without a limit a
+  // hostile line of a few hundred KB of "[[[[..." would overflow the
+  // stack.  128 levels is far beyond any legitimate request (the protocol
+  // nests at most 3 deep) and keeps recursion depth trivially bounded.
+  static constexpr int kMaxDepth = 128;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 128 levels");
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -175,10 +182,12 @@ class Parser {
 
   Json parse_array() {
     ++pos_;  // '['
+    ++depth_;
     JsonArray items;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return Json(std::move(items));
     }
     while (true) {
@@ -186,17 +195,22 @@ class Parser {
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == ']') return Json(std::move(items));
+      if (c == ']') {
+        --depth_;
+        return Json(std::move(items));
+      }
       if (c != ',') fail("expected ',' or ']'");
     }
   }
 
   Json parse_object() {
     ++pos_;  // '{'
+    ++depth_;
     JsonObject fields;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return Json(std::move(fields));
     }
     while (true) {
@@ -212,13 +226,17 @@ class Parser {
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == '}') return Json(std::move(fields));
+      if (c == '}') {
+        --depth_;
+        return Json(std::move(fields));
+      }
       if (c != ',') fail("expected ',' or '}'");
     }
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_number(std::string& out, double v) {

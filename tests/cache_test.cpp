@@ -4,10 +4,13 @@
 // kernel memoization.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ctmc/transient.hpp"
@@ -270,6 +273,46 @@ TEST(CacheTest, GoalNameIsPartOfTheKey) {
   EXPECT_NE(goal_entry.model->canonical_hash(), start_entry.model->canonical_hash());
   EXPECT_NE(goal_entry.model->goal_for(Objective::Maximize),
             start_entry.model->goal_for(Objective::Maximize));
+}
+
+TEST(CacheTest, ConcurrentIdenticalResolvesShareOneEntry) {
+  // N threads race the same source through an empty cache.  Lowering runs
+  // outside the cache lock, so several threads may lower concurrently —
+  // but insertion must converge on a single canonical entry that every
+  // thread ends up sharing, and later resolves must be level-1 hits.
+  constexpr int kThreads = 8;
+  ModelCache cache;
+  std::vector<std::shared_ptr<const CachedModel>> models(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }  // line up the race
+      models[i] = cache.resolve(ModelKind::Uni, kModelA, "", "goal").model;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(models[i], nullptr);
+    // Every thread holds the same entry the cache retained: one canonical
+    // model, regardless of how many racers lowered it redundantly.
+    EXPECT_EQ(models[i].get(), models[0].get()) << "thread " << i;
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  // Exactly one racer wins the insert; the rest land as hits on either
+  // cache level once the winner has published the entry.
+  EXPECT_EQ(stats.misses + stats.source_hits + stats.canonical_hits,
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(stats.misses, 1u);
+
+  const auto after = cache.resolve(ModelKind::Uni, kModelA, "", "goal");
+  EXPECT_TRUE(after.hit);
+  EXPECT_EQ(after.model.get(), models[0].get());
 }
 
 }  // namespace

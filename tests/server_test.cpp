@@ -651,6 +651,175 @@ TEST(SessionTest, SessionOutputIsDeterministic) {
   }
 }
 
+TEST(ServerTest, OverloadedResponsesCarryABoundedRetryHint) {
+  AnalysisService service(ServiceOptions{.workers = 1, .max_pending = 2});
+
+  std::promise<void> blocker_done;
+  service.submit(make_blocker("zz", "blocker"),
+                 [&](QueryResponse) { blocker_done.set_value(); });
+  wait_for_batches(service, 1);
+
+  const Fixture fixture = make_ctmdp_fixture(97, 14, {1.0}, Objective::Maximize);
+  std::vector<std::future<QueryResponse>> queued;
+  for (int i = 0; i < 2; ++i) {
+    auto promise = std::make_shared<std::promise<QueryResponse>>();
+    queued.push_back(promise->get_future());
+    QueryRequest request = request_for(fixture, "a", std::to_string(i));
+    request.epsilon = 1e-6 * (i + 1);
+    service.submit(std::move(request),
+                   [promise](QueryResponse r) { promise->set_value(std::move(r)); });
+  }
+
+  QueryResponse rejected = service.query(request_for(fixture, "a", "over"));
+  EXPECT_EQ(rejected.error, ErrorCode::Overloaded);
+  // The hint is clamped to [100ms, 60s]: never zero (clients would
+  // hot-spin) and never absurd (clients would give up).
+  EXPECT_GE(rejected.retry_after_ms, 100u);
+  EXPECT_LE(rejected.retry_after_ms, 60000u);
+
+  for (auto& q : queued) EXPECT_EQ(q.get().error, ErrorCode::Ok);
+  blocker_done.get_future().wait();
+}
+
+TEST(ServerTest, DrainRefusesNewWorkAndFinishesInFlight) {
+  AnalysisService service(ServiceOptions{.workers = 1});
+
+  std::promise<void> blocker_done;
+  service.submit(make_blocker("zz", "blocker"),
+                 [&](QueryResponse r) {
+                   EXPECT_EQ(r.error, ErrorCode::Ok);
+                   blocker_done.set_value();
+                 });
+  wait_for_batches(service, 1);
+
+  const Fixture fixture = make_ctmdp_fixture(98, 14, {1.0}, Objective::Maximize);
+  auto queued_promise = std::make_shared<std::promise<QueryResponse>>();
+  auto queued = queued_promise->get_future();
+  service.submit(request_for(fixture, "a", "queued"),
+                 [queued_promise](QueryResponse r) { queued_promise->set_value(std::move(r)); });
+
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+
+  // Late arrivals are refused with the stable Overloaded code, a message
+  // that names the drain, and a retry hint — but nothing already admitted
+  // is abandoned.
+  const QueryResponse late = service.query(request_for(fixture, "a", "late"));
+  EXPECT_EQ(late.error, ErrorCode::Overloaded);
+  EXPECT_NE(late.message.find("draining"), std::string::npos) << late.message;
+  EXPECT_GT(late.retry_after_ms, 0u);
+
+  EXPECT_EQ(queued.get().error, ErrorCode::Ok);
+  blocker_done.get_future().wait();
+  service.wait_drained();
+  const ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(ServerTest, FaultPlanRidesAloneWhileIdenticalCleanPairCoalesces) {
+  AnalysisService service(ServiceOptions{.workers = 1, .max_batch = 16});
+
+  std::promise<void> blocker_done;
+  service.submit(make_blocker("zz", "blocker"),
+                 [&](QueryResponse) { blocker_done.set_value(); });
+  wait_for_batches(service, 1);
+
+  // Three requests with the *same* solve key queued behind the blocker:
+  // two clean (distinct clients) and one carrying a fault plan whose
+  // threshold is far beyond the solve's poll count — semantically a
+  // no-op, but its presence alone must veto coalescing.
+  const Fixture fixture = make_ctmdp_fixture(99, 20, {0.5, 1.5}, Objective::Maximize);
+  std::vector<std::future<QueryResponse>> answers;
+  for (const char* client : {"a", "b"}) {
+    auto promise = std::make_shared<std::promise<QueryResponse>>();
+    answers.push_back(promise->get_future());
+    service.submit(request_for(fixture, client, "clean"),
+                   [promise](QueryResponse r) { promise->set_value(std::move(r)); });
+  }
+  QueryRequest faulty = request_for(fixture, "c", "faulty");
+  faulty.cancel_after_polls = 1000000;  // armed but unreachable
+  auto fault_promise = std::make_shared<std::promise<QueryResponse>>();
+  auto fault_answer = fault_promise->get_future();
+  service.submit(std::move(faulty),
+                 [fault_promise](QueryResponse r) { fault_promise->set_value(std::move(r)); });
+
+  for (auto& answer : answers) {
+    const QueryResponse response = answer.get();
+    EXPECT_EQ(response.batched_with, 2u);  // the clean pair shared one solve
+    expect_matches_fixture(response, fixture);
+  }
+  const QueryResponse fault_response = fault_answer.get();
+  EXPECT_EQ(fault_response.batched_with, 1u);  // the fault plan rode alone
+  expect_matches_fixture(fault_response, fixture);
+  blocker_done.get_future().wait();
+  EXPECT_EQ(service.stats().coalesced, 1u);
+}
+
+TEST(SessionTest, HostileLinesAnswerTypedErrorsAndTheSessionResyncs) {
+  const Fixture fixture = make_ctmdp_fixture(96, 12, {1.0}, Objective::Maximize);
+  AnalysisService service(ServiceOptions{.workers = 1});
+
+  Json model;
+  model.set("kind", "ctmdp");
+  model.set("source", fixture.source);
+  model.set("labels", fixture.labels);
+  Json good;
+  good.set("id", "good");
+  good.set("op", "query");
+  good.set("model", std::move(model));
+  good.set("time", Json(1.0));
+  good.set("backend", "serial");
+
+  std::string nul_line = "{\"id\":\"n?l\"}";
+  nul_line[8] = '\0';
+
+  std::string input;
+  input += std::string(70000, 'a') + "\n";                                  // oversized
+  input += nul_line + "\n";                                                 // embedded NUL
+  input += "{\"id\":\"\xFF\xFE\"}\n";                                       // invalid UTF-8
+  input += std::string(200, '[') + "\n";                                    // 200-deep nesting
+  input += "{\"id\":\"k\",\"op\":\"query\",\"bogus\":true}\n";              // unknown field
+  input += "{\"id\":\"m\",\"op\":\"query\",\"model\":{\"kind\":\"uni\",\"source\":7}}\n";
+  input += good.dump() + "\n";
+
+  std::istringstream in(input);
+  std::ostringstream out;
+  server::SessionOptions options;
+  options.client = "hostile";
+  options.timing = false;
+  options.max_line_bytes = 65536;  // far above any line here but the probe
+  server::run_session(in, out, service, options);
+
+  std::vector<Json> lines;
+  std::istringstream parse(out.str());
+  std::string line;
+  while (std::getline(parse, line)) lines.push_back(Json::parse(line));
+  ASSERT_EQ(lines.size(), 8u);  // hello + 6 errors + 1 answer
+  lines.erase(lines.begin());
+
+  const char* expected_fragment[] = {
+      "exceeds the 65536-byte limit", "NUL byte",      "not valid UTF-8",
+      "nesting deeper than",         "unknown field", "expected a string",
+  };
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(lines[i].get_bool("ok", true)) << "line " << i;
+    const Json* error = lines[i].find("error");
+    ASSERT_NE(error, nullptr) << "line " << i;
+    EXPECT_EQ(error->get_string("code", ""), "parse") << "line " << i;
+    EXPECT_NE(error->get_string("message", "").find(expected_fragment[i]), std::string::npos)
+        << "line " << i << ": " << error->get_string("message", "");
+  }
+
+  // The hostile prefix consumed, the session answers the clean query
+  // bit-identically to a direct solve — framing never desynchronizes.
+  EXPECT_TRUE(lines[6].get_bool("ok", false));
+  const Json* results = lines[6].find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(bits(results->as_array()[0].get_number("value", -1.0)), bits(fixture.expected[0]));
+}
+
 TEST(SessionTest, AsyncSubmitAcceptsThenDelivers) {
   const Fixture fixture = make_ctmdp_fixture(95, 16, {1.0}, Objective::Maximize);
   AnalysisService service(ServiceOptions{.workers = 1});

@@ -39,6 +39,18 @@
 //                  product-enumeration oracle (testing/dft_oracle.hpp),
 //                  plus thread-count bit-identity; with --self-check the
 //                  perturb-value and swap-objective mutations must be caught
+//   --server       run the analysis-server robustness harness instead: per
+//                  seed a valid JSONL request stream is mutated (bit flips,
+//                  truncation, NUL bytes, garbage, pathological nesting,
+//                  oversized lines, unknown/mistyped fields) and replayed
+//                  through a live session — the session must answer every
+//                  untouched request bit-identically to a clean replay and
+//                  re-synchronize past every mutation; then the chaos
+//                  scenarios inject fault plans (cancel-mid-sweep, alloc
+//                  failure, NaN poisoning, worker death), torn and pristine
+//                  cache snapshots, and overload + drain into live services
+//                  (see testing/server_fuzz.hpp); --out sets the snapshot
+//                  scratch directory
 //   --batch        run the multi-horizon differential instead: per seed a
 //                  random CTMDP (sup and inf) and CTMC are solved through
 //                  timed_reachability_batch on a random bound set (unsorted,
@@ -58,6 +70,7 @@
 #include "testing/dft_oracle.hpp"
 #include "testing/differential.hpp"
 #include "testing/fault_injection.hpp"
+#include "testing/server_fuzz.hpp"
 
 using namespace unicon;
 using namespace unicon::testing;
@@ -71,7 +84,7 @@ namespace {
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
                "                   [--out DIR] [--self-check] [--lang] [--faults] [--batch]\n"
-               "                   [--dft]\n"
+               "                   [--dft] [--server]\n"
                "                   [--backend auto|serial|simd|simd-portable]\n"
                "                   [--threads N] [-v]\n");
   std::exit(2);
@@ -101,6 +114,36 @@ int run_fault_mode(const DifferentialConfig& config, unsigned threads, bool verb
   }
   std::printf("%.1f s\n", timer.seconds());
   return report.ok() ? 0 : 1;
+}
+
+int run_server_mode(const DifferentialConfig& config, bool verbose) {
+  ServerFuzzConfig server_config;
+  server_config.num_seeds = config.num_seeds;
+  server_config.base_seed = config.base_seed;
+  if (!config.artifact_dir.empty()) server_config.scratch_dir = config.artifact_dir;
+  const ServerFuzzLogFn log = [](const ServerFuzzFailure& f) {
+    std::printf("FAIL seed %llu [%s]: %s\n", static_cast<unsigned long long>(f.seed),
+                f.scenario.c_str(), f.message.c_str());
+  };
+  Stopwatch timer;
+
+  std::printf("wire-protocol mutation fuzz:\n");
+  const ServerFuzzReport wire = run_server_fuzz(server_config, log);
+  std::printf("%llu seeds, %llu checks, %llu mutations, %zu failures\n",
+              static_cast<unsigned long long>(wire.seeds_run),
+              static_cast<unsigned long long>(wire.checks_run),
+              static_cast<unsigned long long>(wire.faults_injected), wire.failures.size());
+
+  std::printf("chaos scenarios:\n");
+  const ServerFuzzReport chaos = run_server_chaos(server_config, log);
+  std::printf("%llu seeds, %llu checks, %llu faults injected, %zu failures\n",
+              static_cast<unsigned long long>(chaos.seeds_run),
+              static_cast<unsigned long long>(chaos.checks_run),
+              static_cast<unsigned long long>(chaos.faults_injected), chaos.failures.size());
+
+  (void)verbose;  // failures always print; there is no extra per-seed chatter
+  std::printf("%.1f s\n", timer.seconds());
+  return wire.ok() && chaos.ok() ? 0 : 1;
 }
 
 int run_lang_mode(const DifferentialConfig& config, bool verbose) {
@@ -225,6 +268,7 @@ int main(int argc, char** argv) {
   bool lang_mode = false;
   bool fault_mode = false;
   bool dft_mode = false;
+  bool server_mode = false;
   unsigned threads = 2;
 
   for (int i = 1; i < argc; ++i) {
@@ -266,6 +310,8 @@ int main(int argc, char** argv) {
       config.batch = true;
     } else if (std::strcmp(argv[i], "--dft") == 0) {
       dft_mode = true;
+    } else if (std::strcmp(argv[i], "--server") == 0) {
+      server_mode = true;
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       try {
         config.backend = parse_backend(value());
@@ -282,6 +328,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (server_mode) return run_server_mode(config, verbose);
   if (fault_mode) return run_fault_mode(config, threads, verbose);
   if (lang_mode) return run_lang_mode(config, verbose);
   if (dft_mode) return run_dft_mode(config, run_self_check, verbose);
