@@ -260,6 +260,19 @@ QueryRequest parse_query(const Json& request, const SessionOptions& options) {
   if (query.deadline < 0.0) throw ParseError("deadline must be non-negative");
   query.cancel_after_polls =
       field_count(request, "", "cancel_after_polls", 0, std::uint64_t{1} << 53);
+  // Fault plans are an operator opt-in, not a client right: the alloc
+  // fault arms a process-global hook, so an untrusted client on a shared
+  // server must not be able to send one at all.  The fields stay in the
+  // known list above so the diagnostic names the gate, not a typo.
+  if (!options.allow_fault_plans) {
+    for (const char* key : {"fault_alloc_nth", "fault_poison_step", "fault_throw"}) {
+      if (request.find(key) != nullptr) {
+        throw ParseError(std::string("field '") + key +
+                         "': fault plans are disabled on this server "
+                         "(start unicon_serve with --enable-fault-plans)");
+      }
+    }
+  }
   query.fault_alloc_nth = field_count(request, "", "fault_alloc_nth", 0, std::uint64_t{1} << 53);
   query.fault_poison_step =
       field_count(request, "", "fault_poison_step", 0, std::uint64_t{1} << 53);

@@ -60,6 +60,13 @@ struct SessionOptions {
   /// once nonzero, the session stops reading new requests, drains its
   /// outstanding async queries and returns.
   const volatile std::sig_atomic_t* stop = nullptr;
+  /// Accept chaos fault-plan fields ("fault_alloc_nth",
+  /// "fault_poison_step", "fault_throw") in query envelopes.  Off by
+  /// default — the allocation fault arms a process-global hook, so on a
+  /// shared server these fields are an operator decision (unicon_serve
+  /// --enable-fault-plans), never a client's.  When off, a request
+  /// carrying any of them is answered with a parse error.
+  bool allow_fault_plans = false;
 };
 
 /// Serves @p in/@p out until EOF, a "shutdown" op, or the external stop

@@ -129,6 +129,10 @@ bool AnalysisService::cancel(const std::string& client, const std::string& id) {
     index_.erase(it);
     ++stats_.cancelled;
     ++stats_.completed;
+    job->delivered = true;
+    // A queued cancel can remove the last outstanding job; a drainer
+    // blocked in wait_drained() must see that, not sleep forever.
+    if (pending_ == 0 && active_ == 0) drained_.notify_all();
     queued_job = std::move(job);
   }
   QueryResponse response;
@@ -239,6 +243,12 @@ SnapshotStats AnalysisService::load_cache(const std::string& path) {
 void AnalysisService::deliver(const JobPtr& job, QueryResponse response) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Exactly-once: if the delivery loop already answered this job and then
+    // threw (e.g. a real bad_alloc while serializing a later member's
+    // response), the fail_all retry must skip it — re-delivering would
+    // underflow active_ and fire the completion callback twice.
+    if (job->delivered) return;
+    job->delivered = true;
     job->group = nullptr;
     index_.erase({job->request.client, job->request.id});
     ++stats_.completed;
@@ -369,6 +379,15 @@ void AnalysisService::execute_group(Group& group) {
                                    results[j].residual_bound, results[j].iterations_planned,
                                    results[j].iterations_executed, results[j].status};
       }
+    }
+
+    // Disarm the injected allocation fault the moment the solve returns:
+    // an Nth allocation still pending must never fire inside the delivery
+    // loop below, where deliver() has already retired earlier members and
+    // the unwinding fail_all would try to answer them a second time.
+    if (alloc_scope.has_value()) {
+      arm_allocation_failure(0);
+      alloc_scope.reset();
     }
 
     std::size_t offset = 0;

@@ -192,6 +192,7 @@ class AnalysisService {
     Callback done;
     std::string solve_key;  ///< empty = never coalesce
     bool cancelled = false;
+    bool delivered = false;  ///< answered; deliver() is exactly-once
     Group* group = nullptr;  ///< non-null while executing
     Stopwatch queued;
   };

@@ -140,6 +140,14 @@ std::atomic<RunGuard*> g_mem_guard{nullptr};
 std::atomic<std::uint64_t> g_alloc_count{0};
 std::atomic<std::uint64_t> g_fail_at{0};
 
+/// True only on the thread that constructed the active scope.  Fault
+/// counting and firing are confined to this thread: byte accounting stays
+/// process-wide (a budget bounds the whole solve), but the armed Nth
+/// allocation must never fail an allocation made by an unrelated thread —
+/// in a multi-worker server a concurrent clean request would otherwise
+/// absorb another request's injected bad_alloc.
+thread_local bool t_scope_owner = false;
+
 inline std::size_t block_size(void* p, std::size_t requested) {
 #if defined(__GLIBC__)
   (void)requested;
@@ -150,10 +158,13 @@ inline std::size_t block_size(void* p, std::size_t requested) {
 }
 
 /// Pre-malloc hook: counts the allocation and fires the armed fault.
-/// Returns false when the allocation must fail (nothrow paths).
+/// Returns false when the allocation must fail (nothrow paths).  Only the
+/// scope-owning thread counts toward (and can trip) the armed fault, so
+/// the Nth allocation is deterministic for that thread regardless of what
+/// other threads allocate concurrently.
 inline bool account_before(RunGuard*& guard) {
   guard = g_mem_guard.load(std::memory_order_relaxed);
-  if (guard == nullptr) return true;
+  if (guard == nullptr || !t_scope_owner) return true;
   const std::uint64_t n = g_alloc_count.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::uint64_t fail_at = g_fail_at.load(std::memory_order_relaxed);
   return fail_at == 0 || n != fail_at;
@@ -201,13 +212,17 @@ inline void guarded_free(void* p, std::size_t requested) {
 
 MemoryAccountingScope::MemoryAccountingScope(RunGuard& guard) {
   RunGuard* expected = nullptr;
-  g_alloc_count.store(0, std::memory_order_relaxed);
   if (!g_mem_guard.compare_exchange_strong(expected, &guard, std::memory_order_acq_rel)) {
+    // The CAS comes first so a rejected nested scope leaves the active
+    // scope's allocation counter untouched.
     throw ModelError("MemoryAccountingScope: another scope is already active");
   }
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  t_scope_owner = true;
 }
 
 MemoryAccountingScope::~MemoryAccountingScope() {
+  t_scope_owner = false;
   g_mem_guard.store(nullptr, std::memory_order_release);
   g_fail_at.store(0, std::memory_order_relaxed);
   g_alloc_count.store(0, std::memory_order_relaxed);

@@ -177,13 +177,15 @@ class MemoryAccountingScope {
 
 /// Fault-injection hook: while a MemoryAccountingScope is active, the
 /// @p nth accounted allocation (1-based, counted from arming) throws
-/// std::bad_alloc.  0 disarms.  Counting is per-allocation-call and hence
-/// deterministic for serial code; under parallel sweeps the failing
-/// call site depends on interleaving but a failure is still injected
-/// exactly once.
+/// std::bad_alloc.  0 disarms.  Only allocations made by the thread that
+/// opened the scope count toward (or can trip) the fault — byte
+/// accounting stays process-wide, but an injected failure can never land
+/// on an unrelated thread's allocation — so the failing call site is
+/// deterministic for the owning thread's serial code.
 void arm_allocation_failure(std::uint64_t nth);
 
-/// Allocations accounted since the active scope was opened (0 when idle).
+/// Scope-owner-thread allocations accounted since the active scope was
+/// opened (0 when idle).
 std::uint64_t accounted_allocations();
 
 }  // namespace unicon

@@ -530,12 +530,14 @@ TEST(ServerTest, DftQueriesResolveThroughTheCache) {
 // ---------------------------------------------------------------------------
 // Session layer: the JSONL protocol over in-process streams.
 
-std::vector<Json> run_jsonl(AnalysisService& service, const std::string& input) {
+std::vector<Json> run_jsonl(AnalysisService& service, const std::string& input,
+                            bool allow_fault_plans = false) {
   std::istringstream in(input);
   std::ostringstream out;
   server::SessionOptions options;
   options.client = "test";
   options.timing = false;
+  options.allow_fault_plans = allow_fault_plans;
   server::run_session(in, out, service, options);
   std::vector<Json> lines;
   std::istringstream parse(out.str());
@@ -616,6 +618,51 @@ TEST(SessionTest, MalformedAndUnknownInputsAnswerWithErrorObjects) {
   EXPECT_FALSE(lines[3].get_bool("cancelled", true));
 }
 
+TEST(SessionTest, FaultPlanFieldsRequireTheServerOptIn) {
+  const Fixture fixture = make_ctmdp_fixture(83, 12, {0.5}, Objective::Maximize);
+  Json model;
+  model.set("kind", "ctmdp");
+  model.set("source", fixture.source);
+  model.set("labels", fixture.labels);
+  Json query;
+  query.set("id", "f1");
+  query.set("op", "query");
+  query.set("model", std::move(model));
+  JsonArray times;
+  times.push_back(Json(0.5));
+  query.set("times", Json(std::move(times)));
+  query.set("fault_throw", true);
+  const std::string input = query.dump() + "\n";
+
+  // Default session: an untrusted client's fault plan is refused outright
+  // with a diagnostic naming the gate — it must never reach the service.
+  {
+    AnalysisService service(ServiceOptions{.workers = 1});
+    const std::vector<Json> lines = run_jsonl(service, input);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_FALSE(lines[0].get_bool("ok", true));
+    const Json* error = lines[0].find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->get_string("code", ""), "parse");
+    EXPECT_NE(error->get_string("message", "").find("fault plans are disabled"),
+              std::string::npos);
+    EXPECT_EQ(service.stats().submitted, 0u);
+  }
+
+  // Opted-in session (unicon_serve --enable-fault-plans): the same request
+  // is admitted and the injected worker fault answers typed Internal.
+  {
+    AnalysisService service(ServiceOptions{.workers = 1});
+    const std::vector<Json> lines = run_jsonl(service, input, /*allow_fault_plans=*/true);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_FALSE(lines[0].get_bool("ok", true));
+    const Json* error = lines[0].find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->get_string("code", ""), "internal");
+    EXPECT_NE(error->get_string("message", "").find("fault plan"), std::string::npos);
+  }
+}
+
 TEST(SessionTest, SessionOutputIsDeterministic) {
   const Fixture fixture = make_ctmdp_fixture(91, 20, {0.5, 2.0}, Objective::Maximize);
   Json model;
@@ -648,6 +695,37 @@ TEST(SessionTest, SessionOutputIsDeterministic) {
     } else {
       EXPECT_EQ(out.str(), first);
     }
+  }
+}
+
+TEST(ServerTest, AllocFaultNeverFailsAConcurrentCleanRequest) {
+  const Fixture fixture = make_ctmdp_fixture(87, 14, {0.8}, Objective::Maximize);
+  AnalysisService service(ServiceOptions{.workers = 2});
+
+  // A clean, allocation-heavy solve occupies the other worker for the
+  // whole faulted stream below.
+  std::promise<QueryResponse> clean_promise;
+  auto clean_future = clean_promise.get_future();
+  service.submit(make_blocker("clean", "blocker"),
+                 [&](QueryResponse r) { clean_promise.set_value(std::move(r)); });
+  wait_for_batches(service, 1);
+
+  // Each faulted request is answered for itself — typed OutOfMemory, or Ok
+  // when the armed Nth lies beyond its own allocations.  The injected
+  // bad_alloc must never land on the clean request's thread, even though
+  // that thread allocates continuously while the fault is armed.
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest faulted = request_for(fixture, "chaos", "f" + std::to_string(i));
+    faulted.fault_alloc_nth = 1 + static_cast<std::uint64_t>(i) * 7;
+    const QueryResponse r = service.query(std::move(faulted));
+    EXPECT_TRUE(r.error == ErrorCode::OutOfMemory || r.error == ErrorCode::Ok)
+        << "faulted request " << i << ": " << r.message;
+  }
+
+  const QueryResponse clean = clean_future.get();
+  ASSERT_EQ(clean.error, ErrorCode::Ok) << clean.message;
+  for (const server::HorizonAnswer& h : clean.results) {
+    EXPECT_EQ(h.status, RunStatus::Converged);
   }
 }
 

@@ -5,7 +5,7 @@
 //                [--max-batch N] [--cache-budget BYTES[K|M|G]]
 //                [--snapshot PATH] [--max-line BYTES[K|M|G]]
 //                [--io-timeout SECONDS] [--default-deadline SECONDS]
-//                [--no-timing] [--client NAME]
+//                [--enable-fault-plans] [--no-timing] [--client NAME]
 //
 // Speaks newline-delimited JSON (one request/response object per line, see
 // server/server.hpp for the schema; failures reuse the unicon_check
@@ -29,10 +29,18 @@
 //   --default-deadline  wall-clock cap applied to every query that does
 //                       not set its own "deadline", so one hostile request
 //                       cannot pin a worker forever.  0 = off (default).
+//   --enable-fault-plans
+//                       accept chaos fault-plan fields (fault_alloc_nth,
+//                       fault_poison_step, fault_throw) in query
+//                       envelopes.  Off by default: fault plans are for
+//                       chaos testing a server you own, not something an
+//                       untrusted client may send — without the flag such
+//                       requests are answered with a parse error.
 //
 // SIGTERM/SIGINT start a graceful drain: stop accepting connections and
 // requests, finish in-flight queries, flush the cache snapshot and a final
-// stats line to stderr, then exit.
+// stats line to stderr, then exit; a second signal exits immediately
+// (status 128+signo).
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -67,7 +75,7 @@ namespace {
                "                    [--max-batch N] [--cache-budget BYTES[K|M|G]]\n"
                "                    [--snapshot PATH] [--max-line BYTES[K|M|G]]\n"
                "                    [--io-timeout SECONDS] [--default-deadline SECONDS]\n"
-               "                    [--no-timing] [--client NAME]\n");
+               "                    [--enable-fault-plans] [--no-timing] [--client NAME]\n");
   std::exit(2);
 }
 
@@ -160,7 +168,13 @@ class FdStreambuf : public std::streambuf {
 };
 
 volatile std::sig_atomic_t g_stop = 0;
-extern "C" void handle_stop_signal(int) { g_stop = 1; }
+extern "C" void handle_stop_signal(int sig) {
+  // Second signal: the drain is wedged (or the operator is impatient) —
+  // exit right now with the conventional 128+signo status.  _exit is
+  // async-signal-safe; nothing to unwind that a kill -9 would preserve.
+  if (g_stop != 0) ::_exit(128 + sig);
+  g_stop = 1;
+}
 
 /// sigaction without SA_RESTART: a SIGTERM/SIGINT must interrupt the
 /// blocking accept()/read() with EINTR so the drain starts immediately —
@@ -206,6 +220,7 @@ struct ServeConfig {
   std::size_t max_line_bytes = std::size_t{8} << 20;
   double io_timeout = 0.0;
   bool timing = true;
+  bool allow_fault_plans = false;
 };
 
 void apply_io_timeout(int fd, double seconds) {
@@ -297,6 +312,7 @@ int serve_socket(const std::string& path, server::AnalysisService& service,
       options.timing = config.timing;
       options.max_line_bytes = config.max_line_bytes;
       options.stop = &g_stop;
+      options.allow_fault_plans = config.allow_fault_plans;
       server::run_session(in, out, service, options);
       registry.remove(conn);
       ::close(conn);
@@ -346,6 +362,8 @@ int main(int argc, char** argv) {
       config.io_timeout = parse_seconds(value(), "--io-timeout");
     } else if (std::strcmp(argv[i], "--default-deadline") == 0) {
       options.default_deadline = parse_seconds(value(), "--default-deadline");
+    } else if (std::strcmp(argv[i], "--enable-fault-plans") == 0) {
+      config.allow_fault_plans = true;
     } else if (std::strcmp(argv[i], "--no-timing") == 0) {
       config.timing = false;
     } else if (std::strcmp(argv[i], "--client") == 0) {
@@ -376,6 +394,7 @@ int main(int argc, char** argv) {
   session.timing = config.timing;
   session.max_line_bytes = config.max_line_bytes;
   session.stop = &g_stop;
+  session.allow_fault_plans = config.allow_fault_plans;
   server::run_session(std::cin, std::cout, service, session);
   drain_and_flush(service, config);
   return 0;
