@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <string>
 
@@ -16,6 +17,17 @@
 namespace unicon {
 
 namespace {
+
+/// Bit-exact double comparison for the locking criterion (see the matching
+/// helper in ctmdp/reachability.cpp: +0.0 == -0.0 would break the no-copy
+/// twin-buffer invariant).
+bool same_bits(double a, double b) {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
 
 /// Flat kernel of the uniformized jump matrix P = R / E with the residual
 /// mass kept implicitly on the diagonal.  The branching probabilities are
@@ -139,32 +151,87 @@ struct JumpKernel {
     });
   }
 
-  // y = P x (backward / value step): gather over outgoing edges.
+  /// True when every outgoing column of @p s lies in @p locked or is s
+  /// itself (the closure half of the locking criterion).
+  bool row_closed(const BitVector& locked, std::size_t s) const {
+    for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+      const std::uint32_t c = out_col[j];
+      if (c != s && !locked[c]) return false;
+    }
+    return true;
+  }
+
+  // y = P x (backward / value step): gather over outgoing edges.  With a
+  // @p locked set, frozen rows are skipped without any write (both
+  // double-buffers already hold their bits — the no-copy invariant); the
+  // block is split around frozen runs, which cannot change any produced
+  // bit since rows are independent.  @p cand (per-worker staging, applied
+  // by the caller after the barrier) collects rows meeting the locking
+  // criterion: value bit-identical to the previous iterate with every
+  // successor frozen (or the row itself).  @p upd counts rows actually
+  // relaxed into 64-byte-strided per-worker slots.
   void step_backward(const std::vector<double>& x, std::vector<double>& y, WorkerPool& pool,
                      RunGuard* guard, std::atomic<bool>& aborted,
-                     Counter* const* rows = nullptr, const KernelOps* ops = nullptr) const {
+                     Counter* const* rows = nullptr, const KernelOps* ops = nullptr,
+                     const BitVector* locked = nullptr,
+                     std::vector<std::vector<StateId>>* cand = nullptr,
+                     std::uint64_t* upd = nullptr) const {
     const GatherView view = backward_view();
     pool.run(self_residual.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
       std::uint64_t swept = 0;
+      std::vector<StateId>* const my_cand = cand != nullptr ? &(*cand)[worker] : nullptr;
       for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
         if (guard != nullptr && guard->should_abort_sweep()) {
           aborted.store(true, std::memory_order_relaxed);
           break;
         }
         const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-        swept += blk_end - blk;
-        if (ops != nullptr) {
-          ops->gather_rows(view, x.data(), y.data(), blk, blk_end);
+        if (locked == nullptr) {
+          swept += blk_end - blk;
+          if (ops != nullptr) {
+            ops->gather_rows(view, x.data(), y.data(), blk, blk_end);
+            continue;
+          }
+          for (std::size_t s = blk; s < blk_end; ++s) {
+            double acc = self_residual[s] * x[s];
+            for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+              acc += out_prob[j] * x[out_col[j]];
+            }
+            y[s] = acc;
+          }
           continue;
         }
-        for (std::size_t s = blk; s < blk_end; ++s) {
-          double acc = self_residual[s] * x[s];
-          for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
-            acc += out_prob[j] * x[out_col[j]];
+        std::size_t r = blk;
+        while (r < blk_end) {
+          if ((*locked)[r]) {
+            ++r;
+            continue;
           }
-          y[s] = acc;
+          std::size_t run_end = r + 1;
+          while (run_end < blk_end && !(*locked)[run_end]) ++run_end;
+          if (ops != nullptr) {
+            ops->gather_rows(view, x.data(), y.data(), r, run_end);
+          } else {
+            for (std::size_t s = r; s < run_end; ++s) {
+              double acc = self_residual[s] * x[s];
+              for (std::uint64_t j = out_first[s]; j < out_first[s + 1]; ++j) {
+                acc += out_prob[j] * x[out_col[j]];
+              }
+              y[s] = acc;
+            }
+          }
+          swept += run_end - r;
+          if (my_cand != nullptr) {
+            for (std::size_t s = r; s < run_end; ++s) {
+              if (same_bits(y[s], x[s]) && row_closed(*locked, s)) {
+                my_cand->push_back(static_cast<StateId>(s));
+              }
+            }
+          }
+          r = run_end;
         }
       }
+      if (upd != nullptr) upd[worker * std::size_t{8}] += swept;
       if (rows != nullptr) rows[worker]->add(swept);
     });
   }
@@ -312,7 +379,11 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
   const Ctmc absorbing = chain.make_absorbing(goal);
   const std::size_t n = absorbing.num_states();
   const double e = pick_rate(absorbing, options);
-  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  // Truncation policy (DESIGN.md Sec. 14): an engaged plan computes the
+  // window at epsilon/2 and may stop the iteration early once the folded
+  // tail error provably fits under the other epsilon/2.
+  const TruncationPlan plan = plan_truncation(options.truncation, e * t, options.epsilon);
+  const PoissonWindow& psi = plan.window;
   const JumpKernel p(absorbing, e);
   const KernelOps* const ops = JumpKernel::ops_for(resolve_backend(options.backend));
   WorkerPool pool = make_worker_pool(options.threads, n);
@@ -325,17 +396,47 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
   std::vector<double> acc(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) cur[s] = goal[s] ? 1.0 : 0.0;
 
+  // Convergence locking: the backward operator is time-invariant (the
+  // Poisson weight only scales the accumulation, never the sweep), so a
+  // row that reproduced its bits with every successor frozen is an exact
+  // fixpoint of its own relaxation from the very first step.  Values are
+  // bit-identical with locking on or off; only the work per sweep changes.
+  const bool locking = options.locking;
+  BitVector locked;
+  std::size_t locked_count = 0;
+  std::vector<std::vector<StateId>> cand;
+  if (locking) {
+    locked.assign(n, false);
+    cand.resize(pool.size());
+  }
+  std::vector<std::uint64_t> upd(pool.size() * std::size_t{8}, 0);
+
+  // Lyapunov certificate: u_i(s) = Pr_s(X_i not in B) bounds the remaining
+  // per-state distance v_inf - v_i, so once tail_mass(i+1) * sup u_{i+1}
+  // drops under stop_epsilon the whole unaccumulated window can be folded
+  // onto v_{i+1} at a provably bounded cost.
+  LyapunovSeries series(plan.stop_epsilon);
+  bool cert_active = plan.engaged();
+  std::uint64_t k_lyapunov = 0;
+  std::vector<double> u;
+  std::vector<double> u_next;
+  if (cert_active) {
+    u.assign(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) u[s] = goal[s] ? 0.0 : 1.0;
+    u_next.assign(n, 0.0);
+  }
+
   RunGuard* const guard = options.guard;
   std::atomic<bool> sweep_aborted{false};
   RunStatus status = RunStatus::Converged;
-  double residual = options.epsilon;
+  double residual = plan.window_epsilon;
 
   std::uint64_t executed = 0;
   std::uint64_t early_step = 0;
   for (std::uint64_t i = 0;; ++i) {
     if (guard != nullptr && guard->poll() != RunStatus::Converged) {
       status = guard->status();
-      residual = psi.tail_mass(i) + options.epsilon;
+      residual = psi.tail_mass(i) + plan.window_epsilon;
       break;
     }
     const double w = psi.psi(i);
@@ -343,17 +444,44 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
       for (std::size_t s = 0; s < n; ++s) acc[s] += w * cur[s];
     }
     if (i >= psi.right()) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
+    if (locking && locked_count == n && guard == nullptr && !options.early_termination &&
+        !cert_active) {
+      // Every row is frozen: P cur == cur bitwise, so the sweep and swap
+      // are provable no-ops.  Only the Poisson accumulation above still
+      // runs.  Gated off under a guard (the checkpoint span must see a
+      // fresh buffer) and under early termination (its delta probe reads
+      // both buffers) to keep those paths exactly on the historical code.
+      ++executed;
+      continue;
+    }
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops,
+                    locking ? &locked : nullptr, locking ? &cand : nullptr, upd.data());
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       status = guard->status();
-      residual = psi.tail_mass(i + 1) + options.epsilon;
+      residual = psi.tail_mass(i + 1) + plan.window_epsilon;
       break;
     }
     ++executed;
+    if (locking) {
+      // Candidates were judged against the pre-sweep locked set on every
+      // worker; applying after the barrier keeps the set deterministic for
+      // every thread count.
+      for (std::vector<StateId>& c : cand) {
+        for (const StateId s : c) locked.set(s);
+        locked_count += c.size();
+        c.clear();
+      }
+    }
     if (guard != nullptr) {
       guard->checkpoint("ctmc_timed_reachability", executed, psi.right(),
-                        psi.tail_mass(i + 1) + options.epsilon,
+                        psi.tail_mass(i + 1) + plan.window_epsilon,
                         std::span<double>(next.data(), next.size()));
+      if (locked_count != 0 && guard->wants_checkpoint(executed)) {
+        // The checkpoint span is externally writable, so the twin-buffer
+        // invariant of every locked row is void — drop all locks.
+        locked.assign(n, false);
+        locked_count = 0;
+      }
     }
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
@@ -364,6 +492,35 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
       early_step = executed;
       break;
     }
+    if (cert_active) {
+      // Advance the survival iterate u_{i+1} = P u_i; its sup bounds the
+      // per-state distance v_inf - v_{i+1} (absorption is monotone).
+      p.step_backward(u, u_next, pool, nullptr, sweep_aborted);
+      u.swap(u_next);
+      double ub = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!(u[s] <= ub)) ub = u[s];  // NaN-latching sup
+      }
+      series.record(ub);
+      if (series.should_disengage(series.size())) {
+        // Not contracting within the probe budget — stop paying for the
+        // second sweep; the run continues on the pure window schedule.
+        cert_active = false;
+        u = std::vector<double>();
+        u_next = std::vector<double>();
+      } else {
+        const double tail = psi.tail_mass(i + 1);
+        if (tail * ub <= plan.stop_epsilon) {
+          // sum_{j>i} psi(j) (v_j - v_{i+1}) <= tail * sup u_{i+1}: fold
+          // the whole remaining window onto v_{i+1} and stop.
+          for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+          cur.swap(next);
+          residual += tail * ub;
+          k_lyapunov = executed;
+          break;
+        }
+      }
+    }
     cur.swap(next);
   }
 
@@ -372,6 +529,12 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
   TransientResult result{std::move(acc), psi.right(), executed, e};
   result.status = status;
   result.residual_bound = residual;
+  result.truncation = plan.resolved;
+  result.k_lyapunov = k_lyapunov;
+  result.locked_final = locked_count;
+  for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) {
+    result.state_updates += upd[wkr * std::size_t{8}];
+  }
   if (span) {
     span->metric("states", n);
     span->metric("uniform_rate", e);
@@ -384,6 +547,11 @@ TransientResult timed_reachability(const Ctmc& chain, const BitVector& goal,
     span->metric("early_termination_step", early_step);
     span->metric("threads", pool.size());
     span->metric("residual_bound", residual);
+    span->metric("truncation.k_fox_glynn", plan.fox_glynn_right);
+    span->metric("truncation.k_effective", executed);
+    span->metric("truncation.k_lyapunov", k_lyapunov);
+    span->metric("truncation.locked_final", result.locked_final);
+    span->metric("truncation.state_updates", result.state_updates);
   }
   return result;
 }
@@ -428,20 +596,63 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
     double residual = 0.0;
     RunStatus status = RunStatus::Converged;
     std::vector<double> acc;
+    // Per-horizon truncation plan (the shared iterate serves every window).
+    double window_epsilon = 0.0;
+    std::uint64_t fox_glynn_right = 0;
+    bool engaged = false;
+    Truncation resolved = Truncation::FoxGlynn;
+    std::uint64_t k_lyapunov = 0;
+    std::uint64_t state_updates = 0;
+    std::size_t locked_final = 0;
   };
   std::vector<Horizon> horizons(num_horizons);
   std::uint64_t right_max = 0;
+  bool any_engaged = false;
   for (std::size_t j = 0; j < num_horizons; ++j) {
     Horizon& h = horizons[j];
-    h.psi = PoissonWindow::compute(e * times[j], options.epsilon);
-    h.residual = options.epsilon;
+    const TruncationPlan hplan = plan_truncation(options.truncation, e * times[j], options.epsilon);
+    h.psi = hplan.window;
+    h.window_epsilon = hplan.window_epsilon;
+    h.fox_glynn_right = hplan.fox_glynn_right;
+    h.engaged = hplan.engaged();
+    h.resolved = hplan.resolved;
+    h.residual = hplan.window_epsilon;
     h.acc.assign(n, 0.0);
     right_max = std::max(right_max, h.psi.right());
+    any_engaged = any_engaged || h.engaged;
   }
 
   std::vector<double> cur(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) cur[s] = goal[s] ? 1.0 : 0.0;
+
+  // Shared locking state (the batch shares one iterate, hence one frozen
+  // set) and the shared survival record: u_i is a pure function of the
+  // kernel, so one iterate serves every engaged horizon and each horizon's
+  // fold decision is bit-identical to its single-t run's.
+  const bool locking = options.locking;
+  BitVector locked;
+  std::size_t locked_count = 0;
+  std::vector<std::vector<StateId>> cand;
+  if (locking) {
+    locked.assign(n, false);
+    cand.resize(pool.size());
+  }
+  std::vector<std::uint64_t> upd(pool.size() * std::size_t{8}, 0);
+  auto upd_total = [&] {
+    std::uint64_t total = 0;
+    for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) total += upd[wkr * std::size_t{8}];
+    return total;
+  };
+  LyapunovSeries series(options.epsilon / 2.0);
+  bool cert_active = any_engaged;
+  std::vector<double> u;
+  std::vector<double> u_next;
+  if (cert_active) {
+    u.assign(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) u[s] = goal[s] ? 0.0 : 1.0;
+    u_next.assign(n, 0.0);
+  }
 
   RunGuard* const guard = options.guard;
   std::atomic<bool> sweep_aborted{false};
@@ -452,8 +663,10 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
       for (Horizon& h : horizons) {
         if (h.done) continue;
         h.status = guard->status();
-        h.residual = h.psi.tail_mass(i) + options.epsilon;
+        h.residual = h.psi.tail_mass(i) + h.window_epsilon;
         h.executed = executed;
+        h.state_updates = upd_total();
+        h.locked_final = locked_count;
         h.done = true;
       }
       break;
@@ -467,23 +680,48 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
       }
       if (i >= h.psi.right()) {
         h.executed = executed;
+        h.state_updates = upd_total();
+        h.locked_final = locked_count;
         h.done = true;
         --remaining;
       }
     }
     if (remaining == 0) break;
-    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops);
+    const bool cert_open = cert_active && [&] {
+      for (const Horizon& h : horizons) {
+        if (!h.done && h.engaged) return true;
+      }
+      return false;
+    }();
+    if (locking && locked_count == n && guard == nullptr && !options.early_termination &&
+        !cert_open) {
+      // Every row frozen: the sweep and swap are provable no-ops (see the
+      // single-horizon engine); only the accumulations above still run.
+      ++executed;
+      continue;
+    }
+    p.step_backward(cur, next, pool, guard, sweep_aborted, rows_out, ops,
+                    locking ? &locked : nullptr, locking ? &cand : nullptr, upd.data());
     if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
       for (Horizon& h : horizons) {
         if (h.done) continue;
         h.status = guard->status();
-        h.residual = h.psi.tail_mass(i + 1) + options.epsilon;
+        h.residual = h.psi.tail_mass(i + 1) + h.window_epsilon;
         h.executed = executed;
+        h.state_updates = upd_total();
+        h.locked_final = locked_count;
         h.done = true;
       }
       break;
     }
     ++executed;
+    if (locking) {
+      for (std::vector<StateId>& c : cand) {
+        for (const StateId s : c) locked.set(s);
+        locked_count += c.size();
+        c.clear();
+      }
+    }
     if (options.early_termination &&
         max_abs_diff(cur, next) <= options.early_termination_delta) {
       // Every still-open horizon's single-t run would fire here too: the
@@ -496,10 +734,49 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
         h.residual += options.early_termination_delta;
         h.early_step = executed;
         h.executed = executed;
+        h.state_updates = upd_total();
+        h.locked_final = locked_count;
         h.done = true;
       }
       cur.swap(next);
       break;
+    }
+    if (cert_open) {
+      p.step_backward(u, u_next, pool, nullptr, sweep_aborted);
+      u.swap(u_next);
+      double ub = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!(u[s] <= ub)) ub = u[s];  // NaN-latching sup
+      }
+      series.record(ub);
+      if (series.should_disengage(series.size())) {
+        // All horizons share the survival record, so the probe-cap
+        // disengage fires for every one of them at exactly the step its
+        // single-t run would disengage at.
+        cert_active = false;
+        u = std::vector<double>();
+        u_next = std::vector<double>();
+      } else {
+        for (Horizon& h : horizons) {
+          if (h.done || !h.engaged) continue;
+          const double tail = h.psi.tail_mass(i + 1);
+          if (tail * ub <= options.epsilon / 2.0) {
+            double* acc = h.acc.data();
+            for (std::size_t s = 0; s < n; ++s) acc[s] += tail * next[s];
+            h.residual += tail * ub;
+            h.k_lyapunov = executed;
+            h.executed = executed;
+            h.state_updates = upd_total();
+            h.locked_final = locked_count;
+            h.done = true;
+            --remaining;
+          }
+        }
+        if (remaining == 0) {
+          cur.swap(next);
+          break;
+        }
+      }
     }
     cur.swap(next);
   }
@@ -511,6 +788,14 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
     TransientResult r{std::move(h.acc), h.psi.right(), h.executed, e};
     r.status = h.status;
     r.residual_bound = h.residual;
+    r.truncation = h.resolved;
+    r.k_lyapunov = h.k_lyapunov;
+    // Shared sweeps: per horizon this counts the relaxations performed
+    // while that horizon was still open (a single-t run of the same
+    // horizon owns all of its sweeps, so the counts are work metrics, not
+    // part of the bit-identity contract).
+    r.state_updates = h.state_updates;
+    r.locked_final = h.locked_final;
     results[j] = std::move(r);
   }
   if (span) {
@@ -530,6 +815,11 @@ std::vector<TransientResult> timed_reachability_batch(const Ctmc& chain, const B
       hspan.metric("iterations_executed", h.executed);
       hspan.metric("early_termination_step", h.early_step);
       hspan.metric("residual_bound", results[j].residual_bound);
+      hspan.metric("truncation.k_fox_glynn", h.fox_glynn_right);
+      hspan.metric("truncation.k_effective", h.executed);
+      hspan.metric("truncation.k_lyapunov", h.k_lyapunov);
+      hspan.metric("truncation.locked_final", h.locked_final);
+      hspan.metric("truncation.state_updates", h.state_updates);
     }
   }
   return results;

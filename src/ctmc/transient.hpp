@@ -13,6 +13,7 @@
 #include "ctmc/ctmc.hpp"
 #include "support/backend.hpp"
 #include "support/bit_vector.hpp"
+#include "support/lyapunov_bound.hpp"
 #include "support/run_guard.hpp"
 
 namespace unicon {
@@ -24,6 +25,22 @@ struct TransientOptions {
   double epsilon = 1e-6;
   /// Optional uniformization rate override (0 = maximal exit rate).
   double uniform_rate = 0.0;
+  /// Truncation-bound provider for timed_reachability (single and batch);
+  /// see TimedReachabilityOptions::truncation and DESIGN.md Sec. 14.  When
+  /// the certificate engages, epsilon is split: the window runs at
+  /// epsilon/2 and the remaining mass is folded onto the current iterate
+  /// once tail_mass * ubar drops under the other epsilon/2.
+  /// transient_distribution and the phase-B propagation of
+  /// interval_reachability ignore this (their iterate is not monotone
+  /// toward an absorbing fixpoint); interval phase A is a plain
+  /// timed_reachability call and honours it.
+  Truncation truncation = Truncation::Auto;
+  /// On-the-fly convergence locking for the backward reachability sweeps:
+  /// rows whose value is bitwise unchanged with all successors locked are
+  /// skipped from then on.  Values are bit-identical with locking on or
+  /// off; once every row is locked the matrix sweeps stop entirely and
+  /// only the Poisson accumulation continues.
+  bool locking = true;
   /// Steady-state detection: once the iteration vector has converged to
   /// within early_termination_delta in sup norm, the remaining Poisson mass
   /// is folded in analytically and the loop stops.  Exact for absorbing
@@ -76,6 +93,17 @@ struct TransientResult {
   /// For interval_reachability interrupted in its first phase the bound
   /// degrades to the trivial 1.
   double residual_bound = 0.0;
+  /// Resolved truncation provider (never Auto); FoxGlynn for the analyses
+  /// that ignore the option.
+  Truncation truncation = Truncation::FoxGlynn;
+  /// Step at which the Lyapunov fold fired (effective truncation
+  /// k_lyapunov); 0 when it never did.
+  std::uint64_t k_lyapunov = 0;
+  /// Row relaxations actually performed across the executed sweeps (rows
+  /// skipped by convergence locking excluded).
+  std::uint64_t state_updates = 0;
+  /// Rows locked by on-the-fly convergence detection at the end.
+  std::uint64_t locked_final = 0;
 };
 
 /// Distribution over states at time @p t, starting from the initial state.

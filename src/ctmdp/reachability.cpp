@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <string>
 
@@ -120,6 +121,152 @@ struct DenseBridge {
   }
 };
 
+/// Bit-exact double comparison for the locking criterion.  `==` is not
+/// enough: +0.0 == -0.0 compares true while the two buffers would hold
+/// different bit patterns, breaking the no-copy invariant that a locked
+/// row's value is identical in both double-buffers forever after.
+bool same_bits(double a, double b) {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+/// NaN-latching max over per-worker slots.  WorkerPool::reduce_max drops
+/// NaN (a > comparison); the survival sup must propagate it so a poisoned
+/// certificate can never certify a stop.
+double reduce_max_latch(const std::vector<WorkerPool::Slot>& slots) {
+  double value = 0.0;
+  for (const WorkerPool::Slot& slot : slots) {
+    if (!(slot.value <= value)) value = slot.value;
+  }
+  return value;
+}
+
+/// Advances the Lyapunov survival iterate u <- N u over the serial kernel
+/// and returns sup u.  N maximizes over every transition regardless of the
+/// solve's objective: |opt_a f_a - opt_a g_a| <= max_a |f_a - g_a| for
+/// both optimizations, so the max operator dominates the displacement
+/// either one can propagate.  Goal/avoided entries stay exactly 0 (their
+/// rows are pinned and u starts 0 there).
+double survival_step_serial(const DiscreteKernel& kernel, const BitVector& goal,
+                            const BitVector& avoid, WorkerPool& pool,
+                            std::vector<WorkerPool::Slot>& slots, const std::vector<double>& u,
+                            std::vector<double>& u_next) {
+  pool.run(u.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
+    const double* x = u.data();
+    double local = 0.0;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (goal[s] || (!avoid.empty() && avoid[s])) {
+        u_next[s] = 0.0;
+        continue;
+      }
+      const std::uint64_t first = kernel.state_first[s];
+      const std::uint64_t last = kernel.state_first[s + 1];
+      double best = 0.0;
+      for (std::uint64_t tr = first; tr < last; ++tr) {
+        const double acc = kernel.transition_value(tr, 0.0, x);
+        if (!(acc <= best)) best = acc;  // NaN-latching
+      }
+      u_next[s] = best;
+      if (!(best <= local)) local = best;
+    }
+    slots[worker].value = local;
+  });
+  return reduce_max_latch(slots);
+}
+
+/// Dense-engine survival step: relax with zero goal weight, always
+/// maximizing, then sup-reduce the advanced iterate (relax_rows reports a
+/// delta, not a sup, hence the explicit pass).
+double survival_step_dense(const KernelOps& ops, const DenseKernelView& view, WorkerPool& pool,
+                           std::vector<WorkerPool::Slot>& slots, const std::vector<double>& u,
+                           std::vector<double>& u_next) {
+  pool.run(u.size(), [&](unsigned worker, std::size_t begin, std::size_t end) {
+    if (begin < end) {
+      ops.relax_rows(view, 0.0, true, u.data(), u_next.data(), nullptr, begin, end);
+    }
+    double local = 0.0;
+    for (std::size_t r = begin; r < end; ++r) {
+      if (!(u_next[r] <= local)) local = u_next[r];
+    }
+    slots[worker].value = local;
+  });
+  return reduce_max_latch(slots);
+}
+
+/// Closure half of the locking criterion for a serial row: every successor
+/// lies in locked or is the row itself.  Together with bitwise value
+/// equality (and a zero Poisson weight below the window) the row's next
+/// relaxation provably reproduces the same bits, so it can be skipped.
+bool serial_row_closed(const DiscreteKernel& kernel, const BitVector& locked, StateId s) {
+  const std::uint64_t t_first = kernel.state_first[s];
+  const std::uint64_t t_last = kernel.state_first[s + 1];
+  for (std::uint64_t tr = t_first; tr < t_last; ++tr) {
+    const std::uint64_t last = kernel.entry_first[tr + 1];
+    for (std::uint64_t j = kernel.entry_first[tr]; j < last; ++j) {
+      const std::uint32_t c = kernel.col[j];
+      if (c != s && !locked[c]) return false;
+    }
+  }
+  return true;
+}
+
+/// Dense-row variant of serial_row_closed (columns are dense indices).
+bool dense_row_closed(const DenseKernelView& view, const BitVector& locked, std::size_t r) {
+  const std::uint64_t t_first = view.row_first[r];
+  const std::uint64_t t_last = view.row_first[r + 1];
+  for (std::uint64_t tr = t_first; tr < t_last; ++tr) {
+    const std::uint64_t last = view.entry_first[tr + 1];
+    for (std::uint64_t j = view.entry_first[tr]; j < last; ++j) {
+      const std::uint32_t c = view.col[j];
+      if (c != r && !locked[c]) return false;
+    }
+  }
+  return true;
+}
+
+/// Relaxes the unlocked rows of [blk, blk_end), splitting the block around
+/// locked runs — skipped rows get no writes at all (the no-copy invariant
+/// keeps both buffers on their frozen bits) and contribute exactly 0 to
+/// the delta.  Per-row results are unchanged by the split: the kernels
+/// process rows independently, exactly as the existing guard blocks and
+/// worker partitions already assume.  When @p cand is non-null (a
+/// below-window sweep with locking on), rows meeting the locking criterion
+/// are appended for the post-barrier application.
+double relax_dense_block(const KernelOps& ops, const DenseKernelView& view, double gval,
+                         bool maximize, const double* q, double* out, std::uint64_t* dec,
+                         std::size_t blk, std::size_t blk_end, const BitVector* locked,
+                         std::vector<StateId>* cand, std::uint64_t& swept) {
+  double local = 0.0;
+  std::size_t r = blk;
+  while (r < blk_end) {
+    if (locked != nullptr && (*locked)[r]) {
+      ++r;
+      continue;
+    }
+    std::size_t run_end = r + 1;
+    if (locked != nullptr) {
+      while (run_end < blk_end && !(*locked)[run_end]) ++run_end;
+    } else {
+      run_end = blk_end;
+    }
+    const double d = ops.relax_rows(view, gval, maximize, q, out, dec, r, run_end);
+    if (!(d <= local)) local = d;  // NaN-capturing max
+    swept += run_end - r;
+    if (cand != nullptr) {
+      for (std::size_t x = r; x < run_end; ++x) {
+        if (same_bits(out[x], q[x]) && dense_row_closed(view, *locked, x)) {
+          cand->push_back(static_cast<StateId>(x));
+        }
+      }
+    }
+    r = run_end;
+  }
+  return local;
+}
+
 }  // namespace
 
 TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& goal,
@@ -143,9 +290,16 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
   std::optional<Telemetry::Span> span;
   if (options.telemetry != nullptr) span.emplace(options.telemetry->span("reachability"));
 
-  const PoissonWindow psi = PoissonWindow::compute(e * t, options.epsilon);
+  // Truncation policy (DESIGN.md Sec. 14).  extract_scheduler pins the
+  // pure Fox-Glynn schedule: the decision table must hold one faithful row
+  // per planned step, which a certified stop would leave unfilled.
+  const TruncationPlan plan = plan_truncation(
+      options.extract_scheduler ? Truncation::FoxGlynn : options.truncation, e * t,
+      options.epsilon);
+  const PoissonWindow& psi = plan.window;
   const std::uint64_t k = psi.right();
   result.iterations_planned = k;
+  result.truncation = plan.resolved;
 
   if (!options.avoid.empty() && options.avoid.size() != n) {
     throw ModelError("timed_reachability: avoid vector size mismatch");
@@ -224,31 +378,87 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
         worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
     Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
+    // On-the-fly convergence locking (DESIGN.md Sec. 14): below the window
+    // a row whose value came back bit-identical with every successor
+    // already locked is an exact fixpoint of its own update.  At lock time
+    // both double-buffers hold the same bits, so skipped rows need no
+    // copies, contribute exactly 0 to the sweep delta, and reported values
+    // are bit-identical with locking on or off.  Candidates are staged
+    // per worker and applied after the barrier, so the locked set is a
+    // deterministic function of the iterate for every thread count.
+    const bool locking = options.locking && !options.extract_scheduler;
+    BitVector locked;
+    std::size_t locked_count = 0;
+    std::vector<std::vector<StateId>> cand;
+    if (locking) {
+      locked.assign(n, false);
+      cand.resize(pool.size());
+    }
+    std::vector<std::uint64_t> upd_slots(pool.size() * std::size_t{8}, 0);
+
+    // Lyapunov certificate (engaged plans only): survival iterate u and
+    // its scalar contraction record.
+    LyapunovSeries series(plan.stop_epsilon);
+    bool cert_active = plan.engaged();
+    bool lyap_fired = false;
+    double lyap_error = 0.0;
+    std::vector<double> u;
+    std::vector<double> u_next;
+    std::vector<WorkerPool::Slot> u_slot;
+    if (cert_active) {
+      u.assign(n, 0.0);
+      u_next.assign(n, 0.0);
+      for (StateId s = 0; s < n; ++s) u[s] = (goal[s] || avoided(s)) ? 0.0 : 1.0;
+      u_slot.resize(pool.size());
+      // Resume catch-up: replay the ages an uninterrupted run would have
+      // recorded by now, so a resumed run reaches every stop decision at
+      // the identical step (the record is a pure function of the kernel).
+      // The probe cap bounds the replay on non-contracting models.
+      const std::uint64_t replay = psi.left() > start_i + 1 ? psi.left() - start_i - 1 : 0;
+      for (std::uint64_t j = 0; j < replay && cert_active; ++j) {
+        series.record(survival_step_serial(kernel, goal, options.avoid, pool, u_slot, u, u_next));
+        u.swap(u_next);
+        if (series.should_disengage(series.size())) {
+          cert_active = false;
+          u = std::vector<double>();
+          u_next = std::vector<double>();
+        }
+      }
+    }
+
     for (std::uint64_t i = start_i; i >= 1; --i) {
       if (guard != nullptr && guard->poll() != RunStatus::Converged) {
         stopped = true;
-        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        result.residual_bound = partial_residual(psi, i, plan.window_epsilon);
         break;
       }
       const double w = psi.psi(i);
+      // Candidacy only below the window: there w == 0, so a row's update
+      // no longer depends on the step index and bitwise-stable means
+      // stable forever.
+      const bool lock_sweep = locking && i < psi.left();
       pool.run(n, [&](unsigned worker, std::size_t begin, std::size_t end) {
         const double* q = q_next.data();
         double local_delta = 0.0;
         std::uint64_t rows = 0;
+        std::vector<StateId>* const my_cand = lock_sweep ? &cand[worker] : nullptr;
         for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
           if (guard != nullptr && guard->should_abort_sweep()) {
             sweep_aborted.store(true, std::memory_order_relaxed);
             break;
           }
           const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-          rows += blk_end - blk;
           for (StateId s = blk; s < blk_end; ++s) {
+            if (locked_count != 0 && locked[s]) continue;  // frozen: both buffers agree
+            ++rows;
             if (goal[s]) {
               q_cur[s] = w + q[s];
               if (options.extract_scheduler) decision[s] = kNoTransition;
+              if (my_cand != nullptr && same_bits(q_cur[s], q[s])) my_cand->push_back(s);
             } else if (avoided(s)) {
               q_cur[s] = 0.0;
               if (options.extract_scheduler) decision[s] = kNoTransition;
+              if (my_cand != nullptr && same_bits(0.0, q[s])) my_cand->push_back(s);
             } else {
               const std::uint64_t first = kernel.state_first[s];
               const std::uint64_t last = kernel.state_first[s + 1];
@@ -268,10 +478,15 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
               if (!(dev <= local_delta)) local_delta = dev;
               q_cur[s] = best;
               if (options.extract_scheduler) decision[s] = best_t;
+              if (my_cand != nullptr && same_bits(best, q[s]) &&
+                  serial_row_closed(kernel, locked, s)) {
+                my_cand->push_back(s);
+              }
             }
           }
         }
         delta_slot[worker].value = local_delta;
+        upd_slots[worker * std::size_t{8}] += rows;
         if (rows_out != nullptr) rows_out[worker]->add(rows);
       });
       if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
@@ -279,7 +494,7 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
         // written, so the partial result is the last *completed* iterate in
         // q_next and step i counts as unconsumed.
         stopped = true;
-        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        result.residual_bound = partial_residual(psi, i, plan.window_epsilon);
         break;
       }
       const double delta = WorkerPool::reduce_max(delta_slot);
@@ -290,12 +505,23 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
       q_cur.swap(q_next);  // q_next now holds q_i for the next round
       ++executed;
 
+      if (lock_sweep) {
+        // Applied only after the barrier and the NaN check: candidacy was
+        // judged against the pre-sweep locked set on every worker, so the
+        // resulting set is identical for every thread count.
+        for (std::vector<StateId>& c : cand) {
+          for (const StateId s : c) locked.set(s);
+          locked_count += c.size();
+          c.clear();
+        }
+      }
+
       if (record_all_decisions) result.decisions[i - 1] = decision;
       if (options.extract_scheduler && i == 1) result.initial_decision = decision;
 
       if (guard != nullptr && guard->wants_checkpoint(executed)) {
         guard->checkpoint("timed_reachability", executed, k,
-                          partial_residual(psi, i - 1, options.epsilon),
+                          partial_residual(psi, i - 1, plan.window_epsilon),
                           std::span<double>(q_next.data(), q_next.size()));
         // The callback writes through the span (checkpoint persistence, fault
         // injection), so the iterate is untrusted on return.  A non-finite
@@ -303,6 +529,13 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
         // NaN compares false both ways — leaving finite wrong values, so it
         // must be rejected here at the trust boundary.
         require_finite_values(q_next, "timed_reachability checkpoint");
+        // The writer may also have changed a locked row, whose twin buffer
+        // would then be stale — drop every lock and let candidacy
+        // re-establish them from the (possibly rewritten) iterate.
+        if (locked_count != 0) {
+          locked.assign(n, false);
+          locked_count = 0;
+        }
       }
 
       if (options.early_termination && i > 1) {
@@ -324,15 +557,50 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
           }
         }
       }
+
+      // Exact fixpoint below the window: delta == 0 means q_i and q_{i+1}
+      // are bit-identical, and with w == 0 every remaining sweep applies
+      // the same operator to the same vector — provable no-ops.  Zero
+      // extra error, so the converged residual stays untouched.
+      if (locking && i > 1 && i <= psi.left() && delta == 0.0) {
+        result.exact_fixpoint = true;
+        break;
+      }
+
+      // Lyapunov certificate: advance the survival iterate, and below the
+      // window test whether the forfeited tail delta * series_bound fits
+      // under stop_epsilon.  i == 1 is excluded (nothing left to skip).
+      if (cert_active && i > 1 && i < psi.left()) {
+        series.record(survival_step_serial(kernel, goal, options.avoid, pool, u_slot, u, u_next));
+        u.swap(u_next);
+        const std::uint64_t age = psi.left() - i;
+        if (series.should_disengage(age)) {
+          cert_active = false;
+          u = std::vector<double>();
+          u_next = std::vector<double>();
+        } else if (series.certifies(delta, age)) {
+          lyap_fired = true;
+          lyap_error = series.stop_error(delta, age);
+          result.k_lyapunov = executed;
+          break;
+        }
+      }
     }
     result.iterations_executed = executed;
+    result.state_updates = 0;
+    for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) {
+      result.state_updates += upd_slots[wkr * std::size_t{8}];
+    }
+    result.locked_final = locked_count;
 
     if (stopped) {
       result.status = guard->status();
       result.iterate = q_next;  // raw iterate, resumable
+    } else if (lyap_fired) {
+      result.residual_bound = plan.window_epsilon + lyap_error;
     } else {
       result.residual_bound =
-          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+          plan.window_epsilon + (early_fired ? options.early_termination_delta : 0.0);
     }
 
     require_finite_values(q_next, "timed_reachability");
@@ -377,34 +645,82 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
         worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
     Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
+    // Locking + certificate state over *dense* rows; same invariants as the
+    // serial engine (goal/avoided rows are not materialized here, so the
+    // big goal-plateau freeze is a serial-engine property — dense already
+    // never sweeps those rows).  Below the window the folded goal value
+    // G_i stays constant (psi == 0), so bitwise-stable closed rows are
+    // exact fixpoints of their relaxation.
+    const bool locking = options.locking && !options.extract_scheduler;
+    BitVector locked;
+    std::size_t locked_count = 0;
+    std::vector<std::vector<StateId>> cand;
+    if (locking) {
+      locked.assign(rows, false);
+      cand.resize(pool.size());
+    }
+    std::vector<std::uint64_t> upd_slots(pool.size() * std::size_t{8}, 0);
+
+    LyapunovSeries series(plan.stop_epsilon);
+    bool cert_active = plan.engaged();
+    bool lyap_fired = false;
+    double lyap_error = 0.0;
+    std::vector<double> u;
+    std::vector<double> u_next;
+    std::vector<WorkerPool::Slot> u_slot;
+    if (cert_active) {
+      u.assign(rows, 1.0);  // dense rows are exactly the non-goal, non-avoided states
+      u_next.assign(rows, 0.0);
+      u_slot.resize(pool.size());
+      const std::uint64_t replay = psi.left() > start_i + 1 ? psi.left() - start_i - 1 : 0;
+      for (std::uint64_t j = 0; j < replay && cert_active; ++j) {
+        series.record(survival_step_dense(ops, view, pool, u_slot, u, u_next));
+        u.swap(u_next);
+        if (series.should_disengage(series.size())) {
+          cert_active = false;
+          u = std::vector<double>();
+          u_next = std::vector<double>();
+        }
+      }
+    }
+
     for (std::uint64_t i = start_i; i >= 1; --i) {
       if (guard != nullptr && guard->poll() != RunStatus::Converged) {
         stopped = true;
-        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        result.residual_bound = partial_residual(psi, i, plan.window_epsilon);
         break;
       }
       const double gi = psi.psi(i) + goal_value;  // G_i, the goal value of q_i
+      const bool lock_sweep = locking && i < psi.left();
       pool.run(rows, [&](unsigned worker, std::size_t begin, std::size_t end) {
         const double* q = dq_next.data();
         double local_delta = 0.0;
         std::uint64_t swept = 0;
+        const BitVector* const lockp = locked_count != 0 || lock_sweep ? &locked : nullptr;
+        std::vector<StateId>* const my_cand = lock_sweep ? &cand[worker] : nullptr;
         for (std::size_t blk = begin; blk < end; blk += kGuardBlock) {
           if (guard != nullptr && guard->should_abort_sweep()) {
             sweep_aborted.store(true, std::memory_order_relaxed);
             break;
           }
           const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-          swept += blk_end - blk;
-          const double d =
-              ops.relax_rows(view, gi, maximize, q, dq_cur.data(), ddec_ptr, blk, blk_end);
+          double d;
+          if (lockp != nullptr) {
+            d = relax_dense_block(ops, view, gi, maximize, q, dq_cur.data(), ddec_ptr, blk,
+                                  blk_end, lockp, my_cand, swept);
+          } else {
+            swept += blk_end - blk;
+            d = ops.relax_rows(view, gi, maximize, q, dq_cur.data(), ddec_ptr, blk, blk_end);
+          }
           if (!(d <= local_delta)) local_delta = d;  // NaN-capturing max
         }
         delta_slot[worker].value = local_delta;
+        upd_slots[worker * std::size_t{8}] += swept;
         if (rows_out != nullptr) rows_out[worker]->add(swept);
       });
       if (guard != nullptr && sweep_aborted.load(std::memory_order_relaxed)) {
         stopped = true;
-        result.residual_bound = partial_residual(psi, i, options.epsilon);
+        result.residual_bound = partial_residual(psi, i, plan.window_epsilon);
         break;
       }
       const double delta = WorkerPool::reduce_max(delta_slot);
@@ -416,6 +732,14 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
       goal_value = gi;
       ++executed;
 
+      if (lock_sweep) {
+        for (std::vector<StateId>& c : cand) {
+          for (const StateId s : c) locked.set(s);
+          locked_count += c.size();
+          c.clear();
+        }
+      }
+
       if (record_all_decisions) result.decisions[i - 1] = bridge.expand_decisions(ddec);
       if (options.extract_scheduler && i == 1) {
         result.initial_decision = bridge.expand_decisions(ddec);
@@ -424,12 +748,18 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
       if (guard != nullptr && guard->wants_checkpoint(executed)) {
         bridge.materialize(dq_next, goal_value, q_full);
         guard->checkpoint("timed_reachability", executed, k,
-                          partial_residual(psi, i - 1, options.epsilon),
+                          partial_residual(psi, i - 1, plan.window_epsilon),
                           std::span<double>(q_full.data(), q_full.size()));
         // Same trust boundary as the serial engine: the span is writable by
         // external code, so validate and re-ingest whatever came back.
         require_finite_values(q_full, "timed_reachability checkpoint");
         goal_value = bridge.ingest(q_full, dq_next);
+        // Re-ingesting rewrites dq_next wholesale, so every lock's
+        // both-buffers-agree invariant is void — drop them all.
+        if (locked_count != 0) {
+          locked.assign(rows, false);
+          locked_count = 0;
+        }
       }
 
       // Window-bound-only gate; see the serial engine for why psi == 0 must
@@ -441,16 +771,46 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
         early_step = i;
         break;
       }
+
+      // Exact fixpoint / Lyapunov certificate — same derivations as the
+      // serial engine (below the window G stays constant, so the dense
+      // relaxation is the same operator every remaining sweep).
+      if (locking && i > 1 && i <= psi.left() && delta == 0.0) {
+        result.exact_fixpoint = true;
+        break;
+      }
+      if (cert_active && i > 1 && i < psi.left()) {
+        series.record(survival_step_dense(ops, view, pool, u_slot, u, u_next));
+        u.swap(u_next);
+        const std::uint64_t age = psi.left() - i;
+        if (series.should_disengage(age)) {
+          cert_active = false;
+          u = std::vector<double>();
+          u_next = std::vector<double>();
+        } else if (series.certifies(delta, age)) {
+          lyap_fired = true;
+          lyap_error = series.stop_error(delta, age);
+          result.k_lyapunov = executed;
+          break;
+        }
+      }
     }
     result.iterations_executed = executed;
+    result.state_updates = 0;
+    for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) {
+      result.state_updates += upd_slots[wkr * std::size_t{8}];
+    }
+    result.locked_final = locked_count;
 
     bridge.materialize(dq_next, goal_value, q_full);
     if (stopped) {
       result.status = guard->status();
       result.iterate = q_full;  // full-state raw iterate, resumable by any backend
+    } else if (lyap_fired) {
+      result.residual_bound = plan.window_epsilon + lyap_error;
     } else {
       result.residual_bound =
-          options.epsilon + (early_fired ? options.early_termination_delta : 0.0);
+          plan.window_epsilon + (early_fired ? options.early_termination_delta : 0.0);
     }
 
     require_finite_values(q_full, "timed_reachability");
@@ -474,6 +834,11 @@ TimedReachabilityResult timed_reachability(const Ctmdp& model, const BitVector& 
     span->metric("early_termination_step", early_step);
     span->metric("threads", pool_size);
     span->metric("residual_bound", result.residual_bound);
+    span->metric("truncation.k_fox_glynn", plan.fox_glynn_right);
+    span->metric("truncation.k_effective", executed);
+    span->metric("truncation.k_lyapunov", result.k_lyapunov);
+    span->metric("truncation.locked_final", result.locked_final);
+    span->metric("truncation.state_updates", result.state_updates);
   }
   return result;
 }
@@ -534,6 +899,20 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
     double goal_value = 0.0;  // dense engine: G_{g+1}
     std::vector<double> q_next, q_cur;    // per-horizon iterates
     std::vector<std::uint64_t> decision;  // per-sweep scheduler scratch
+    // Per-horizon truncation plan (each horizon has its own window and may
+    // or may not engage the certificate) — see DESIGN.md Sec. 14.
+    double window_epsilon = 0.0;
+    std::uint64_t fox_glynn_right = 0;
+    bool engaged = false;
+    bool cert_ok = true;  // certificate still live for this horizon
+    bool lyap_fired = false;
+    double lyap_error = 0.0;
+    bool fixpoint = false;
+    // Per-horizon locking state (each horizon has its own iterate, hence
+    // its own frozen set).
+    BitVector locked;
+    std::size_t locked_count = 0;
+    std::vector<std::vector<StateId>> cand;  // per-worker staging
   };
 
   std::vector<Horizon> horizons(num_horizons);
@@ -541,8 +920,15 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
   for (std::size_t j = 0; j < num_horizons; ++j) {
     Horizon& h = horizons[j];
     h.idx = j;
-    h.psi = PoissonWindow::compute(e * times[j], options.epsilon);
+    const TruncationPlan hplan = plan_truncation(
+        options.extract_scheduler ? Truncation::FoxGlynn : options.truncation, e * times[j],
+        options.epsilon);
+    h.psi = hplan.window;
     h.k = h.psi.right();
+    h.window_epsilon = hplan.window_epsilon;
+    h.fox_glynn_right = hplan.fox_glynn_right;
+    h.engaged = hplan.engaged();
+    results[j].truncation = hplan.resolved;
     k_max = std::max(k_max, h.k);
     h.record_all =
         options.extract_scheduler &&
@@ -597,6 +983,34 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
     Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
+    // Locking (per horizon — each has its own iterate) and the shared
+    // Lyapunov record: the survival sup sequence is a pure function of the
+    // kernel, not of the horizon, so one iterate serves every engaged
+    // horizon at its own age (left_h - g).  Stop decisions are therefore
+    // bit-identical to each horizon's single-t run.
+    const bool locking = options.locking && !options.extract_scheduler;
+    bool any_engaged = false;
+    for (Horizon& h : horizons) {
+      if (locking) {
+        h.locked.assign(n, false);
+        h.cand.resize(pool.size());
+      }
+      any_engaged = any_engaged || h.engaged;
+    }
+    std::vector<std::vector<std::uint64_t>> upd_slots(
+        num_horizons, std::vector<std::uint64_t>(pool.size() * std::size_t{8}, 0));
+    LyapunovSeries series(options.epsilon / 2.0);
+    bool cert_disengaged = false;
+    std::vector<double> u;
+    std::vector<double> u_next;
+    std::vector<WorkerPool::Slot> u_slot;
+    if (any_engaged) {
+      u.assign(n, 0.0);
+      u_next.assign(n, 0.0);
+      for (StateId s = 0; s < n; ++s) u[s] = (goal[s] || avoided(s)) ? 0.0 : 1.0;
+      u_slot.resize(pool.size());
+    }
+
     std::size_t started = 0;  // prefix of by_k with k >= g
     for (std::uint64_t g = k_max; g >= 1; --g) {
       while (started < num_horizons && by_k[started]->k >= g) ++started;
@@ -630,7 +1044,6 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
             break;
           }
           const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-          rows += (blk_end - blk) * num_active;
           // Kernel rows for this block stay cache-hot across the horizon
           // loop — the batch streams the kernel once per block, not once
           // per horizon.
@@ -640,14 +1053,22 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
             const double* q = h.q_next.data();
             double* out = h.q_cur.data();
             std::uint64_t* dec = options.extract_scheduler ? h.decision.data() : nullptr;
+            const bool skip_locked = h.locked_count != 0;
+            std::vector<StateId>* const my_cand =
+                locking && g < h.psi.left() ? &h.cand[worker] : nullptr;
             double local_delta = delta_slot[h.idx][worker].value;
+            std::uint64_t h_rows = 0;
             for (StateId s = blk; s < blk_end; ++s) {
+              if (skip_locked && h.locked[s]) continue;  // frozen: both buffers agree
+              ++h_rows;
               if (goal[s]) {
                 out[s] = w + q[s];
                 if (dec != nullptr) dec[s] = kNoTransition;
+                if (my_cand != nullptr && same_bits(out[s], q[s])) my_cand->push_back(s);
               } else if (avoided(s)) {
                 out[s] = 0.0;
                 if (dec != nullptr) dec[s] = kNoTransition;
+                if (my_cand != nullptr && same_bits(0.0, q[s])) my_cand->push_back(s);
               } else {
                 const std::uint64_t first = kernel.state_first[s];
                 const std::uint64_t last = kernel.state_first[s + 1];
@@ -665,9 +1086,15 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
                 if (!(dev <= local_delta)) local_delta = dev;
                 out[s] = best;
                 if (dec != nullptr) dec[s] = best_t;
+                if (my_cand != nullptr && same_bits(best, q[s]) &&
+                    serial_row_closed(kernel, h.locked, s)) {
+                  my_cand->push_back(s);
+                }
               }
             }
             delta_slot[h.idx][worker].value = local_delta;
+            upd_slots[h.idx][worker * std::size_t{8}] += h_rows;
+            rows += h_rows;
           }
         }
         if (rows_out != nullptr) rows_out[worker]->add(rows);
@@ -676,6 +1103,28 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         stopped = true;
         stop_step = g;
         break;
+      }
+      // Advance the shared survival record to the deepest age any engaged
+      // horizon checks this step.  Entries are horizon-independent, so the
+      // record (and the probe-cap disengage at its tail) replays exactly
+      // what each single-t run would compute.
+      if (any_engaged && !cert_disengaged && g > 1) {
+        std::uint64_t needed = 0;
+        for (Horizon* hp : active) {
+          const Horizon& h = *hp;
+          if (h.engaged && h.cert_ok && g < h.psi.left()) {
+            needed = std::max(needed, h.psi.left() - g);
+          }
+        }
+        while (!cert_disengaged && series.size() < needed) {
+          series.record(survival_step_serial(kernel, goal, options.avoid, pool, u_slot, u, u_next));
+          u.swap(u_next);
+          if (series.should_disengage(series.size())) {
+            cert_disengaged = true;
+            u = std::vector<double>();
+            u_next = std::vector<double>();
+          }
+        }
       }
       for (Horizon* hp : active) {
         Horizon& h = *hp;
@@ -686,6 +1135,13 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         }
         h.q_cur.swap(h.q_next);
         ++h.executed;
+        if (locking && g < h.psi.left()) {
+          for (std::vector<StateId>& c : h.cand) {
+            for (const StateId s : c) h.locked.set(s);
+            h.locked_count += c.size();
+            c.clear();
+          }
+        }
         if (h.record_all) results[h.idx].decisions[g - 1] = h.decision;
         if (options.extract_scheduler && g == 1) results[h.idx].initial_decision = h.decision;
         if (options.early_termination && g > 1 && g - 1 < h.psi.left() &&
@@ -695,19 +1151,45 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
           h.early_step = g;
           h.done = true;
         }
+        // Same check order as the single-horizon engine: early termination,
+        // then exact fixpoint, then certificate.
+        if (!h.done && locking && g > 1 && g <= h.psi.left() && delta == 0.0) {
+          h.fixpoint = true;
+          h.done = true;
+        }
+        if (!h.done && h.engaged && h.cert_ok && g > 1 && g < h.psi.left()) {
+          const std::uint64_t age = h.psi.left() - g;
+          if (age > series.size() || series.should_disengage(age)) {
+            // The record stopped at the probe cap (or this age is past it):
+            // the single-t run disengaged at exactly this point too.
+            h.cert_ok = false;
+          } else if (series.certifies(delta, age)) {
+            h.lyap_fired = true;
+            h.lyap_error = series.stop_error(delta, age);
+            results[h.idx].k_lyapunov = h.executed;
+            h.done = true;
+          }
+        }
       }
     }
 
     for (Horizon& h : horizons) {
       TimedReachabilityResult& r = results[h.idx];
       r.iterations_executed = h.executed;
+      r.exact_fixpoint = h.fixpoint;
+      r.locked_final = h.locked_count;
+      for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) {
+        r.state_updates += upd_slots[h.idx][wkr * std::size_t{8}];
+      }
       if (!h.done && stopped) {
         r.status = guard->status();
-        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), options.epsilon);
+        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), h.window_epsilon);
         r.iterate = h.q_next;
+      } else if (h.lyap_fired) {
+        r.residual_bound = h.window_epsilon + h.lyap_error;
       } else {
         r.residual_bound =
-            options.epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
+            h.window_epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
       }
       require_finite_values(h.q_next, "timed_reachability");
       r.values = std::move(h.q_next);
@@ -743,6 +1225,30 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         worker_row_counters(options.telemetry, "reachability.rows.worker", pool.size());
     Counter* const* const rows_out = row_counters.empty() ? nullptr : row_counters.data();
 
+    // Locking and shared certificate state, as in the serial batch engine
+    // but over dense rows.
+    const bool locking = options.locking && !options.extract_scheduler;
+    bool any_engaged = false;
+    for (Horizon& h : horizons) {
+      if (locking) {
+        h.locked.assign(rows, false);
+        h.cand.resize(pool.size());
+      }
+      any_engaged = any_engaged || h.engaged;
+    }
+    std::vector<std::vector<std::uint64_t>> upd_slots(
+        num_horizons, std::vector<std::uint64_t>(pool.size() * std::size_t{8}, 0));
+    LyapunovSeries series(options.epsilon / 2.0);
+    bool cert_disengaged = false;
+    std::vector<double> u;
+    std::vector<double> u_next;
+    std::vector<WorkerPool::Slot> u_slot;
+    if (any_engaged) {
+      u.assign(rows, 1.0);
+      u_next.assign(rows, 0.0);
+      u_slot.resize(pool.size());
+    }
+
     std::size_t started = 0;
     for (std::uint64_t g = k_max; g >= 1; --g) {
       while (started < num_horizons && by_k[started]->k >= g) ++started;
@@ -774,14 +1280,25 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
             break;
           }
           const std::size_t blk_end = std::min(end, blk + kGuardBlock);
-          swept += (blk_end - blk) * num_active;
           for (std::size_t a = 0; a < num_active; ++a) {
             Horizon& h = *act[a];
-            const double d = ops.relax_rows(
-                view, h.weight, maximize, h.q_next.data(), h.q_cur.data(),
-                options.extract_scheduler ? h.decision.data() : nullptr, blk, blk_end);
+            std::uint64_t* const dec = options.extract_scheduler ? h.decision.data() : nullptr;
+            const bool lock_sweep_h = locking && g < h.psi.left();
+            double d;
+            std::uint64_t h_swept = 0;
+            if (h.locked_count != 0 || lock_sweep_h) {
+              d = relax_dense_block(ops, view, h.weight, maximize, h.q_next.data(),
+                                    h.q_cur.data(), dec, blk, blk_end, &h.locked,
+                                    lock_sweep_h ? &h.cand[worker] : nullptr, h_swept);
+            } else {
+              h_swept = blk_end - blk;
+              d = ops.relax_rows(view, h.weight, maximize, h.q_next.data(), h.q_cur.data(), dec,
+                                 blk, blk_end);
+            }
             WorkerPool::Slot& slot = delta_slot[h.idx][worker];
             if (!(d <= slot.value)) slot.value = d;  // NaN-capturing max
+            upd_slots[h.idx][worker * std::size_t{8}] += h_swept;
+            swept += h_swept;
           }
         }
         if (rows_out != nullptr) rows_out[worker]->add(swept);
@@ -790,6 +1307,24 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         stopped = true;
         stop_step = g;
         break;
+      }
+      if (any_engaged && !cert_disengaged && g > 1) {
+        std::uint64_t needed = 0;
+        for (Horizon* hp : active) {
+          const Horizon& h = *hp;
+          if (h.engaged && h.cert_ok && g < h.psi.left()) {
+            needed = std::max(needed, h.psi.left() - g);
+          }
+        }
+        while (!cert_disengaged && series.size() < needed) {
+          series.record(survival_step_dense(ops, view, pool, u_slot, u, u_next));
+          u.swap(u_next);
+          if (series.should_disengage(series.size())) {
+            cert_disengaged = true;
+            u = std::vector<double>();
+            u_next = std::vector<double>();
+          }
+        }
       }
       for (Horizon* hp : active) {
         Horizon& h = *hp;
@@ -801,6 +1336,13 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         h.q_cur.swap(h.q_next);
         h.goal_value = h.weight;
         ++h.executed;
+        if (locking && g < h.psi.left()) {
+          for (std::vector<StateId>& c : h.cand) {
+            for (const StateId s : c) h.locked.set(s);
+            h.locked_count += c.size();
+            c.clear();
+          }
+        }
         if (h.record_all) results[h.idx].decisions[g - 1] = bridge.expand_decisions(h.decision);
         if (options.extract_scheduler && g == 1) {
           results[h.idx].initial_decision = bridge.expand_decisions(h.decision);
@@ -814,15 +1356,35 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
           h.early_step = g;
           h.done = true;
         }
+        if (!h.done && locking && g > 1 && g <= h.psi.left() && delta == 0.0) {
+          h.fixpoint = true;
+          h.done = true;
+        }
+        if (!h.done && h.engaged && h.cert_ok && g > 1 && g < h.psi.left()) {
+          const std::uint64_t age = h.psi.left() - g;
+          if (age > series.size() || series.should_disengage(age)) {
+            h.cert_ok = false;
+          } else if (series.certifies(delta, age)) {
+            h.lyap_fired = true;
+            h.lyap_error = series.stop_error(delta, age);
+            results[h.idx].k_lyapunov = h.executed;
+            h.done = true;
+          }
+        }
       }
     }
 
     for (Horizon& h : horizons) {
       TimedReachabilityResult& r = results[h.idx];
       r.iterations_executed = h.executed;
+      r.exact_fixpoint = h.fixpoint;
+      r.locked_final = h.locked_count;
+      for (std::size_t wkr = 0; wkr < pool.size(); ++wkr) {
+        r.state_updates += upd_slots[h.idx][wkr * std::size_t{8}];
+      }
       if (!h.done && stopped) {
         r.status = guard->status();
-        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), options.epsilon);
+        r.residual_bound = partial_residual(h.psi, std::min(stop_step, h.k), h.window_epsilon);
         std::vector<double> q_full(n, 0.0);
         bridge.materialize(h.q_next, h.goal_value, q_full);
         require_finite_values(q_full, "timed_reachability");
@@ -833,7 +1395,9 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
         }
       } else {
         r.residual_bound =
-            options.epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
+            h.lyap_fired
+                ? h.window_epsilon + h.lyap_error
+                : h.window_epsilon + (h.early_fired ? options.early_termination_delta : 0.0);
         // Finite check on the dense iterate plus the goal scalar covers every
         // value the fused write below composes, at dense-row cost instead of
         // full-state cost.
@@ -888,6 +1452,11 @@ std::vector<TimedReachabilityResult> timed_reachability_batch(
       hspan.metric("iterations_executed", h.executed);
       hspan.metric("early_termination_step", h.early_step);
       hspan.metric("residual_bound", results[j].residual_bound);
+      hspan.metric("truncation.k_fox_glynn", h.fox_glynn_right);
+      hspan.metric("truncation.k_effective", h.executed);
+      hspan.metric("truncation.k_lyapunov", results[j].k_lyapunov);
+      hspan.metric("truncation.locked_final", h.locked_count);
+      hspan.metric("truncation.state_updates", results[j].state_updates);
     }
   }
   return results;

@@ -24,6 +24,7 @@
 #include "ctmdp/ctmdp.hpp"
 #include "support/backend.hpp"
 #include "support/bit_vector.hpp"
+#include "support/lyapunov_bound.hpp"
 #include "support/run_guard.hpp"
 
 namespace unicon {
@@ -40,6 +41,23 @@ struct TimedReachabilityOptions {
   /// Truncation precision (paper: 0.000001).
   double epsilon = 1e-6;
   Objective objective = Objective::Maximize;
+  /// Truncation-bound provider (DESIGN.md Sec. 14).  `FoxGlynn` keeps the
+  /// historical pure Poisson-window schedule.  `Lyapunov` splits epsilon:
+  /// the window is computed at epsilon/2 and the survival certificate may
+  /// stop the below-window iteration once the forfeited error is provably
+  /// under the other epsilon/2.  `Auto` engages the certificate only for
+  /// long horizons (window left point > kLyapunovAutoEngageLeft), so short
+  /// queries stay bit-identical to FoxGlynn.  The certificate never fires
+  /// when extract_scheduler is set (the decision table must stay faithful).
+  Truncation truncation = Truncation::Auto;
+  /// On-the-fly convergence locking: states whose recomputed value is
+  /// bitwise unchanged and whose successors are all locked are skipped in
+  /// subsequent sweeps.  Locked values are *exact* fixpoints of their row,
+  /// so reported values are bit-identical with locking on or off (the
+  /// backend tests prove it); only the amount of work per sweep — and,
+  /// via the exact-fixpoint break, iterations_executed — changes.
+  /// Disabled internally when extract_scheduler is set.
+  bool locking = true;
   /// Optional "until"-style constraint: states flagged here must not be
   /// visited before the goal (their value is pinned to 0, the absorbing
   /// treatment of phi U<=t psi model checking).  Goal membership wins when
@@ -125,6 +143,22 @@ struct TimedReachabilityResult {
   /// partial run, the Poisson-weight displacement bound of the unfinished
   /// backward iteration (partial_residual in reachability.cpp).
   double residual_bound = 0.0;
+  /// Resolved truncation provider (never Auto).
+  Truncation truncation = Truncation::FoxGlynn;
+  /// Step count at which the Lyapunov certificate stopped the iteration
+  /// (the effective truncation k_lyapunov); 0 when it never fired.
+  std::uint64_t k_lyapunov = 0;
+  /// True when the iteration reached an exact fixpoint below the Poisson
+  /// window (sweep delta exactly 0) and the remaining sweeps were skipped
+  /// as provable no-ops.
+  bool exact_fixpoint = false;
+  /// Row relaxations actually performed (sum over executed sweeps of the
+  /// states not skipped by convergence locking).  state_updates /
+  /// num_states is the "effective sweeps" metric of the truncation
+  /// ablation.
+  std::uint64_t state_updates = 0;
+  /// States locked by on-the-fly convergence detection at the end.
+  std::uint64_t locked_final = 0;
   /// Raw (unclamped) iterate at the stop point, for checkpoint/resume.
   /// Populated only when status != Converged.
   std::vector<double> iterate;

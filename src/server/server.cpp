@@ -198,8 +198,9 @@ constexpr std::size_t kMaxTimesPerQuery = 10000;
 QueryRequest parse_query(const Json& request, const SessionOptions& options) {
   reject_unknown_fields(request, "",
                         {"id", "op", "model", "times", "time", "objective", "epsilon", "early",
-                         "backend", "threads", "deadline", "cancel_after_polls",
-                         "fault_alloc_nth", "fault_poison_step", "fault_throw", "wait"});
+                         "backend", "truncation", "locking", "threads", "deadline",
+                         "cancel_after_polls", "fault_alloc_nth", "fault_poison_step",
+                         "fault_throw", "wait"});
   QueryRequest query;
   query.client = options.client;
   query.id = field_string(request, "", "id", "");
@@ -255,6 +256,8 @@ QueryRequest parse_query(const Json& request, const SessionOptions& options) {
   if (!(query.epsilon > 0.0)) throw ParseError("epsilon must be positive");
   query.early_termination = field_bool(request, "", "early", false);
   query.backend = parse_backend(field_string(request, "", "backend", "auto"));
+  query.truncation = parse_truncation(field_string(request, "", "truncation", "auto"));
+  query.locking = field_bool(request, "", "locking", true);
   query.threads = static_cast<unsigned>(field_count(request, "", "threads", 1, 4096));
   query.deadline = field_number(request, "", "deadline", 0.0);
   if (query.deadline < 0.0) throw ParseError("deadline must be non-negative");

@@ -45,9 +45,10 @@ std::string AnalysisService::solve_key_of(const QueryRequest& request) {
   char params[128];
   // %a renders epsilon exactly, so keys never merge across precisions
   // that happen to print alike in decimal.
-  std::snprintf(params, sizeof params, "\n%d|%a|%d|%s|%u",
+  std::snprintf(params, sizeof params, "\n%d|%a|%d|%s|%s|%d|%u",
                 static_cast<int>(request.objective), request.epsilon,
                 request.early_termination ? 1 : 0, backend_name(request.backend),
+                truncation_name(request.truncation), request.locking ? 1 : 0,
                 request.threads);
   key += params;
   return content_hash(key);
@@ -343,6 +344,8 @@ void AnalysisService::execute_group(Group& group) {
       options.epsilon = lead.epsilon;
       options.early_termination = lead.early_termination;
       options.backend = lead.backend;
+      options.truncation = lead.truncation;
+      options.locking = lead.locking;
       options.threads = lead.threads;
       options.guard = &group.guard;
       options.telemetry = solo_telemetry;
@@ -361,6 +364,8 @@ void AnalysisService::execute_group(Group& group) {
       options.objective = lead.objective;
       options.early_termination = lead.early_termination;
       options.backend = lead.backend;
+      options.truncation = lead.truncation;
+      options.locking = lead.locking;
       options.threads = lead.threads;
       options.guard = &group.guard;
       options.telemetry = solo_telemetry;

@@ -63,6 +63,14 @@ struct QueryRequest {
   double epsilon = 1e-6;
   bool early_termination = false;
   Backend backend = Backend::Auto;
+  /// Truncation-bound provider for the solve (part of the coalescing key:
+  /// different providers may stop at different steps, so they must not
+  /// share a batch).
+  Truncation truncation = Truncation::Auto;
+  /// On-the-fly convergence locking.  Values are bit-identical either
+  /// way, but iteration counts can differ (exact-fixpoint break), so the
+  /// flag is part of the coalescing key too.
+  bool locking = true;
   unsigned threads = 1;
   /// Per-request wall-clock budget in seconds (0 = none).  Disables
   /// coalescing for this job.

@@ -1,0 +1,47 @@
+#include "support/lyapunov_bound.hpp"
+
+#include "support/errors.hpp"
+
+namespace unicon {
+
+const char* truncation_name(Truncation mode) {
+  switch (mode) {
+    case Truncation::Auto:
+      return "auto";
+    case Truncation::FoxGlynn:
+      return "fox-glynn";
+    case Truncation::Lyapunov:
+      return "lyapunov";
+  }
+  return "auto";
+}
+
+Truncation parse_truncation(const std::string& name) {
+  if (name == "auto") return Truncation::Auto;
+  if (name == "fox-glynn") return Truncation::FoxGlynn;
+  if (name == "lyapunov") return Truncation::Lyapunov;
+  throw ModelError("unknown truncation '" + name + "' (expected auto, fox-glynn or lyapunov)");
+}
+
+TruncationPlan plan_truncation(Truncation requested, double lambda, double epsilon) {
+  TruncationPlan plan;
+  plan.window = PoissonWindow::compute(lambda, epsilon);
+  plan.fox_glynn_left = plan.window.left();
+  plan.fox_glynn_right = plan.window.right();
+  const std::uint64_t engage_left =
+      requested == Truncation::Lyapunov ? 1 : kLyapunovAutoEngageLeft;
+  const bool engage = requested != Truncation::FoxGlynn && plan.window.left() > engage_left;
+  if (!engage) {
+    plan.resolved = Truncation::FoxGlynn;
+    plan.window_epsilon = epsilon;
+    plan.stop_epsilon = 0.0;
+    return plan;
+  }
+  plan.resolved = Truncation::Lyapunov;
+  plan.window_epsilon = epsilon / 2.0;
+  plan.stop_epsilon = epsilon / 2.0;
+  plan.window = PoissonWindow::compute(lambda, plan.window_epsilon);
+  return plan;
+}
+
+}  // namespace unicon

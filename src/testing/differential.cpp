@@ -51,6 +51,7 @@ constexpr std::uint64_t kStreamZeno = 5;
 constexpr std::uint64_t kStreamMc = 6;
 constexpr std::uint64_t kStreamMcRetry = 7;
 constexpr std::uint64_t kStreamBatch = 8;
+constexpr std::uint64_t kStreamTruncation = 9;
 
 /// Dense oracles are O(states^2); above this size only the structural and
 /// variant checks run (documented in DESIGN.md — not a silent cap).
@@ -624,6 +625,152 @@ void scenario_batch(const Ctx& ctx, const Scaled& cfg) {
   }
 }
 
+// --- Truncation mode ----------------------------------------------------
+
+/// One generated truncation-differential instance.  Factored out so the
+/// scenario and write_artifacts consume the identical rng draw sequence.
+struct TruncationInstance {
+  Ctmdp model;
+  BitVector goal;
+  Ctmc chain;
+  BitVector chain_goal;
+};
+
+TruncationInstance make_truncation_instance(std::uint64_t seed, const Scaled& cfg) {
+  Rng rng(derive_seed(seed, kStreamTruncation));
+  TruncationInstance instance;
+  instance.model = random_uniform_ctmdp(rng, cfg.ctmdp);
+  instance.goal = random_goal(rng, instance.model.num_states());
+  instance.chain = random_ctmc(rng, cfg.ctmc);
+  instance.chain_goal = random_goal(rng, instance.chain.num_states());
+  return instance;
+}
+
+/// lambda * t for the long horizon: far past kLyapunovAutoEngageLeft, so
+/// both the explicit and the auto provider run the Lyapunov certificate.
+constexpr double kLongHorizonMass = 1500.0;
+
+constexpr Truncation kTruncationModes[] = {Truncation::FoxGlynn, Truncation::Lyapunov,
+                                           Truncation::Auto};
+
+void scenario_truncation(const Ctx& ctx, const Scaled& cfg) {
+  const TruncationInstance instance = make_truncation_instance(ctx.seed, cfg);
+  const DifferentialConfig& config = ctx.config;
+
+  // CTMDP: every provider x locking, both objectives, short and long bound.
+  const double ctmdp_long = kLongHorizonMass / cfg.ctmdp.uniform_rate;
+  const bool dense_ok = instance.model.num_states() <= kDenseOracleLimit;
+  DenseModel dense;
+  if (dense_ok) dense = dense_from_ctmdp(instance.model);
+  for (const double t : {config.time, ctmdp_long}) {
+    const bool long_bound = t == ctmdp_long;
+    for (const Objective objective : {Objective::Maximize, Objective::Minimize}) {
+      TimedReachabilityOptions base;
+      base.epsilon = config.epsilon;
+      base.objective = objective;
+      base.threads = 1;
+      base.backend = config.backend;
+      base.locking = false;
+      base.truncation = Truncation::FoxGlynn;
+      const TimedReachabilityResult ref =
+          mutated_solve(instance.model, instance.goal, t, base, config.mutation);
+      std::vector<double> oracle;
+      if (dense_ok) {
+        oracle = naive_timed_reachability(dense, instance.goal, t, config.epsilon, objective);
+      }
+      for (const Truncation mode : kTruncationModes) {
+        TimedReachabilityOptions options = base;
+        options.truncation = mode;
+        const TimedReachabilityResult off =
+            mutated_solve(instance.model, instance.goal, t, options, config.mutation);
+        options.locking = true;
+        const TimedReachabilityResult on =
+            mutated_solve(instance.model, instance.goal, t, options, config.mutation);
+        const std::string tag = std::string(truncation_name(mode)) + "/" +
+                                (objective == Objective::Maximize ? "sup" : "inf") +
+                                " t=" + num(t);
+        // Locking is observably invisible: bitwise-equal values.
+        ctx.require(off.values == on.values, "truncation-locking-bitwise",
+                    tag + " values differ by " + num(vector_diff(off.values, on.values)));
+        ctx.require(on.iterations_executed <= off.iterations_executed, "truncation-locking-iters",
+                    tag + " locking executed more sweeps (" +
+                        std::to_string(on.iterations_executed) + " vs " +
+                        std::to_string(off.iterations_executed) + ")");
+        if (mode == Truncation::FoxGlynn) {
+          ctx.require(off.truncation == Truncation::FoxGlynn, "truncation-resolve",
+                      tag + " fox-glynn request resolved to lyapunov");
+        }
+        if (mode == Truncation::Lyapunov && long_bound) {
+          ctx.require(off.truncation == Truncation::Lyapunov, "truncation-resolve",
+                      tag + " certificate did not engage at lambda*t=" + num(kLongHorizonMass));
+        }
+        const double mode_diff = vector_diff(off.values, ref.values);
+        ctx.require(mode_diff <= config.tolerance, "truncation-mode-agreement",
+                    tag + " max deviation " + num(mode_diff) + " from fox-glynn");
+        if (dense_ok) {
+          const double diff = vector_diff(off.values, oracle);
+          ctx.require(diff <= config.tolerance, "truncation-vs-oracle",
+                      tag + " max deviation " + num(diff));
+          if (config.mutation == Mutation::None) {
+            ctx.require(diff <= off.residual_bound + config.tolerance,
+                        "truncation-residual-sound",
+                        tag + " deviation " + num(diff) + " exceeds residual bound " +
+                            num(off.residual_bound));
+          }
+        }
+      }
+    }
+  }
+
+  // CTMC: same grid on the transient solver (no objective, no mutation —
+  // the CTMDP half above carries the self-check teeth, as in batch mode).
+  TransientOptions tbase;
+  tbase.epsilon = config.epsilon;
+  tbase.threads = 1;
+  tbase.backend = config.backend;
+  tbase.locking = false;
+  tbase.truncation = Truncation::FoxGlynn;
+  const TransientResult probe =
+      timed_reachability(instance.chain, instance.chain_goal, config.time, tbase);
+  const double chain_long =
+      probe.uniform_rate > 0.0 ? kLongHorizonMass / probe.uniform_rate : config.time;
+  const Ctmdp embedded = ctmdp_from_ctmc(instance.chain.uniformize());
+  for (const double t : {config.time, chain_long}) {
+    const TransientResult ref = timed_reachability(instance.chain, instance.chain_goal, t, tbase);
+    std::vector<double> oracle;
+    const bool chain_dense_ok = embedded.num_states() <= kDenseOracleLimit;
+    if (chain_dense_ok) {
+      oracle = naive_timed_reachability(dense_from_ctmdp(embedded), instance.chain_goal, t,
+                                        config.epsilon, Objective::Maximize);
+    }
+    for (const Truncation mode : kTruncationModes) {
+      TransientOptions options = tbase;
+      options.truncation = mode;
+      const TransientResult off = timed_reachability(instance.chain, instance.chain_goal, t,
+                                                     options);
+      options.locking = true;
+      const TransientResult on = timed_reachability(instance.chain, instance.chain_goal, t,
+                                                    options);
+      const std::string tag = std::string("ctmc ") + truncation_name(mode) + " t=" + num(t);
+      ctx.require(off.probabilities == on.probabilities, "truncation-ctmc-locking-bitwise",
+                  tag + " values differ by " +
+                      num(vector_diff(off.probabilities, on.probabilities)));
+      if (mode == Truncation::FoxGlynn) {
+        ctx.require(off.truncation == Truncation::FoxGlynn, "truncation-ctmc-resolve",
+                    tag + " fox-glynn request resolved to lyapunov");
+      }
+      const double mode_diff = vector_diff(off.probabilities, ref.probabilities);
+      ctx.require(mode_diff <= config.tolerance, "truncation-ctmc-mode-agreement",
+                  tag + " max deviation " + num(mode_diff) + " from fox-glynn");
+      if (chain_dense_ok) {
+        const double diff = vector_diff(off.probabilities, oracle);
+        ctx.require(diff <= config.tolerance, "truncation-ctmc-vs-oracle",
+                    tag + " max deviation " + num(diff));
+      }
+    }
+  }
+}
+
 struct Scenario {
   const char* name;
   void (*run)(const Ctx&, const Scaled&);
@@ -686,6 +833,13 @@ std::vector<std::string> write_artifacts(const Failure& failure,
     emit(stem + ".tra", [&](std::ostream& out) { io::write_ctmc(out, instance.chain); });
     emit(stem + ".tra.lab",
          [&](std::ostream& out) { io::write_goal(out, instance.chain_goal); });
+  } else if (failure.scenario == "truncation") {
+    const TruncationInstance instance = make_truncation_instance(failure.seed, cfg);
+    emit(stem + ".ctmdp", [&](std::ostream& out) { io::write_ctmdp(out, instance.model); });
+    emit(stem + ".lab", [&](std::ostream& out) { io::write_goal(out, instance.goal); });
+    emit(stem + ".tra", [&](std::ostream& out) { io::write_ctmc(out, instance.chain); });
+    emit(stem + ".tra.lab",
+         [&](std::ostream& out) { io::write_goal(out, instance.chain_goal); });
   }
 
   emit(stem + ".txt", [&](std::ostream& out) {
@@ -693,7 +847,10 @@ std::vector<std::string> write_artifacts(const Failure& failure,
         << "scenario: " << failure.scenario << "\n"
         << "shrink level: " << failure.level << "\n"
         << "failure: " << failure.message << "\n"
-        << "replay: unicon_fuzz " << (failure.scenario == "batch" ? "--batch " : "")
+        << "replay: unicon_fuzz "
+        << (failure.scenario == "batch"        ? "--batch "
+            : failure.scenario == "truncation" ? "--truncation "
+                                               : "")
         << "--seed " << failure.seed << "\n";
     if (failure.scenario == "batch") {
       const BatchInstance instance = make_batch_instance(failure.seed, cfg);
@@ -724,6 +881,7 @@ std::optional<Failure> run_seed(std::uint64_t seed, const DifferentialConfig& co
     }
     return std::nullopt;
   };
+  if (config.truncation) return run_one(Scenario{"truncation", scenario_truncation});
   if (config.batch) return run_one(Scenario{"batch", scenario_batch});
   for (const Scenario& scenario : kScenarios) {
     if (std::optional<Failure> failure = run_one(scenario)) return failure;

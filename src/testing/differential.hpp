@@ -75,6 +75,14 @@ struct DifferentialConfig {
   /// against independent single-t solves and, when small enough, against
   /// the dense oracle.  Shrinking and artifacts work as in normal mode.
   bool batch = false;
+  /// Truncation mode (unicon_fuzz --truncation): random CTMDP and CTMC
+  /// instances solved at a short and a deliberately long horizon under
+  /// every truncation provider (fox-glynn, lyapunov, auto) with
+  /// convergence locking on and off.  Locking must be observably invisible
+  /// (bitwise-equal values per provider), the providers must agree within
+  /// tolerance, and every variant must match the dense oracle.  Shrinking
+  /// and artifacts work as in normal mode.
+  bool truncation = false;
   /// Shrink failing seeds down the config ladder.
   bool shrink = true;
   /// Directory for counterexample artifacts ("" disables writing).
@@ -84,7 +92,7 @@ struct DifferentialConfig {
 
 struct Failure {
   std::uint64_t seed = 0;
-  std::string scenario;  // "imc" | "composed" | "ctmdp" | "ctmc" | "zeno" | "batch"
+  std::string scenario;  // "imc" | "composed" | "ctmdp" | "ctmc" | "zeno" | "batch" | "truncation"
   /// Which check tripped, with the observed discrepancy.
   std::string message;
   /// Shrink level the failure was reduced to (0 = full-size config).

@@ -383,6 +383,64 @@ TEST(BitConsistency, AvxKernelReportsAvailability) {
   EXPECT_NE(kernel_ops(Backend::Simd).gather_rows, nullptr);
 }
 
+// ------------------------------------- convergence-locking consistency
+
+/// Convergence locking must be invisible in the results: for every backend
+/// and thread count, a locked run is bitwise identical to the same
+/// backend's unlocked run (the locking criterion only freezes exact
+/// fixpoints of their own row — DESIGN.md Sec. 14).  The horizon is long
+/// enough (lambda = 20, ~80 sweeps) for tail values to freeze bitwise and
+/// locks to actually engage.
+TEST(BitConsistency, LockingOnOffBitwiseAcrossBackendsAndThreads) {
+  for (std::size_t n : {5u, 13u, 33u, 67u}) {
+    const CtmdpCase c = make_ctmdp_case(5000 + n, n);
+    for (Backend backend : kBackends) {
+      TimedReachabilityOptions options;
+      options.backend = backend;
+      options.avoid = c.avoid;
+      options.threads = 1;
+      options.locking = false;
+      const auto unlocked = timed_reachability(c.model, c.goal, 10.0, options);
+      for (bool locking : {false, true}) {
+        for (unsigned threads : kThreadCounts) {
+          options.locking = locking;
+          options.threads = threads;
+          const auto run = timed_reachability(c.model, c.goal, 10.0, options);
+          EXPECT_EQ(run.values, unlocked.values)
+              << backend_name(backend) << " n=" << n << " threads=" << threads
+              << " locking=" << locking;
+          EXPECT_EQ(run.iterations_planned, unlocked.iterations_planned);
+        }
+      }
+    }
+  }
+}
+
+TEST(BitConsistency, CtmcLockingOnOffBitwiseAcrossBackendsAndThreads) {
+  for (std::size_t n : {5u, 29u, 67u}) {
+    Rng rng(6000 + n);
+    const Ctmc chain = testing::random_ctmc(rng, {.num_states = n});
+    const BitVector goal = testing::random_goal(rng, chain.num_states());
+    for (Backend backend : kBackends) {
+      TransientOptions options;
+      options.backend = backend;
+      options.threads = 1;
+      options.locking = false;
+      const auto unlocked = timed_reachability(chain, goal, 8.0, options);
+      for (bool locking : {false, true}) {
+        for (unsigned threads : kThreadCounts) {
+          options.locking = locking;
+          options.threads = threads;
+          const auto run = timed_reachability(chain, goal, 8.0, options);
+          EXPECT_EQ(run.probabilities, unlocked.probabilities)
+              << backend_name(backend) << " n=" << n << " threads=" << threads
+              << " locking=" << locking;
+        }
+      }
+    }
+  }
+}
+
 // --------------------------------------------- scheduler-resume regression
 
 TEST(SchedulerResume, MergesPreInterruptionDecisions) {

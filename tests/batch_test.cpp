@@ -5,6 +5,7 @@
 // this is testable exact equality, not a tolerance check).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -284,6 +285,95 @@ TEST(BatchTest, CtmcBatchEarlyTerminationMatchesSingle) {
     ASSERT_EQ(bits(batch[j].residual_bound), bits(single.residual_bound));
     ASSERT_EQ(batch[j].iterations_executed, single.iterations_executed);
   }
+}
+
+// ------------------------- certificate stops inside a fused batch
+
+/// Fast-absorbing drift model: survival contracts geometrically, so the
+/// Lyapunov certificate stops each horizon a few dozen steps below its
+/// Poisson window (see the truncation tests in reachability_test.cpp).
+Ctmdp batch_drift_model(std::size_t n) {
+  CtmdpBuilder b;
+  b.ensure_states(n);
+  b.set_initial(0);
+  const StateId goal = static_cast<StateId>(n - 1);
+  for (StateId s = 0; s + 1 < n; ++s) {
+    b.begin_transition(s, "a");
+    b.add_rate(goal, 3.0);
+    b.add_rate(std::min<StateId>(s + 1, goal), 1.0);
+    b.begin_transition(s, "b");
+    b.add_rate(goal, 2.5);
+    b.add_rate(std::min<StateId>(s + 1, goal), 1.5);
+  }
+  return b.build();
+}
+
+TEST(BatchTest, CtmdpBatchHorizonsCertifyAtDifferentSweeps) {
+  // Three long horizons, all above the auto-engage threshold (lambda =
+  // 1280/1600/2000): in the bottom-aligned fusion each keeps its own
+  // survival-series age, so each stops at a different absolute sweep —
+  // and at exactly the sweep its single-t run stops at.
+  const Ctmdp model = batch_drift_model(24);
+  BitVector goal(model.num_states());
+  goal.set(model.num_states() - 1);
+  const std::vector<double> times = {320.0, 400.0, 500.0};
+
+  TimedReachabilityOptions options;  // auto truncation + locking defaults
+  const auto batch = timed_reachability_batch(model, goal, times, options);
+  ASSERT_EQ(batch.size(), times.size());
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    const auto single = timed_reachability(model, goal, times[j], options);
+    SCOPED_TRACE("t " + std::to_string(times[j]));
+    ASSERT_EQ(single.truncation, Truncation::Lyapunov);
+    ASSERT_GT(single.k_lyapunov, 0u);
+    expect_bitwise(batch[j].values, single.values, "values");
+    ASSERT_EQ(bits(batch[j].residual_bound), bits(single.residual_bound));
+    ASSERT_EQ(batch[j].iterations_planned, single.iterations_planned);
+    ASSERT_EQ(batch[j].iterations_executed, single.iterations_executed);
+    ASSERT_EQ(batch[j].truncation, single.truncation);
+    ASSERT_EQ(batch[j].k_lyapunov, single.k_lyapunov);
+    ASSERT_LT(batch[j].iterations_executed, batch[j].iterations_planned);
+  }
+  // The stop decisions are genuinely per-horizon, not one shared cut.
+  EXPECT_NE(batch[0].iterations_executed, batch[1].iterations_executed);
+  EXPECT_NE(batch[1].iterations_executed, batch[2].iterations_executed);
+}
+
+TEST(BatchTest, CtmcBatchHorizonsCertifyAtDifferentSweeps) {
+  CtmcBuilder b(24);
+  const StateId last = 23;
+  for (StateId s = 0; s < last; ++s) {
+    b.add_transition(s, 3.0, last);
+    b.add_transition(s, 1.0, std::min<StateId>(s + 1, last));
+  }
+  b.set_initial(0);
+  const Ctmc chain = b.build();
+  BitVector goal(chain.num_states());
+  goal.set(chain.num_states() - 1);
+  // The CTMC fold runs bottom-up, so engaged horizons certify at the same
+  // low absolute step; a short un-engaged horizon in the mix guarantees
+  // genuinely different per-horizon stop decisions inside one batch.
+  const std::vector<double> times = {2.0, 400.0, 500.0};
+
+  TransientOptions options;
+  const auto batch = timed_reachability_batch(chain, goal, times, options);
+  ASSERT_EQ(batch.size(), times.size());
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    const auto single = timed_reachability(chain, goal, times[j], options);
+    SCOPED_TRACE("t " + std::to_string(times[j]));
+    ASSERT_EQ(single.truncation,
+              j == 0 ? Truncation::FoxGlynn : Truncation::Lyapunov);
+    expect_bitwise(batch[j].probabilities, single.probabilities, "probabilities");
+    ASSERT_EQ(bits(batch[j].residual_bound), bits(single.residual_bound));
+    ASSERT_EQ(batch[j].iterations_executed, single.iterations_executed);
+    ASSERT_EQ(batch[j].truncation, single.truncation);
+    ASSERT_EQ(batch[j].k_lyapunov, single.k_lyapunov);
+    if (j > 0) {
+      ASSERT_GT(batch[j].k_lyapunov, 0u);
+      ASSERT_LT(batch[j].iterations_executed, batch[j].iterations);
+    }
+  }
+  EXPECT_NE(batch[0].iterations_executed, batch[1].iterations_executed);
 }
 
 TEST(BatchTest, CtmcBatchGuardStopKeepsFinishedHorizonsConverged) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "ctmc/transient.hpp"
@@ -126,11 +128,19 @@ TEST(TimedReachability, MonotoneInTime) {
 
 TEST(TimedReachability, IterationCountsReported) {
   const Ctmdp c = single_path(2.0);
-  const auto r = timed_reachability(c, {false, true}, 10.0, {.epsilon = 1e-6});
+  const auto r =
+      timed_reachability(c, {false, true}, 10.0, {.epsilon = 1e-6, .locking = false});
   EXPECT_EQ(r.iterations_planned, r.iterations_executed);
   EXPECT_GT(r.iterations_planned, 20u);  // lambda = 20
   EXPECT_DOUBLE_EQ(r.uniform_rate, 2.0);
   EXPECT_DOUBLE_EQ(r.lambda, 20.0);
+  EXPECT_FALSE(r.exact_fixpoint);
+  // With locking (the default) the same solve may break at the exact
+  // fixpoint below the window: bit-identical values, fewer sweeps.
+  const auto locked = timed_reachability(c, {false, true}, 10.0, {.epsilon = 1e-6});
+  EXPECT_EQ(locked.iterations_planned, r.iterations_planned);
+  EXPECT_LE(locked.iterations_executed, r.iterations_executed);
+  EXPECT_EQ(locked.values, r.values);
 }
 
 TEST(TimedReachability, EarlyTerminationMatchesFullRun) {
@@ -185,6 +195,221 @@ TEST(TimedReachability, TransitionlessStateHasValueZero) {
   const auto r = timed_reachability(c, {false, false, true}, 5.0);
   EXPECT_DOUBLE_EQ(r.values[1], 0.0);
   EXPECT_DOUBLE_EQ(r.values[0], 0.0);
+}
+
+// ------------------ truncation provider & locking (DESIGN.md Sec. 14)
+
+/// Fast-absorbing drift model (uniform rate 4): every state feeds the
+/// absorbing goal at rate 3 and the next state at rate 1, so the survival
+/// probability contracts geometrically per uniformized jump and the
+/// Lyapunov certificate fires within a few dozen below-window sweeps.
+Ctmdp drift_model(std::size_t n) {
+  CtmdpBuilder b;
+  b.ensure_states(n);
+  b.set_initial(0);
+  const StateId goal = static_cast<StateId>(n - 1);
+  for (StateId s = 0; s + 1 < n; ++s) {
+    b.begin_transition(s, "a");
+    b.add_rate(goal, 3.0);
+    b.add_rate(std::min<StateId>(s + 1, goal), 1.0);
+    b.begin_transition(s, "b");
+    b.add_rate(goal, 2.5);
+    b.add_rate(std::min<StateId>(s + 1, goal), 1.5);
+  }
+  return b.build();
+}
+
+BitVector last_state_goal(std::size_t n) {
+  BitVector goal(n);
+  goal.set(n - 1);
+  return goal;
+}
+
+TEST(Truncation, LyapunovMatchesFoxGlynnWithinEpsilon) {
+  const Ctmdp c = drift_model(20);
+  const BitVector goal = last_state_goal(c.num_states());
+  const double t = 50.0;  // lambda = 200: left > 1 but below the auto gate
+
+  TimedReachabilityOptions exact;
+  exact.epsilon = 1e-12;
+  exact.truncation = Truncation::FoxGlynn;
+  exact.locking = false;
+  const auto reference = timed_reachability(c, goal, t, exact);
+
+  // Locking off on both sides so the comparison isolates the provider (the
+  // exact-fixpoint break would otherwise stop the Fox-Glynn run early too).
+  TimedReachabilityOptions fox;
+  fox.truncation = Truncation::FoxGlynn;
+  fox.locking = false;
+  const auto fox_run = timed_reachability(c, goal, t, fox);
+  EXPECT_EQ(fox_run.truncation, Truncation::FoxGlynn);
+  EXPECT_EQ(fox_run.k_lyapunov, 0u);
+  EXPECT_EQ(fox_run.iterations_executed, fox_run.iterations_planned);
+
+  TimedReachabilityOptions lyap = fox;
+  lyap.truncation = Truncation::Lyapunov;
+  const auto lyap_run = timed_reachability(c, goal, t, lyap);
+  EXPECT_EQ(lyap_run.truncation, Truncation::Lyapunov);
+  EXPECT_GT(lyap_run.k_lyapunov, 0u);
+  EXPECT_LT(lyap_run.iterations_executed, fox_run.iterations_executed);
+
+  // Both providers stay within the shared 1e-6 budget of the converged
+  // answer: the certificate's forfeited tail is part of the epsilon split,
+  // not an extra error term.
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_NEAR(fox_run.values[s], reference.values[s], 1e-6) << s;
+    EXPECT_NEAR(lyap_run.values[s], reference.values[s], 1e-6) << s;
+  }
+}
+
+TEST(Truncation, AutoEngagesOnlyOnLongHorizons) {
+  const Ctmdp c = drift_model(20);
+  const BitVector goal = last_state_goal(c.num_states());
+
+  // Short horizon (lambda = 8): auto resolves to Fox-Glynn and the whole
+  // solve is bit-identical to an explicit Fox-Glynn request.
+  TimedReachabilityOptions fox;
+  fox.truncation = Truncation::FoxGlynn;
+  TimedReachabilityOptions aut;
+  aut.truncation = Truncation::Auto;
+  const auto fox_short = timed_reachability(c, goal, 2.0, fox);
+  const auto auto_short = timed_reachability(c, goal, 2.0, aut);
+  EXPECT_EQ(auto_short.truncation, Truncation::FoxGlynn);
+  EXPECT_EQ(auto_short.values, fox_short.values);
+  EXPECT_EQ(auto_short.iterations_executed, fox_short.iterations_executed);
+
+  // Long horizon (lambda = 1600, window left > 1024): auto engages the
+  // certificate, stops early, and still agrees within the combined budget.
+  const double t = 400.0;
+  const auto auto_long = timed_reachability(c, goal, t, aut);
+  EXPECT_EQ(auto_long.truncation, Truncation::Lyapunov);
+  EXPECT_GT(auto_long.k_lyapunov, 0u);
+  EXPECT_LT(auto_long.iterations_executed, auto_long.iterations_planned);
+  const auto fox_long = timed_reachability(c, goal, t, fox);
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    EXPECT_NEAR(auto_long.values[s], fox_long.values[s], 2e-6) << s;
+  }
+}
+
+TEST(Truncation, CtmcCertificateMatchesFoxGlynn) {
+  CtmcBuilder b(20);
+  const StateId last = 19;
+  for (StateId s = 0; s < last; ++s) {
+    b.add_transition(s, 3.0, last);
+    b.add_transition(s, 1.0, std::min<StateId>(s + 1, last));
+  }
+  b.set_initial(0);
+  const Ctmc chain = b.build();
+  const BitVector goal = last_state_goal(20);
+  const double t = 50.0;  // lambda = 200
+
+  TransientOptions fox;
+  fox.truncation = Truncation::FoxGlynn;
+  fox.locking = false;
+  const auto fox_run = timed_reachability(chain, goal, t, fox);
+  EXPECT_EQ(fox_run.truncation, Truncation::FoxGlynn);
+  EXPECT_EQ(fox_run.k_lyapunov, 0u);
+
+  TransientOptions lyap = fox;
+  lyap.truncation = Truncation::Lyapunov;
+  const auto lyap_run = timed_reachability(chain, goal, t, lyap);
+  EXPECT_EQ(lyap_run.truncation, Truncation::Lyapunov);
+  EXPECT_GT(lyap_run.k_lyapunov, 0u);
+  EXPECT_LT(lyap_run.iterations_executed, fox_run.iterations_executed);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    EXPECT_NEAR(lyap_run.probabilities[s], fox_run.probabilities[s], 2e-6) << s;
+  }
+}
+
+TEST(Truncation, EarlyTerminationWithLockingKeepsResidualSound) {
+  // The three error sources — truncation epsilon, the certificate's
+  // forfeited tail and the early-termination delta — must all be covered
+  // by the reported residual_bound, with locking on.
+  const Ctmdp c = drift_model(20);
+  const BitVector goal = last_state_goal(c.num_states());
+  const double t = 400.0;
+
+  TimedReachabilityOptions exact;
+  exact.epsilon = 1e-12;
+  exact.truncation = Truncation::FoxGlynn;
+  exact.locking = false;
+  const auto reference = timed_reachability(c, goal, t, exact);
+
+  for (const Truncation mode : {Truncation::FoxGlynn, Truncation::Auto}) {
+    TimedReachabilityOptions options;
+    options.truncation = mode;
+    options.early_termination = true;
+    options.early_termination_delta = 1e-9;
+    const auto run = timed_reachability(c, goal, t, options);
+    ASSERT_EQ(run.status, RunStatus::Converged);
+    // The bound reports the error actually accounted for — for an engaged
+    // plan the window half plus the certified stop error, which can land
+    // below the requested epsilon — but never exceeds the total budget.
+    EXPECT_GT(run.residual_bound, 0.0) << truncation_name(mode);
+    EXPECT_LE(run.residual_bound,
+              options.epsilon + options.early_termination_delta)
+        << truncation_name(mode);
+    for (StateId s = 0; s < c.num_states(); ++s) {
+      EXPECT_LE(std::fabs(run.values[s] - reference.values[s]), run.residual_bound + 1e-12)
+          << truncation_name(mode) << " state " << s;
+    }
+  }
+}
+
+TEST(GuardedReachability, ResumeWithCertificateAndLockingIsBitIdentical) {
+  // Long horizon: the auto plan engages the certificate (lambda = 1600)
+  // and locking is on.  A cancel mid-sweep must leave a resumable iterate
+  // that reproduces the uninterrupted run bit-for-bit — the resume replays
+  // the survival series so every stop decision lands on the same step.
+  const Ctmdp c = drift_model(20);
+  const BitVector goal = last_state_goal(c.num_states());
+  const double t = 400.0;
+  const TimedReachabilityOptions options;  // auto truncation + locking
+  const auto reference = timed_reachability(c, goal, t, options);
+  ASSERT_EQ(reference.truncation, Truncation::Lyapunov);
+  ASSERT_LT(reference.iterations_executed, reference.iterations_planned);
+
+  for (const std::uint64_t stop_at :
+       {std::uint64_t{3}, reference.iterations_executed / 2,
+        reference.iterations_executed - 1}) {
+    RunGuard guard;
+    guard.cancel_after_polls(stop_at);
+    TimedReachabilityOptions guarded = options;
+    guarded.guard = &guard;
+    const auto partial = timed_reachability(c, goal, t, guarded);
+    ASSERT_EQ(partial.status, RunStatus::Cancelled) << stop_at;
+    ASSERT_FALSE(partial.iterate.empty());
+
+    TimedReachabilityOptions resume_options = options;
+    resume_options.resume = &partial;
+    const auto resumed = timed_reachability(c, goal, t, resume_options);
+    ASSERT_EQ(resumed.status, RunStatus::Converged) << stop_at;
+    EXPECT_EQ(resumed.values, reference.values) << stop_at;
+    EXPECT_EQ(resumed.truncation, reference.truncation) << stop_at;
+  }
+}
+
+TEST(GuardedReachability, CheckpointObserverKeepsLockedSweepBitIdentical) {
+  // Publishing a checkpoint drops the locked set (the published iterate
+  // must be a trustworthy full vector and external writes may invalidate
+  // the frozen twin buffer).  A pure observer must therefore slow the
+  // sweep down at most — never change the values.
+  const Ctmdp c = drift_model(20);
+  const BitVector goal = last_state_goal(c.num_states());
+  const double t = 400.0;
+  const TimedReachabilityOptions options;
+  const auto reference = timed_reachability(c, goal, t, options);
+
+  RunGuard guard;
+  std::uint64_t checkpoints = 0;
+  guard.set_checkpoint([&](const RunCheckpoint&) { ++checkpoints; }, /*stride=*/7);
+  TimedReachabilityOptions observed = options;
+  observed.guard = &guard;
+  const auto run = timed_reachability(c, goal, t, observed);
+  ASSERT_EQ(run.status, RunStatus::Converged);
+  EXPECT_GT(checkpoints, 0u);
+  EXPECT_EQ(run.values, reference.values);
+  EXPECT_EQ(run.truncation, reference.truncation);
 }
 
 // ------------------------------------------------- constrained (until)

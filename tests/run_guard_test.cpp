@@ -139,6 +139,25 @@ TEST(RunGuard, NoCallbackMeansNoCheckpointWanted) {
   guard.checkpoint("stage", 1, 1, 0.0, std::span<double>(iterate));
 }
 
+TEST(RunGuard, CancelBudgetAloneNeverWantsCheckpoints) {
+  // The solvers' convergence locking drops its locked set exactly on the
+  // steps where wants_checkpoint() is true (a published iterate must be a
+  // full trustworthy vector, and external writes would invalidate the
+  // frozen twin buffer).  A guard used purely for cancellation or deadline
+  // budgets must therefore never want a checkpoint — otherwise locking
+  // would be silently disabled for every guarded run.
+  RunGuard guard;
+  guard.cancel_after_polls(100);
+  guard.set_deadline(3600.0);
+  for (std::uint64_t step = 1; step <= 16; ++step) {
+    EXPECT_FALSE(guard.wants_checkpoint(step)) << step;
+  }
+  // Once a callback exists, stride <= 1 means every step is due.
+  guard.set_checkpoint([](const RunCheckpoint&) {}, /*stride=*/0);
+  EXPECT_TRUE(guard.wants_checkpoint(1));
+  EXPECT_TRUE(guard.wants_checkpoint(7));
+}
+
 // -------------------------------------------------------- memory accounting
 
 TEST(RunGuardMemory, ScopeChargesNetLiveBytes) {

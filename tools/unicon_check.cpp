@@ -28,6 +28,11 @@
 //   --backend NAME     compute backend for the solver sweeps: auto (default;
 //                      honours UNICON_BACKEND, else serial), serial, simd,
 //                      or simd-portable — see DESIGN.md Sec. 10
+//   --truncation NAME  truncation-bound provider: auto (default; Lyapunov
+//                      certificate on long horizons, Fox–Glynn otherwise),
+//                      fox-glynn, or lyapunov — see DESIGN.md Sec. 14
+//   --no-locking       disable on-the-fly convergence locking (values are
+//                      bit-identical either way; this exists for A/B timing)
 //   --deadline S       wall-clock budget in seconds
 //   --mem-budget B     heap budget in bytes (K/M/G suffixes accepted)
 //   --json-errors      machine-readable error/partial diagnostics on stderr
@@ -97,6 +102,8 @@ struct GuardFlags {
   bool json_errors = false;
   std::string telemetry_path;   // empty = telemetry off; "-" = stderr
   Backend backend = Backend::Auto;
+  Truncation truncation = Truncation::Auto;
+  bool locking = true;
   std::vector<double> times;    // non-empty = batch mode (--times)
 };
 
@@ -130,6 +137,7 @@ struct TelemetryFlusher {
                "       unicon_check ctmc  <model.tra>   <goal.lab> <t> [--eps E] [--early] "
                "[common]\n"
                "common: [--times T1,T2,...] [--backend auto|serial|simd|simd-portable] "
+               "[--truncation auto|fox-glynn|lyapunov] [--no-locking] "
                "[--deadline S] [--mem-budget BYTES[K|M|G]] [--json-errors] "
                "[--telemetry PATH]\n");
   std::exit(2);
@@ -231,7 +239,29 @@ bool parse_common_flag(int argc, char** argv, int& i, GuardFlags& flags) {
     }
     return true;
   }
+  if (std::strcmp(argv[i], "--truncation") == 0 && i + 1 < argc) {
+    try {
+      flags.truncation = parse_truncation(argv[++i]);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+    return true;
+  }
+  if (std::strcmp(argv[i], "--no-locking") == 0) {
+    flags.locking = false;
+    return true;
+  }
   return false;
+}
+
+/// Printed after the iteration counts of a single-bound solve, only when
+/// the Lyapunov provider was actually resolved (auto stays silent on the
+/// Fox–Glynn path so historical output is unchanged).
+void report_truncation(Truncation resolved, std::uint64_t k_lyapunov) {
+  if (resolved != Truncation::Lyapunov) return;
+  std::printf("truncation: lyapunov (certificate stop at step %llu)\n",
+              static_cast<unsigned long long>(k_lyapunov));
 }
 
 using telemetry::json_escape;
@@ -402,6 +432,8 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
   options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
   options.reachability.early_termination = early;
   options.reachability.backend = flags.backend;
+  options.reachability.truncation = flags.truncation;
+  options.reachability.locking = flags.locking;
   options.reachability.guard = &g_guard;
   options.reachability.telemetry = tel;
   options.reachability.extract_scheduler = !scheduler_path.empty();
@@ -435,6 +467,7 @@ int run_model(const std::string& path, double t, const std::string& goal_name, b
               static_cast<unsigned long long>(result.reachability.iterations_planned),
               static_cast<unsigned long long>(result.reachability.iterations_executed),
               total.seconds());
+  report_truncation(result.reachability.truncation, result.reachability.k_lyapunov);
   if (!scheduler_path.empty()) {
     export_scheduler_artifact(scheduler_path, result,
                               minimize_flag ? Objective::Minimize : Objective::Maximize, t, eps);
@@ -474,6 +507,8 @@ int run_dft(const std::string& path, double t, bool minimize_flag, bool minimize
   options.reachability.objective = minimize_flag ? Objective::Minimize : Objective::Maximize;
   options.reachability.early_termination = early;
   options.reachability.backend = flags.backend;
+  options.reachability.truncation = flags.truncation;
+  options.reachability.locking = flags.locking;
   options.reachability.guard = &g_guard;
   options.reachability.telemetry = tel;
   options.reachability.extract_scheduler = !scheduler_path.empty();
@@ -506,6 +541,7 @@ int run_dft(const std::string& path, double t, bool minimize_flag, bool minimize
               static_cast<unsigned long long>(result.reachability.iterations_planned),
               static_cast<unsigned long long>(result.reachability.iterations_executed),
               total.seconds());
+  report_truncation(result.reachability.truncation, result.reachability.k_lyapunov);
   if (!scheduler_path.empty()) {
     export_scheduler_artifact(scheduler_path, result,
                               minimize_flag ? Objective::Minimize : Objective::Maximize, t, eps);
@@ -606,6 +642,8 @@ int main(int argc, char** argv) {
       options.early_termination = early;
       options.extract_scheduler = scheduler;
       options.backend = flags.backend;
+      options.truncation = flags.truncation;
+      options.locking = flags.locking;
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;
@@ -632,6 +670,7 @@ int main(int argc, char** argv) {
       std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
                   static_cast<unsigned long long>(result.iterations_planned),
                   static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
+      report_truncation(result.truncation, result.k_lyapunov);
       if (scheduler && result.status == RunStatus::Converged) {
         std::printf("optimal first decisions (states with a real choice):\n");
         for (StateId s = 0; s < model.num_states(); ++s) {
@@ -650,6 +689,8 @@ int main(int argc, char** argv) {
       options.epsilon = eps;
       options.early_termination = early;
       options.backend = flags.backend;
+      options.truncation = flags.truncation;
+      options.locking = flags.locking;
       options.guard = &g_guard;
       options.telemetry = telemetry_of(flags);
       Stopwatch timer;
@@ -676,6 +717,7 @@ int main(int argc, char** argv) {
       std::printf("iterations: %llu planned, %llu executed, %.3f s\n",
                   static_cast<unsigned long long>(result.iterations),
                   static_cast<unsigned long long>(result.iterations_executed), timer.seconds());
+      report_truncation(result.truncation, result.k_lyapunov);
       return report_partial(result.status, result.residual_bound, flags);
     } else {
       usage();

@@ -58,6 +58,15 @@
 //                  against its independent single-t solve plus the dense
 //                  oracle; seed shrinking, --out and --self-check work as in
 //                  normal mode
+//   --truncation   run the truncation differential instead: per seed a
+//                  random CTMDP (sup and inf) and CTMC are solved at a short
+//                  and a long horizon (lambda*t = 1500, so the Lyapunov
+//                  certificate engages) under every truncation provider
+//                  (fox-glynn, lyapunov, auto) with convergence locking on
+//                  and off; locking must be bitwise invisible, providers
+//                  must agree within tolerance, and every variant must match
+//                  the dense oracle; seed shrinking, --out and --self-check
+//                  work as in normal mode
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,7 +93,7 @@ namespace {
                "                   [--mutate perturb-value|swap-objective|coarse-poisson|"
                "stale-goal]\n"
                "                   [--out DIR] [--self-check] [--lang] [--faults] [--batch]\n"
-               "                   [--dft] [--server]\n"
+               "                   [--truncation] [--dft] [--server]\n"
                "                   [--backend auto|serial|simd|simd-portable]\n"
                "                   [--threads N] [-v]\n");
   std::exit(2);
@@ -308,6 +317,8 @@ int main(int argc, char** argv) {
       fault_mode = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       config.batch = true;
+    } else if (std::strcmp(argv[i], "--truncation") == 0) {
+      config.truncation = true;
     } else if (std::strcmp(argv[i], "--dft") == 0) {
       dft_mode = true;
     } else if (std::strcmp(argv[i], "--server") == 0) {
